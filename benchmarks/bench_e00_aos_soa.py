@@ -1,0 +1,36 @@
+"""E0 — AoS → SoA case study (GADGET, Section 2 / [ML21]), with the
+behaviour-preservation check."""
+
+from repro.cookbook import aos_soa
+from repro.eval import Interpreter, compare_aos_soa
+from repro.workloads import gadget
+from conftest import emit
+
+
+def test_e00_aos_to_soa(benchmark, gadget_workload):
+    patch = aos_soa.aos_to_soa_patch_from_codebase(gadget_workload, struct_name="particle")
+    result = benchmark(lambda: patch.apply(gadget_workload))
+    transformed = patch.transform(gadget_workload)
+
+    before = gadget.aos_access_count(gadget_workload)
+    after = gadget.aos_access_count(transformed)
+
+    # shape: every P[...].field access rewritten; SoA arrays declared (extern
+    # in the header, defined in globals.c); reductions produce identical
+    # results under the interpreter
+    assert before > 50 and after == 0
+    assert "double P_mass[NPART];" in transformed["globals.c"]
+    assert "extern double P_pos[NPART][3];" in transformed["particles.h"]
+
+    totals = [f for f in Interpreter(gadget_workload).function_names()
+              if f.startswith("total_")]
+    report = compare_aos_soa(gadget_workload, transformed, totals, count=32)
+    assert report.all_equivalent, (report.mismatches, report.errors)
+
+    emit("E0 AoS→SoA (GADGET case study)",
+         "thousands of member accesses rewritten from a handful of per-field "
+         "rules; observable reductions unchanged",
+         [{"aos_accesses_before": before, "aos_accesses_after": after,
+           "patch_loc": patch.loc(), "sites_matched": result.total_matches,
+           "reductions_checked": report.checked,
+           "reductions_equivalent": report.equivalent}])

@@ -1,0 +1,28 @@
+"""E1 — LIKWID marker-API instrumentation (paper §3, first use case)."""
+
+from repro.analysis import terseness
+from repro.cookbook import instrumentation
+from repro.workloads import openmp_kernels
+from conftest import emit
+
+
+def test_e01_instrumentation(benchmark, openmp_workload):
+    patch = instrumentation.likwid_patch()
+    result = benchmark(lambda: patch.apply(openmp_workload))
+
+    intended = openmp_kernels.braced_region_count(openmp_workload)
+    started = sum(f.text.count("LIKWID_MARKER_START(__func__);") for f in result)
+    stopped = sum(f.text.count("LIKWID_MARKER_STOP(__func__);") for f in result)
+    headers = sum(f.text.count("#include <likwid-marker.h>") for f in result)
+
+    # shape: every braced OpenMP region (and only those) is enclosed; one
+    # header per file that includes omp.h
+    assert started == stopped == intended > 0
+    assert headers == len(openmp_workload)
+
+    row = terseness("E1", patch, openmp_workload, result)
+    emit("E1 instrumentation (LIKWID markers)",
+         "a 10-line semantic patch encloses every OpenMP region in the code base",
+         [{"intended_regions": intended, "instrumented": started,
+           "patch_loc": row.patch_loc, "workload_loc": row.workload_loc,
+           "lines_changed": row.lines_changed}])

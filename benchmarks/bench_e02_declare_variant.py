@@ -1,0 +1,26 @@
+"""E2 — OpenMP ``declare variant`` function cloning (paper §3)."""
+
+from repro.cookbook import declare_variant
+from repro.workloads import openmp_kernels
+from conftest import emit
+
+
+def test_e02_declare_variant(benchmark, openmp_workload):
+    patch = declare_variant.declare_variant_patch()
+    result = benchmark(lambda: patch.apply(openmp_workload))
+
+    kernels = openmp_kernels.kernel_function_count(openmp_workload)
+    text = "\n".join(f.text for f in result)
+    pragmas = text.count("#pragma omp declare variant")
+    avx512_clones = text.count("double avx512_") + text.count("void avx512_")
+
+    # shape: two variants and two pragmas per *kernel* function; helpers and
+    # OpenMP regions untouched
+    assert pragmas == 2 * kernels > 0
+    assert avx512_clones == kernels
+    assert "avx512_relax_region" not in text
+
+    emit("E2 declare variant cloning",
+         "every function matching the 'kernel' regex gains two ISA variants",
+         [{"kernel_functions": kernels, "variant_pragmas": pragmas,
+           "clones_per_kernel": 2, "patch_loc": patch.loc()}])

@@ -1,0 +1,31 @@
+"""E4 — bloat and clone removal (paper §3)."""
+
+from repro.cookbook import bloat_removal
+from repro.workloads import multiversion_app
+from conftest import emit
+
+
+def test_e04_bloat_removal(benchmark, multiversion_workload):
+    patch = bloat_removal.remove_obsolete_clones(("avx512", "avx2"))
+    result = benchmark(lambda: patch.apply(multiversion_workload))
+
+    before_clones = multiversion_app.clone_count(multiversion_workload)
+    before_defaults = multiversion_app.default_attr_count(multiversion_workload)
+    text = "\n".join(f.text for f in result)
+    after_clones = text.count('target("avx2")') + text.count('target("avx512")')
+    after_defaults = text.count('__attribute__((target("default")))')
+
+    # shape: every obsolete clone removed; the default attribute removed only
+    # on functions whose clones were removed (one default-only helper per file
+    # keeps its attribute)
+    assert before_clones > 0 and after_clones == 0
+    assert after_defaults == len(multiversion_workload.files)
+    assert result.matches_of("c") == before_clones
+    assert result.matches_of("d") == before_defaults - after_defaults
+
+    emit("E4 bloat / clone removal",
+         "obsolete ISA clones deleted; base functions keep working, untouched "
+         "default-only helpers keep their attribute",
+         [{"clones_before": before_clones, "clones_after": after_clones,
+           "default_attrs_before": before_defaults, "default_attrs_after": after_defaults,
+           "lines_removed": result.lines_removed()}])

@@ -1,0 +1,28 @@
+"""E6 — advanced expression modification: chained → multi-index subscripts."""
+
+from repro.cookbook import mdspan
+from repro.workloads import gadget
+from conftest import emit
+
+
+def test_e06_mdspan(benchmark, gadget_workload):
+    patch = mdspan.multiindex_patch_from_codebase(gadget_workload, min_rank=3)
+    result = benchmark(lambda: patch.apply(gadget_workload))
+
+    before = gadget.chained_3d_subscript_count(gadget_workload)
+    transformed = patch.transform(gadget_workload)
+    after = gadget.chained_3d_subscript_count(transformed)
+    text = "\n".join(f.text for f in result)
+
+    # shape: every chained access to the declared 3-D grids is rewritten, the
+    # (struct) particle accesses and the declarations themselves are untouched
+    assert before > 0 and after == 0
+    assert "P[i].pos" in text
+    assert "double rho[NGRID][NGRID][NGRID];" in transformed["globals.c"]
+
+    emit("E6 mdspan multi-index rewrite",
+         "array names are derived from the global declarations; every chained "
+         "access is rewritten, nothing else",
+         [{"grid_arrays": len(mdspan.arrays_of_rank(gadget_workload, min_rank=3)),
+           "chained_accesses_before": before, "chained_accesses_after": after,
+           "sites_matched": result.total_matches}])

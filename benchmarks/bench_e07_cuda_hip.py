@@ -1,0 +1,30 @@
+"""E7 — CUDA → HIP translation (dictionary-driven, AST level)."""
+
+from repro.cookbook import cuda_hip
+from repro.workloads import cuda_app
+from conftest import emit
+
+
+def test_e07_cuda_to_hip(benchmark, cuda_workload):
+    patch = cuda_hip.cuda_to_hip_patch()
+    result = benchmark(lambda: patch.apply(cuda_workload))
+    text = "\n".join(f.text for f in result)
+
+    launches = cuda_app.kernel_launch_count(cuda_workload)
+    calls = cuda_app.cuda_call_count(cuda_workload)
+
+    # shape: all launches and all dictionary calls translated; strings,
+    # comments and non-CUDA identifiers untouched
+    assert "<<<" not in text
+    assert text.count("hipLaunchKernelGGL(") == launches
+    assert "cudaMalloc(" not in text and "hipMalloc(" in text
+    assert 'printf("cudaMemcpy or kernel launch failed' in text
+    assert "cudaMalloc is discussed in this comment" in text
+    assert "rocrand_state_xorwow" in text and "hipStream_t" in text
+
+    emit("E7 CUDA→HIP translation",
+         "token-to-token API translation enacted at the AST level "
+         "(hipify-perl's dictionary, Coccinelle's matching)",
+         [{"kernel_launches": launches, "api_call_sites": calls,
+           "sites_matched": result.total_matches,
+           "lines_changed": result.lines_added() + result.lines_removed()}])

@@ -1,0 +1,28 @@
+"""E9 — raw search loops → std::find (modern C++ STL constructs)."""
+
+from repro.cookbook import stl_modernize
+from repro.workloads import rawloops
+from conftest import emit
+
+
+def test_e09_raw_loop_to_find(benchmark, rawloops_workload):
+    patch = stl_modernize.raw_loop_to_find_patch()
+    result = benchmark(lambda: patch.apply(rawloops_workload))
+    text = "\n".join(f.text for f in result)
+
+    rewritable = rawloops.raw_search_count(rawloops_workload)
+    preserved = rawloops.preserved_loop_count(rawloops_workload)
+
+    # shape: every flag+range-for+break search loop becomes std::find
+    # (including the reversed 'k == elem' comparisons, via the disjunction);
+    # counting loops without break stay as they are
+    assert text.count("find(begin(") == rewritable > 0
+    assert text.count("count = count + 1") == preserved > 0
+    assert text.count("#include <algorithm>") == len(rawloops_workload)
+
+    emit("E9 raw loop → std::find",
+         "recurring raw-loop idioms replaced by an STL call; loops doing more "
+         "than searching are preserved",
+         [{"search_loops": rewritable, "rewritten": text.count("find(begin("),
+           "non_search_loops_preserved": preserved,
+           "headers_added": text.count("#include <algorithm>")}])

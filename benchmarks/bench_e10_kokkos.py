@@ -1,0 +1,29 @@
+"""E10 — introduction of APIs enclosing lambdas (Kokkos)."""
+
+from repro.cookbook import kokkos_lambda
+from repro.workloads import kokkos_exercise
+from conftest import emit
+
+
+def test_e10_kokkos_lambda(benchmark, kokkos_workload):
+    patch = kokkos_lambda.kokkos_patch()
+    result = benchmark(lambda: patch.apply(kokkos_workload))
+
+    candidates = kokkos_exercise.transformable_loop_count(kokkos_workload)
+    text = "\n".join(f.text for f in result)
+    pfor = text.count("Kokkos::parallel_for(")
+    preduce = text.count("Kokkos::parallel_reduce(")
+
+    # shape: every i/j-indexed loop becomes a Kokkos construct (the reduction
+    # loop maps to parallel_reduce); the repeat loop stays a plain loop
+    assert pfor + preduce == candidates > 0
+    assert preduce == len(kokkos_workload.files)
+    assert "KOKKOS_LAMBDA(const int" in text
+    assert "for (int repeat = 0; repeat < nrepeat; repeat++)" in text
+    assert text.count("#include <Kokkos_Core.hpp>") == len(kokkos_workload.files)
+
+    emit("E10 Kokkos lambda introduction",
+         "loop bodies become lambdas passed to parallel_for/parallel_reduce "
+         "via the identifier-string loophole described in the paper",
+         [{"candidate_loops": candidates, "parallel_for": pfor,
+           "parallel_reduce": preduce, "headers_added": len(kokkos_workload.files)}])

@@ -1,0 +1,34 @@
+"""E11 — compiler-bug workaround pragma injection (LIBRSB / GCC vectorizer)."""
+
+from repro.cookbook import compiler_workaround
+from repro.workloads import librsb_like
+from conftest import emit
+
+
+def test_e11_workaround(benchmark, librsb_workload):
+    patch = compiler_workaround.gcc_workaround_patch()
+    result = benchmark(lambda: patch.apply(librsb_workload))
+    text = "\n".join(f.text for f in result)
+
+    affected = librsb_like.affected_kernel_count(librsb_workload)
+    total = librsb_like.total_kernel_count(librsb_workload)
+
+    # shape: "a dozen functions among a few hundred" get the push/pop pragma
+    # pair; everything else is untouched
+    assert affected == 12 and total == 288
+    assert text.count("#pragma GCC push_options") == affected
+    assert text.count("#pragma GCC pop_options") == affected
+    assert text.count('#pragma GCC optimize "-O3", "-fno-tree-loop-vectorize"') == affected
+
+    # the workaround is transitory: the removal patch restores the original
+    restored = compiler_workaround.removal_patch().apply(
+        {name: fr.text for name, fr in result.files.items()})
+    assert all("push_options" not in fr.text for fr in restored)
+
+    emit("E11 compiler-bug workaround",
+         "regex-selected kernels (12 of 288, the paper's 'dozen among a few "
+         "hundred') wrapped in GCC optimisation pragmas, reversibly",
+         [{"total_kernels": total, "affected": affected,
+           "pragma_pairs_injected": affected,
+           "restored_after_removal_patch": all("push_options" not in fr.text
+                                               for fr in restored)}])

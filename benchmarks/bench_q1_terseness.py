@@ -1,0 +1,37 @@
+"""Q1 — terseness / genericity of semantic patches (claim C1)."""
+
+from repro.analysis import terseness
+from repro.cookbook import aos_soa, cuda_hip, instrumentation, mdspan, unrolling
+from conftest import emit
+
+
+def test_q1_terseness(benchmark, openmp_workload, gadget_workload, cuda_workload,
+                      unrolled_workload):
+    cases = [
+        ("E1 instrumentation", instrumentation.likwid_patch(), openmp_workload),
+        ("E5 unroll removal", unrolling.reroll_patch_p1_r1(), unrolled_workload),
+        ("E6 mdspan", mdspan.multiindex_patch_from_codebase(gadget_workload), gadget_workload),
+        ("E7 cuda→hip", cuda_hip.cuda_to_hip_patch(), cuda_workload),
+        ("E0 aos→soa", aos_soa.aos_to_soa_patch_from_codebase(gadget_workload,
+                                                              struct_name="particle"),
+         gadget_workload),
+    ]
+
+    def run():
+        return [terseness(name, patch, workload) for name, patch, workload in cases]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # shape: every patch changes (many) more lines than it is long and applies
+    # at several sites per rule line — "a single change specification applied
+    # across a code base"
+    for row in rows:
+        assert row.sites_matched >= 1
+        assert row.lines_changed >= row.patch_loc or row.sites_matched > 5
+    assert any(row.leverage > 2 for row in rows)
+
+    emit("Q1 terseness / genericity",
+         "semantic patches are one to two orders of magnitude smaller than the "
+         "change they enact",
+         rows, columns=["experiment", "patch_loc", "workload_loc", "sites_matched",
+                        "lines_changed", "leverage"])

@@ -1,0 +1,39 @@
+"""Q2 — AST/CFG matching vs text-oriented tools on adversarial inputs
+(claim C2)."""
+
+from repro.analysis import robustness_cuda, robustness_openacc, robustness_unroll
+from conftest import emit
+
+
+def test_q2_cuda_robustness(benchmark, cuda_workload):
+    rows = benchmark.pedantic(lambda: robustness_cuda(cuda_workload),
+                              rounds=1, iterations=1)
+    semantic, textual = rows
+    assert semantic.correct
+    assert textual.missed > 0        # multi-line kernel launches missed
+    assert textual.spurious > 0      # strings / comments rewritten
+    emit("Q2a CUDA→HIP robustness", "AST-level translation vs hipify-style text replacement",
+         rows, columns=["tool", "intended", "converted", "missed", "spurious", "broken",
+                        "correct"])
+
+
+def test_q2_openacc_robustness(benchmark, openacc_workload):
+    rows = benchmark.pedantic(lambda: robustness_openacc(openacc_workload),
+                              rounds=1, iterations=1)
+    semantic, textual = rows
+    assert semantic.correct
+    assert textual.broken > 0        # continuation lines mishandled
+    emit("Q2b OpenACC→OpenMP robustness",
+         "directive translation vs line-oriented migration script",
+         rows, columns=["tool", "intended", "converted", "missed", "broken", "correct"])
+
+
+def test_q2_unroll_robustness(benchmark, unrolled_workload):
+    rows = benchmark.pedantic(
+        lambda: robustness_unroll(unrolled_workload, strategies=("checked",)),
+        rounds=1, iterations=1)
+    semantic, sed = rows
+    assert semantic.correct and not sed.correct
+    emit("Q2c unroll-removal robustness",
+         "checked semantic rules vs sed-style rerolling on impostor loops",
+         rows, columns=["tool", "intended", "converted", "spurious", "broken", "correct"])

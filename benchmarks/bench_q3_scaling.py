@@ -1,0 +1,43 @@
+"""Q3 — engine runtime vs workload size (code-base-wide application)."""
+
+from repro.analysis import scaling_sweep
+from repro.cookbook import instrumentation, mdspan
+from repro.workloads import gadget, openmp_kernels
+from conftest import emit
+
+
+def test_q3_scaling_instrumentation(benchmark):
+    def sweep():
+        return scaling_sweep(
+            instrumentation.likwid_patch,
+            lambda size: openmp_kernels.generate(n_files=size, kernels_per_file=4,
+                                                 regions_per_file=3, seed=1),
+            sizes=[1, 2, 4, 8])
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # shape: matches grow with the workload and the runtime stays roughly
+    # proportional to its size (no super-linear blow-up)
+    assert rows[-1].matches > rows[0].matches
+    assert rows[-1].workload_loc > 4 * rows[0].workload_loc
+    per_loc = [r.seconds / r.workload_loc for r in rows]
+    assert per_loc[-1] < per_loc[0] * 8
+    emit("Q3a scaling (instrumentation over OpenMP kernels)",
+         "runtime grows roughly linearly with the number of files/regions",
+         rows, columns=["size_label", "files", "workload_loc", "matches", "seconds",
+                        "loc_per_second"])
+
+
+def test_q3_scaling_mdspan(benchmark):
+    def sweep():
+        return scaling_sweep(
+            lambda: mdspan.multiindex_patch_for_arrays({"rho": 3, "phi": 3}),
+            lambda size: gadget.generate(n_files=size, loops_per_file=3,
+                                         grid_kernels_per_file=3, seed=1),
+            sizes=[1, 2, 4])
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert rows[-1].matches > rows[0].matches
+    emit("Q3b scaling (expression rewriting over GADGET-like grids)",
+         "expression-level rules also scale with the code base",
+         rows, columns=["size_label", "files", "workload_loc", "matches", "seconds",
+                        "loc_per_second"])

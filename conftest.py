@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(e.g. running ``pytest`` straight from a fresh checkout in an offline
+environment where ``pip install -e .`` is not possible).
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

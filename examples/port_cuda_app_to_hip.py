@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Scenario: port a CUDA mini-application to HIP and compare the semantic
+patch against a hipify-perl-style textual tool on adversarial code
+(multi-line kernel launches, API names inside strings and comments).
+
+Run with:  python examples/port_cuda_app_to_hip.py
+"""
+
+from repro.analysis import format_table, robustness_cuda
+from repro.baselines import HipifyTextual
+from repro.cookbook import cuda_hip
+from repro.workloads import cuda_app
+
+
+def main() -> None:
+    codebase = cuda_app.generate(n_files=2, drivers_per_file=3, adversarial=True, seed=7)
+    print(f"CUDA workload: {len(codebase)} files, {codebase.loc()} LoC, "
+          f"{cuda_app.kernel_launch_count(codebase)} kernel launches, "
+          f"{cuda_app.cuda_call_count(codebase)} runtime/cuRAND call sites")
+
+    # semantic translation: headers, types, functions, chevron launches
+    patch = cuda_hip.cuda_to_hip_patch()
+    hip = patch.transform(codebase)
+    print("\n--- semantic patch (excerpt of the first driver) ---")
+    first = hip[sorted(hip.names())[0]]
+    print("\n".join(line for line in first.splitlines()
+                    if "hip" in line or "Launch" in line)[:800])
+
+    # the textual baseline on the same input
+    textual = HipifyTextual().run(codebase)
+    print(f"\ntextual tool made {textual.replacements} replacements")
+
+    rows = robustness_cuda(codebase)
+    print("\n--- robustness comparison (experiment Q2a) ---")
+    print(format_table(rows, columns=["tool", "intended", "converted", "missed",
+                                      "spurious", "broken", "correct"]))
+
+    remaining = sum(text.count("<<<") for text in hip.files.values())
+    print(f"\nsemantic result: {remaining} untranslated launches, strings/comments intact")
+
+
+if __name__ == "__main__":
+    main()

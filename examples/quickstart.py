@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: write a semantic patch, apply it to C code, inspect the diff.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import CodeBase, SemanticPatch
+
+# A semantic patch in SmPL: metavariables make one rule generic enough to
+# rewrite every call site of the old API, whatever its arguments are.
+PATCH = """\
+@upgrade@
+expression list args;
+@@
+- legacy_dgemm(args)
++ blas::gemm(args)
+
+@header depends on upgrade@
+@@
+#include <stdio.h>
++ #include <blas/blas.hh>
+"""
+
+CODE = """\
+#include <stdio.h>
+
+void solve(double *A, double *B, double *C, int n) {
+    legacy_dgemm(A, B, C, n, n, n);
+    printf("done\\n");
+}
+
+void precondition(double *M, int n) {
+    legacy_dgemm(M, M, M, n, n, n);
+}
+"""
+
+
+def main() -> None:
+    patch = SemanticPatch.from_string(PATCH, name="quickstart")
+    print(patch.describe())
+    print()
+
+    # single file ----------------------------------------------------------
+    result = patch.apply_to_source(CODE, filename="solver.c")
+    print(result.diff())
+
+    # whole code base -------------------------------------------------------
+    codebase = CodeBase.from_files({"solver.c": CODE, "other.c": "int unrelated;\n"})
+    report = patch.apply(codebase)
+    print("summary:", report.summary())
+    for file_result in report.changed_files:
+        print(f"  {file_result.filename}: "
+              f"{[ (r.rule, r.matches) for r in file_result.rule_reports ]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Shim for environments without the `wheel` package (offline editable installs)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""Analyses backing the experiment harness (terseness, robustness, scaling)."""
+
+from .metrics import (
+    RobustnessRow, TersenessRow, ScalingRow,
+    loc_of_text, robustness_cuda, robustness_openacc, robustness_unroll,
+    terseness, scaling_sweep,
+)
+from .report import format_table, render_experiment
+
+__all__ = [
+    "RobustnessRow", "TersenessRow", "ScalingRow",
+    "loc_of_text", "robustness_cuda", "robustness_openacc", "robustness_unroll",
+    "terseness", "scaling_sweep", "format_table", "render_experiment",
+]

@@ -1,0 +1,252 @@
+"""Quantitative analyses substantiating the paper's qualitative claims.
+
+The paper itself reports no tables; its claims are (C1) a semantic patch is
+terse and generic, (C2) AST/CFG-level matching is robust where text-level
+tools mis-fire, and the engine scales to code-base-wide application.  These
+helpers compute the corresponding numbers for the synthetic workloads so the
+benchmark harness can print paper-style rows (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..api import CodeBase, SemanticPatch
+from ..baselines.textual import AccToOmpTextual, HipifyTextual, SedReroll
+from ..engine.report import PatchResult
+
+
+# ---------------------------------------------------------------------------
+# generic helpers
+# ---------------------------------------------------------------------------
+
+def loc_of_text(text: str) -> int:
+    """Non-blank, non-comment-only lines."""
+    count = 0
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("//") and not stripped.startswith("/*"):
+            count += 1
+    return count
+
+
+# ---------------------------------------------------------------------------
+# Q1 — terseness / genericity
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TersenessRow:
+    """One row of the terseness table (claim C1)."""
+
+    experiment: str
+    patch_loc: int
+    workload_loc: int
+    sites_matched: int
+    lines_changed: int
+
+    @property
+    def leverage(self) -> float:
+        """Changed lines per semantic-patch line (the paper's 'much terser
+        than the transformed code')."""
+        return self.lines_changed / self.patch_loc if self.patch_loc else 0.0
+
+    @property
+    def sites_per_rule_line(self) -> float:
+        return self.sites_matched / self.patch_loc if self.patch_loc else 0.0
+
+
+def terseness(experiment: str, patch: SemanticPatch, codebase: CodeBase,
+              result: PatchResult | None = None) -> TersenessRow:
+    """Compute the terseness row for one experiment."""
+    if result is None:
+        result = patch.apply(codebase)
+    lines_changed = result.lines_added() + result.lines_removed()
+    return TersenessRow(experiment=experiment, patch_loc=patch.loc(),
+                        workload_loc=codebase.loc(),
+                        sites_matched=result.total_matches,
+                        lines_changed=lines_changed)
+
+
+# ---------------------------------------------------------------------------
+# Q2 — robustness vs textual baselines
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RobustnessRow:
+    """One row of the robustness comparison (claim C2).
+
+    ``intended`` is the ground-truth number of sites to transform;
+    ``converted`` counts the sites actually transformed; ``spurious`` counts
+    edits applied where they must not be (strings/comments/impostor loops);
+    ``broken`` counts sites left in an inconsistent state (e.g. a dangling
+    OpenACC continuation line).
+    """
+
+    tool: str
+    task: str
+    intended: int
+    converted: int
+    spurious: int = 0
+    broken: int = 0
+
+    @property
+    def missed(self) -> int:
+        return max(0, self.intended - self.converted)
+
+    @property
+    def correct(self) -> bool:
+        return self.missed == 0 and self.spurious == 0 and self.broken == 0
+
+
+def _count(pattern: str, text: str) -> int:
+    return len(re.findall(pattern, text))
+
+
+def robustness_cuda(codebase: CodeBase, semantic_patch: SemanticPatch | None = None) -> list[RobustnessRow]:
+    """Compare semantic vs textual CUDA→HIP translation on the CUDA workload
+    (which contains multi-line kernel launches and CUDA names inside strings
+    and comments)."""
+    from ..cookbook import cuda_hip
+    from ..workloads import cuda_app
+
+    patch = semantic_patch or cuda_hip.cuda_to_hip_patch()
+    intended_launches = cuda_app.kernel_launch_count(codebase)
+
+    def metrics(files: dict[str, str], tool: str) -> RobustnessRow:
+        all_text = "\n".join(files.values())
+        remaining_launches = sum(text.count("<<<") for text in files.values())
+        converted = intended_launches - remaining_launches
+        # spurious edits: CUDA names rewritten inside string literals
+        spurious = _count(r'"[^"\n]*hipMemcpy[^"\n]*"', all_text) + \
+            _count(r"/\*[^*]*hipMalloc[^*]*\*/", all_text)
+        # broken: dangling '>>>' halves (a launch converted on one line only)
+        broken = sum(1 for text in files.values()
+                     for line in text.splitlines()
+                     if ">>>" in line and "<<<" not in line and "hipLaunchKernelGGL" not in line)
+        return RobustnessRow(tool=tool, task="cuda-launch", intended=intended_launches,
+                             converted=converted, spurious=spurious, broken=broken)
+
+    semantic_result = patch.transform(codebase)
+    textual_result = HipifyTextual().run(codebase).codebase
+    return [metrics(semantic_result.files, "semantic-patch"),
+            metrics(textual_result.files, "hipify-textual")]
+
+
+def robustness_openacc(codebase: CodeBase, semantic_patch: SemanticPatch | None = None) -> list[RobustnessRow]:
+    """Compare semantic vs line-oriented OpenACC→OpenMP translation on a
+    workload containing directives with backslash continuations."""
+    from ..cookbook import openacc_openmp
+    from ..workloads import openacc_app
+
+    patch = semantic_patch or openacc_openmp.acc_to_omp_patch()
+    intended = openacc_app.acc_directive_count(codebase)
+
+    def metrics(files: dict[str, str], tool: str) -> RobustnessRow:
+        remaining = sum(text.count("#pragma acc") for text in files.values())
+        converted = intended - remaining
+        # broken: an OpenMP directive that still ends with a continuation into
+        # an untranslated OpenACC clause tail, or clause tails that lost their
+        # directive (line starting with a bare clause after a continuation)
+        broken = 0
+        for text in files.values():
+            lines = text.splitlines()
+            for i, line in enumerate(lines):
+                if "#pragma omp" in line and line.rstrip().endswith("\\"):
+                    tail = lines[i + 1] if i + 1 < len(lines) else ""
+                    if "map(" not in tail and "copy" in tail:
+                        broken += 1
+        return RobustnessRow(tool=tool, task="acc-directive", intended=intended,
+                             converted=converted, broken=broken)
+
+    semantic_result = patch.transform(codebase)
+    textual_result = AccToOmpTextual().run(codebase).codebase
+    return [metrics(semantic_result.files, "semantic-patch"),
+            metrics(textual_result.files, "acc2omp-textual")]
+
+
+def robustness_unroll(codebase: CodeBase, factor: int = 4,
+                      strategies: Sequence[str] = ("p0", "p1r1", "checked"),
+                      include_sed: bool = True) -> list[RobustnessRow]:
+    """Compare the paper's unroll-removal strategies (and the checked
+    extension) against a sed-style reroller on a workload with genuine
+    unrolled loops and impostor loops.
+
+    In the resulting rows ``spurious`` counts impostor loops that *lost*
+    statements (behaviour destroyed) and ``broken`` counts impostor loops
+    whose index expressions were rewritten but whose statements survive (the
+    incorrect-but-recoverable state the paper's discussion of rule p1
+    acknowledges).
+    """
+    from ..cookbook import unrolling
+    from ..workloads import unrolled
+
+    intended = unrolled.unrolled_loop_count(codebase)
+
+    def metrics(files: dict[str, str], tool: str) -> RobustnessRow:
+        rerolled = 0
+        lost_statements = 0
+        rewritten_index = 0
+        for text in files.values():
+            for chunk in text.split("void ")[1:]:
+                name = chunk.split("(", 1)[0]
+                body = chunk
+                if name.startswith("unrolled_op_") and f"i+={factor}" not in body:
+                    rerolled += 1
+                if name.startswith("tail_fixup_"):
+                    statement_count = body.count(";") - body.count("for (")
+                    if statement_count < factor:
+                        lost_statements += 1
+                    elif f"i+{factor - 1}" not in body or f"i+={factor}" not in body:
+                        rewritten_index += 1
+        return RobustnessRow(tool=tool, task="unroll-removal", intended=intended,
+                             converted=rerolled, spurious=lost_statements,
+                             broken=rewritten_index)
+
+    rows: list[RobustnessRow] = []
+    for strategy in strategies:
+        patch = unrolling.reroll_patch(factor=factor, strategy=strategy)
+        rows.append(metrics(patch.transform(codebase).files,
+                            f"semantic-patch ({strategy})"))
+    if include_sed:
+        sed_result = SedReroll(factor=factor).run(codebase).codebase
+        rows.append(metrics(sed_result.files, "sed-reroll"))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Q3 — scaling
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ScalingRow:
+    """One point of the runtime-vs-size scaling curve."""
+
+    size_label: str
+    workload_loc: int
+    files: int
+    matches: int
+    seconds: float
+
+    @property
+    def loc_per_second(self) -> float:
+        return self.workload_loc / self.seconds if self.seconds else float("inf")
+
+
+def scaling_sweep(patch_factory: Callable[[], SemanticPatch],
+                  workload_factory: Callable[[int], CodeBase],
+                  sizes: Sequence[int]) -> list[ScalingRow]:
+    """Apply a patch to workloads of increasing size and record runtimes."""
+    rows: list[ScalingRow] = []
+    for size in sizes:
+        codebase = workload_factory(size)
+        patch = patch_factory()
+        start = time.perf_counter()
+        result = patch.apply(codebase)
+        elapsed = time.perf_counter() - start
+        rows.append(ScalingRow(size_label=str(size), workload_loc=codebase.loc(),
+                               files=len(codebase), matches=result.total_matches,
+                               seconds=elapsed))
+    return rows

@@ -1,0 +1,50 @@
+"""Plain-text rendering of experiment rows (used by benchmarks and examples)."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, is_dataclass
+from typing import Any, Iterable, Sequence
+
+
+def format_table(rows: Sequence[Any], columns: Sequence[str] | None = None,
+                 floatfmt: str = "{:.3f}") -> str:
+    """Render a list of dataclasses / dicts as an aligned text table."""
+    dict_rows: list[dict] = []
+    for row in rows:
+        if is_dataclass(row):
+            data = asdict(row)
+            # include computed properties where present
+            for prop in ("leverage", "sites_per_rule_line", "missed", "correct",
+                         "loc_per_second"):
+                if hasattr(row, prop):
+                    data[prop] = getattr(row, prop)
+            dict_rows.append(data)
+        elif isinstance(row, dict):
+            dict_rows.append(dict(row))
+        else:
+            dict_rows.append({"value": row})
+    if not dict_rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(dict_rows[0].keys())
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    table = [[fmt(r.get(c, "")) for c in columns] for r in dict_rows]
+    widths = [max(len(c), *(len(row[i]) for row in table)) for i, c in enumerate(columns)]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+                     for row in table)
+    return "\n".join([header, sep, body])
+
+
+def render_experiment(title: str, claim: str, rows: Iterable[Any],
+                      columns: Sequence[str] | None = None) -> str:
+    """Render one experiment block: title, the paper claim it substantiates,
+    and its rows."""
+    body = format_table(list(rows), columns=columns)
+    return f"== {title} ==\nclaim: {claim}\n{body}\n"

@@ -1,0 +1,181 @@
+"""High-level public API.
+
+The two classes most users interact with:
+
+:class:`SemanticPatch`
+    a parsed semantic patch (``.cocci`` text), with ``apply_to_source`` /
+    ``apply`` methods that run the matching + transformation engine and
+    return :class:`~repro.engine.report.FileResult` /
+    :class:`~repro.engine.report.PatchResult` objects carrying the patched
+    text, the unified diff and per-rule match statistics.
+
+:class:`CodeBase`
+    an in-memory collection of source files (the unit the benchmarks and the
+    workload generators operate on), loadable from / writable to a directory.
+
+Quick start::
+
+    from repro import SemanticPatch, CodeBase
+
+    patch = SemanticPatch.from_string(open("instrument.cocci").read())
+    result = patch.apply(CodeBase.from_dir("src/"))
+    print(result.diff())
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from .engine.engine import Engine
+from .engine.report import FileResult, PatchResult
+from .lang.parser import ParseTree, parse_source
+from .lang.source import SourceFile
+from .options import SpatchOptions, DEFAULT_OPTIONS
+from .smpl.ast import SemanticPatchAST
+from .smpl.parser import parse_semantic_patch
+
+
+#: file suffixes considered C/C++ sources when loading a directory
+C_SUFFIXES = (".c", ".h", ".cc", ".cpp", ".cxx", ".hpp", ".cu", ".hip")
+
+
+@dataclass
+class CodeBase:
+    """An in-memory collection of source files."""
+
+    files: dict[str, str] = field(default_factory=dict)
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_files(cls, files: dict[str, str]) -> "CodeBase":
+        return cls(files=dict(files))
+
+    @classmethod
+    def from_dir(cls, path, suffixes: tuple[str, ...] = C_SUFFIXES) -> "CodeBase":
+        root = pathlib.Path(path)
+        files: dict[str, str] = {}
+        for entry in sorted(root.rglob("*")):
+            if entry.is_file() and entry.suffix in suffixes:
+                files[str(entry.relative_to(root))] = entry.read_text()
+        return cls(files=files)
+
+    def write_to(self, path) -> None:
+        root = pathlib.Path(path)
+        for name, text in self.files.items():
+            target = root / name
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(text)
+
+    # -- dict-like access -----------------------------------------------------------
+
+    def __getitem__(self, name: str) -> str:
+        return self.files[name]
+
+    def __setitem__(self, name: str, text: str) -> None:
+        self.files[name] = text
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.files
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.files)
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+    def items(self) -> Iterator[tuple[str, str]]:
+        return iter(self.files.items())
+
+    def names(self) -> list[str]:
+        return list(self.files)
+
+    # -- metrics -----------------------------------------------------------------------
+
+    def loc(self) -> int:
+        """Total non-blank, non-comment lines across all files."""
+        return sum(SourceFile(name=n, text=t).count_loc() for n, t in self.files.items())
+
+    def total_lines(self) -> int:
+        return sum(t.count("\n") + (0 if t.endswith("\n") or not t else 1)
+                   for t in self.files.values())
+
+    def parse(self, options: SpatchOptions = DEFAULT_OPTIONS) -> dict[str, ParseTree]:
+        """Parse every file (error tolerant); useful for analyses and tests."""
+        return {name: parse_source(text, name=name, options=options)
+                for name, text in self.files.items()}
+
+    def with_file(self, name: str, text: str) -> "CodeBase":
+        files = dict(self.files)
+        files[name] = text
+        return CodeBase(files=files)
+
+
+class SemanticPatch:
+    """A parsed semantic patch, ready to be applied."""
+
+    def __init__(self, ast: SemanticPatchAST, options: Optional[SpatchOptions] = None,
+                 name: str = "<patch>"):
+        self.ast = ast
+        self.options = options or ast.options
+        self.name = name
+
+    # -- construction -----------------------------------------------------------------
+
+    @classmethod
+    def from_string(cls, text: str, options: Optional[SpatchOptions] = None,
+                    name: str = "<patch>") -> "SemanticPatch":
+        ast = parse_semantic_patch(text, options=options)
+        return cls(ast=ast, options=options or ast.options, name=name)
+
+    @classmethod
+    def from_path(cls, path, options: Optional[SpatchOptions] = None) -> "SemanticPatch":
+        p = pathlib.Path(path)
+        return cls.from_string(p.read_text(), options=options, name=p.name)
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def rule_names(self) -> list[str]:
+        return self.ast.rule_names
+
+    def loc(self) -> int:
+        """Semantic patch lines of code (the 'terseness' numerator of Q1)."""
+        return self.ast.loc()
+
+    def describe(self) -> str:
+        lines = [f"semantic patch {self.name}: {len(self.ast.rules)} rule(s)"]
+        for rule in self.ast.rules:
+            lines.append("  " + rule.describe())
+        return "\n".join(lines)
+
+    # -- application -------------------------------------------------------------------
+
+    def engine(self) -> Engine:
+        """A fresh engine instance (one per application run)."""
+        return Engine(self.ast, options=self.options)
+
+    def apply_to_source(self, text: str, filename: str = "<input.c>") -> FileResult:
+        """Apply the patch to a single file's contents."""
+        return self.engine().apply_to_file(filename, text)
+
+    def apply(self, codebase: "CodeBase | dict[str, str]") -> PatchResult:
+        """Apply the patch to a whole code base; returns per-file results."""
+        files = codebase.files if isinstance(codebase, CodeBase) else dict(codebase)
+        return self.engine().apply_to_files(files)
+
+    def transform(self, codebase: "CodeBase") -> "CodeBase":
+        """Apply the patch and return the transformed code base (the
+        'replayable refactoring' workflow of the paper: the original tree is
+        the maintained source of truth, the refactored copy is regenerated)."""
+        result = self.apply(codebase)
+        return CodeBase(files={name: fr.text for name, fr in result.files.items()})
+
+
+def apply_patch(patch_text: str, code: str, filename: str = "<input.c>",
+                options: Optional[SpatchOptions] = None) -> FileResult:
+    """One-shot helper: parse ``patch_text`` and apply it to ``code``."""
+    return SemanticPatch.from_string(patch_text, options=options) \
+        .apply_to_source(code, filename=filename)

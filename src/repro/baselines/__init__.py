@@ -1,0 +1,8 @@
+"""Textual / line-oriented baseline tools the paper contrasts with."""
+
+from .textual import (
+    BaselineResult, HipifyTextual, AccToOmpTextual, SedReroll, TextualTool,
+)
+
+__all__ = ["BaselineResult", "HipifyTextual", "AccToOmpTextual", "SedReroll",
+           "TextualTool"]

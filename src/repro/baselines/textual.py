@@ -1,0 +1,234 @@
+"""Line/regex-oriented baseline tools.
+
+The paper repeatedly contrasts AST/CFG-level matching with the text-oriented
+tools commonly used for the same tasks:
+
+* ``hipify-perl`` — "exactly how hipify-perl does it, albeit without using an
+  AST" — token-to-token CUDA→HIP replacement with per-line regular
+  expressions (:class:`HipifyTextual`),
+* Intel's OpenACC→OpenMP migration script — "the script provided by Intel
+  lacks a proper parser or AST representation"; in particular the paper notes
+  Coccinelle "does not break on line continuations, as an ad-hoc line-oriented
+  script may do" (:class:`AccToOmpTextual`),
+* ad-hoc sed-style scripts for structural edits such as removing manual
+  unrolling (:class:`SedReroll`), which cannot check that the deleted
+  statements really are copies of the first one.
+
+These baselines are intentionally competent — they do what a careful shell
+script would do — so that the robustness experiment (Q2) measures the failure
+modes inherent to text-level matching (content inside strings, constructs
+split across physical lines, context-dependent edits), not strawman bugs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..api import CodeBase
+from ..cookbook.cuda_hip import CONSTANT_MAP, FUNCTION_MAP, HEADER_MAP, TYPE_MAP
+from ..cookbook.openacc_openmp import CLAUSE_MAP, DIRECTIVE_MAP
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of running a textual baseline over a code base."""
+
+    codebase: CodeBase
+    replacements: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    def text(self, name: str) -> str:
+        return self.codebase[name]
+
+
+class TextualTool:
+    """Base class: apply a per-file textual transformation."""
+
+    name = "textual"
+
+    def transform_text(self, text: str) -> tuple[str, int]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def run(self, codebase: CodeBase) -> BaselineResult:
+        out: dict[str, str] = {}
+        total = 0
+        for name, text in codebase.items():
+            new_text, count = self.transform_text(text)
+            out[name] = new_text
+            total += count
+        return BaselineResult(codebase=CodeBase.from_files(out), replacements=total)
+
+
+# ---------------------------------------------------------------------------
+# hipify-perl-like CUDA -> HIP
+# ---------------------------------------------------------------------------
+
+class HipifyTextual(TextualTool):
+    """Word-boundary regex replacement of CUDA identifiers plus a single-line
+    kernel-launch rewrite, the way ``hipify-perl`` operates."""
+
+    name = "hipify-textual"
+
+    #: single-line triple-chevron launch
+    _LAUNCH_RE = re.compile(
+        r"(?P<kernel>[A-Za-z_]\w*)\s*<<<\s*(?P<config>[^>]*?)\s*>>>\s*\((?P<args>[^;]*)\)")
+
+    def __init__(self, function_map: dict[str, str] | None = None,
+                 type_map: dict[str, str] | None = None,
+                 header_map: dict[str, str] | None = None):
+        table: dict[str, str] = {}
+        table.update(FUNCTION_MAP if function_map is None else function_map)
+        table.update(TYPE_MAP if type_map is None else type_map)
+        table.update(CONSTANT_MAP)
+        self.table = table
+        self.header_map = HEADER_MAP if header_map is None else header_map
+        names = sorted(self.table, key=len, reverse=True)
+        self._word_re = re.compile(r"\b(" + "|".join(re.escape(n) for n in names) + r")\b")
+
+    def transform_text(self, text: str) -> tuple[str, int]:
+        count = 0
+        out_lines: list[str] = []
+        for line in text.splitlines(keepends=True):
+            # headers
+            for cuda_header, hip_header in self.header_map.items():
+                if f"<{cuda_header}>" in line:
+                    line = line.replace(f"<{cuda_header}>", f"<{hip_header}>")
+                    count += 1
+            # identifier table — applied everywhere on the line, including
+            # comments and string literals (the textual tool cannot tell)
+            line, n = self._word_re.subn(lambda m: self.table[m.group(1)], line)
+            count += n
+            # kernel launches: only when the whole construct sits on one line
+            match = self._LAUNCH_RE.search(line)
+            if match:
+                replacement = (f"hipLaunchKernelGGL({match.group('kernel')}, "
+                               f"{match.group('config')}, {match.group('args')})")
+                line = line[:match.start()] + replacement + line[match.end():]
+                count += 1
+            out_lines.append(line)
+        return "".join(out_lines), count
+
+
+# ---------------------------------------------------------------------------
+# Intel-script-like OpenACC -> OpenMP
+# ---------------------------------------------------------------------------
+
+class AccToOmpTextual(TextualTool):
+    """Line-oriented OpenACC→OpenMP directive rewriting.
+
+    Operates strictly per physical line (like a shell/awk script): a
+    ``#pragma acc`` line is translated using the same directive/clause tables
+    as the semantic patch, but clauses moved to a continuation line are never
+    seen, and the dangling continuation line survives untranslated.
+    """
+
+    name = "acc2omp-textual"
+
+    def __init__(self, directive_map: dict[str, str] | None = None,
+                 clause_map: dict[str, str] | None = None):
+        self.directive_map = DIRECTIVE_MAP if directive_map is None else directive_map
+        self.clause_map = CLAUSE_MAP if clause_map is None else clause_map
+
+    def _translate_clauses(self, text: str) -> str:
+        clause_re = re.compile(r"([a-z_]+)\s*\(([^)]*)\)|([a-z_]+)")
+        pieces: list[str] = []
+        pos = 0
+        directive_done = False
+        remaining = text.strip()
+        # directive words first (two-word, then one-word)
+        for key in sorted(self.directive_map, key=lambda k: -len(k.split())):
+            if remaining.startswith(key):
+                pieces.append(self.directive_map[key])
+                remaining = remaining[len(key):].strip()
+                directive_done = True
+                break
+        if not directive_done:
+            pieces.append("target")
+        for m in clause_re.finditer(remaining):
+            if m.group(1):
+                template = self.clause_map.get(m.group(1))
+                if template is None:
+                    pieces.append(m.group(0))
+                elif template:
+                    pieces.append(template.format(args=m.group(2)))
+            elif m.group(3):
+                template = self.clause_map.get(m.group(3))
+                if template is None:
+                    pieces.append(m.group(3))
+                elif template:
+                    pieces.append(template)
+        return " ".join(p for p in pieces if p)
+
+    def transform_text(self, text: str) -> tuple[str, int]:
+        count = 0
+        out_lines: list[str] = []
+        for line in text.splitlines(keepends=True):
+            stripped = line.lstrip()
+            if stripped.startswith("#pragma acc"):
+                indent = line[: len(line) - len(stripped)]
+                body = stripped[len("#pragma acc"):]
+                newline = "\n" if line.endswith("\n") else ""
+                trailing_continuation = body.rstrip().endswith("\\")
+                body = body.rstrip().rstrip("\\").strip()
+                translated = self._translate_clauses(body)
+                suffix = " \\" if trailing_continuation else ""
+                out_lines.append(f"{indent}#pragma omp {translated}{suffix}{newline}")
+                count += 1
+            else:
+                out_lines.append(line)
+        return "".join(out_lines), count
+
+
+# ---------------------------------------------------------------------------
+# sed-style unroll removal
+# ---------------------------------------------------------------------------
+
+class SedReroll(TextualTool):
+    """Remove manual 4× unrolling with regular expressions only.
+
+    The script mirrors what an ad-hoc sed/awk pass would do: inside every
+    ``for`` loop advancing by 4, drop the statements indexing ``i+1``/``i+2``/
+    ``i+3``, rewrite the header, and prepend ``#pragma omp unroll``.  Because
+    it cannot check that the dropped statements are copies of the kept one,
+    it silently changes the behaviour of loops that merely *look* unrolled
+    (the impostors in :mod:`repro.workloads.unrolled`).
+    """
+
+    name = "sed-reroll"
+
+    _HEADER_RE = re.compile(
+        r"for\s*\(\s*(?P<decl>[^;]*?)\s*;\s*(?P<ivar>\w+)\s*\+\s*(?P<k>\d+)\s*-\s*1\s*<"
+        r"\s*(?P<bound>\w+)\s*;\s*(?P=ivar)\s*\+=\s*(?P=k)\s*\)")
+
+    def __init__(self, factor: int = 4, add_pragma: bool = True):
+        self.factor = factor
+        self.add_pragma = add_pragma
+
+    def transform_text(self, text: str) -> tuple[str, int]:
+        count = 0
+        out_lines: list[str] = []
+        lines = text.splitlines(keepends=True)
+        active_ivar: str | None = None
+        for line in lines:
+            header = self._HEADER_RE.search(line)
+            if header and int(header.group("k")) == self.factor:
+                indent = line[: len(line) - len(line.lstrip())]
+                ivar = header.group("ivar")
+                new_header = (f"for ({header.group('decl')}; {ivar} < "
+                              f"{header.group('bound')}; ++{ivar})")
+                newline = "\n" if line.endswith("\n") else ""
+                if self.add_pragma:
+                    out_lines.append(f"{indent}#pragma omp unroll partial({self.factor}){newline}")
+                out_lines.append(line[:header.start()] + new_header + line[header.end():])
+                active_ivar = ivar
+                count += 1
+                continue
+            if active_ivar is not None:
+                if re.search(rf"\b{re.escape(active_ivar)}\s*\+\s*[1-9]\b", line):
+                    count += 1
+                    continue  # drop the line entirely
+                if line.strip().startswith("}"):
+                    active_ivar = None
+            out_lines.append(line)
+        return "".join(out_lines), count

@@ -1,0 +1,5 @@
+"""Command-line interface (an ``spatch``-like driver)."""
+
+from .spatch import main
+
+__all__ = ["main"]

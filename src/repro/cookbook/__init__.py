@@ -1,0 +1,49 @@
+"""The paper's HPC refactoring use cases as ready-to-apply semantic patches.
+
+Each module corresponds to one use case of Section 3 of the paper (plus the
+AoS→SoA case study of Section 2 / [ML21]) and exposes:
+
+* the semantic patch as written in the paper (``paper_listing()``), kept as
+  close to the published listing as the reproduction allows,
+* a parameterised builder returning a :class:`repro.SemanticPatch`, typically
+  with configuration hooks the paper mentions in prose (marker API to use,
+  architectures to clone for, translation dictionaries, ...).
+
+============================  =========================================================
+module                        paper use case
+============================  =========================================================
+``instrumentation``           Interfacing with an instrumentation API (LIKWID et al.)
+``declare_variant``           OpenMP ``declare variant`` function cloning
+``multiversioning``           Function cloning / ``target`` attributes
+``bloat_removal``             Bloat and clone removal
+``unrolling``                 Removal of explicit loop unrolling (rules p0, p1+r1)
+``mdspan``                    Advanced expression modification (multi-index subscripts)
+``cuda_hip``                  Translation of very similar APIs (CUDA → HIP)
+``openacc_openmp``            Translation of directive-based APIs (OpenACC → OpenMP)
+``stl_modernize``             Introduction of modern C++ STL constructs (std::find)
+``kokkos_lambda``             Introduction of APIs enclosing lambdas (Kokkos)
+``compiler_workaround``       Workarounds for occasional compiler bugs (LIBRSB)
+``aos_soa``                   AoS → SoA case study (GADGET, [ML21])
+============================  =========================================================
+"""
+
+from . import (
+    aos_soa,
+    bloat_removal,
+    compiler_workaround,
+    cuda_hip,
+    declare_variant,
+    instrumentation,
+    kokkos_lambda,
+    mdspan,
+    multiversioning,
+    openacc_openmp,
+    stl_modernize,
+    unrolling,
+)
+
+__all__ = [
+    "aos_soa", "bloat_removal", "compiler_workaround", "cuda_hip",
+    "declare_variant", "instrumentation", "kokkos_lambda", "mdspan",
+    "multiversioning", "openacc_openmp", "stl_modernize", "unrolling",
+]

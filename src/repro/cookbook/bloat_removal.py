@@ -1,0 +1,95 @@
+"""Use case: bloat and clone removal.
+
+Paper, Section 3, *"Bloat and clone removal"*: in a project with a long
+development history, delete obsolete function specialisations.  The patch has
+two rules: rule ``c`` removes every function carrying one of the obsolete
+``__attribute__((target(...)))`` specialisations (a disjunction over the
+attribute values), and rule ``d`` — reusing ``c``'s metavariables through
+inheritance — strips the ``target("default")`` attribute from the matching
+base function, leaving the (now unspecialised) base definition in place.
+"""
+
+from __future__ import annotations
+
+from ..api import SemanticPatch
+
+
+PAPER_LISTING = """\
+@c@
+type T;
+function f;
+parameter list PL;
+@@
+- __attribute__((target(
+(
+- "avx512"
+|
+- "avx2"
+)
+- )))
+- T f(PL) { ... }
+
+@d@
+type c.T;
+function c.f;
+parameter list c.PL;
+@@
+- __attribute__((target("default")))
+T f(PL) { ... }
+"""
+
+
+def paper_listing() -> str:
+    """The semantic patch exactly as printed in the paper."""
+    return PAPER_LISTING
+
+
+def patch_text(obsolete_archs: tuple[str, ...] = ("avx512", "avx2"),
+               strip_default: bool = True) -> str:
+    """Render the removal patch for an arbitrary set of obsolete ISA strings."""
+    branches = "\n|\n".join(f'- "{arch}"' for arch in obsolete_archs)
+    text = f"""\
+@c@
+type T;
+function f;
+parameter list PL;
+@@
+- __attribute__((target(
+(
+{branches}
+)
+- )))
+- T f(PL) {{ ... }}
+"""
+    if strip_default:
+        text += """
+@d@
+type c.T;
+function c.f;
+parameter list c.PL;
+@@
+- __attribute__((target("default")))
+T f(PL) { ... }
+"""
+    return text
+
+
+def remove_obsolete_clones(obsolete_archs: tuple[str, ...] = ("avx512", "avx2"),
+                           strip_default: bool = True) -> SemanticPatch:
+    """The paper's bloat-removal patch, parameterised by the obsolete ISAs."""
+    return SemanticPatch.from_string(patch_text(obsolete_archs, strip_default),
+                                     name="bloat-removal")
+
+
+def remove_pragma_guarded_code(pragma_prefix: str) -> SemanticPatch:
+    """A further bloat-removal intervention of the kind the paper imagines
+    ("location and removal of code associated with specific attributes or
+    compiler-specific pragmas"): drop pragmas with a given prefix together
+    with nothing else — useful for retiring a defunct instrumentation or
+    tuning layer."""
+    text = f"""\
+@drop_pragma@
+@@
+- #pragma {pragma_prefix} ...
+"""
+    return SemanticPatch.from_string(text, name=f"remove-pragma-{pragma_prefix}")

@@ -1,0 +1,87 @@
+"""Use case: workarounds for occasional compiler bugs.
+
+Paper, Section 3, *"Workarounds for occasional compiler bugs"*: the LIBRSB
+library hit a GCC 11.2 vectorizer bug affecting double-precision complex
+conjugate kernels.  Because the generated kernels follow a strict naming
+convention, a regular-expression-constrained ``identifier`` metavariable
+selects exactly the affected functions, and the patch wraps them in
+``#pragma GCC push_options`` / ``optimize`` / ``pop_options`` lines that
+lower the optimisation level — a transitory change triggered from the build
+system only for the affected compiler versions.
+"""
+
+from __future__ import annotations
+
+from ..api import SemanticPatch
+
+
+#: The affected-function naming convention from the paper (double precision
+#: complex, conjugated SpMV kernels of the BCSR format).
+LIBRSB_AFFECTED_REGEX = (
+    "rsb__BCSR_spmv_sasa_double_complex_[CH]__t[NTC]_r1_c1_uu_s[HS]_dE_uG")
+
+
+PAPER_LISTING = f"""\
+@pragma_inject@
+identifier i =~ "{LIBRSB_AFFECTED_REGEX}";
+type T;
+@@
++ #pragma GCC push_options
++ #pragma GCC optimize "-O3", "-fno-tree-loop-vectorize"
+T i(...)
+{{
+...
+}}
++ #pragma GCC pop_options
+"""
+
+
+def paper_listing() -> str:
+    """The semantic patch exactly as printed in the paper."""
+    return PAPER_LISTING
+
+
+def patch_text(function_regex: str = LIBRSB_AFFECTED_REGEX,
+               options: tuple[str, ...] = ("-O3", "-fno-tree-loop-vectorize")) -> str:
+    """Render the workaround patch for an arbitrary function-name regex and
+    GCC optimisation options."""
+    opts = ", ".join(f'"{o}"' for o in options)
+    return f"""\
+@pragma_inject@
+identifier i =~ "{function_regex}";
+type T;
+@@
++ #pragma GCC push_options
++ #pragma GCC optimize {opts}
+T i(...)
+{{
+...
+}}
++ #pragma GCC pop_options
+"""
+
+
+def gcc_workaround_patch(function_regex: str = LIBRSB_AFFECTED_REGEX,
+                         options: tuple[str, ...] = ("-O3", "-fno-tree-loop-vectorize")) -> SemanticPatch:
+    """The paper's LIBRSB/GCC-vectorizer workaround patch, parameterised."""
+    return SemanticPatch.from_string(patch_text(function_regex, options),
+                                     name="gcc-vectorizer-workaround")
+
+
+def removal_patch(function_regex: str = LIBRSB_AFFECTED_REGEX) -> SemanticPatch:
+    """The matching cleanup patch: once a fixed compiler is required, remove
+    the injected pragmas again (the 'transitory' aspect the paper stresses)."""
+    text = f"""\
+@pragma_remove@
+identifier i =~ "{function_regex}";
+type T;
+@@
+- #pragma GCC push_options
+- #pragma GCC optimize ...
+T i(...)
+{{
+...
+}}
+- #pragma GCC pop_options
+"""
+    return SemanticPatch.from_string(text, name="gcc-workaround-removal")

@@ -1,0 +1,293 @@
+"""Use case: translation of very similar APIs (CUDA → HIP).
+
+Paper, Section 3, *"Translation of very similar APIs"*: NVIDIA's CUDA and
+AMD's HIP are so close that their mutual translation is mostly a
+token-to-token correspondence between two enumerable sets — which is exactly
+how ``hipify-perl`` works, "albeit without using an AST".  The semantic
+patches here reproduce the paper's three ingredients:
+
+* a Python-dictionary-driven rule chain for *function* renaming
+  (``cfe`` → ``cf2hf`` → ``hfe``),
+* the analogous chain for *type* renaming (``cte`` → ``ct2hf`` → ``hte``),
+* a rule replacing the triple-chevron kernel-launch syntax
+  ``k<<<b,t,x,y>>>(args)`` with ``hipLaunchKernelGGL(k,b,t,x,y,args)``.
+
+The dictionaries below cover the portion of the CUDA runtime / cuRAND /
+cuBLAS surface exercised by the synthetic CUDA workload; they can be extended
+or replaced by the caller, as a complete translation "would need to have the
+entire list of functions and types involved in the two APIs".
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..api import SemanticPatch
+
+
+#: CUDA → HIP function translation table (paper: ``C2HF``).
+FUNCTION_MAP: dict[str, str] = {
+    # runtime memory management
+    "cudaMalloc": "hipMalloc",
+    "cudaFree": "hipFree",
+    "cudaMemcpy": "hipMemcpy",
+    "cudaMemcpyAsync": "hipMemcpyAsync",
+    "cudaMemset": "hipMemset",
+    "cudaMallocHost": "hipHostMalloc",
+    "cudaFreeHost": "hipHostFree",
+    # device / stream / event management
+    "cudaSetDevice": "hipSetDevice",
+    "cudaGetDevice": "hipGetDevice",
+    "cudaGetDeviceCount": "hipGetDeviceCount",
+    "cudaDeviceSynchronize": "hipDeviceSynchronize",
+    "cudaStreamCreate": "hipStreamCreate",
+    "cudaStreamDestroy": "hipStreamDestroy",
+    "cudaStreamSynchronize": "hipStreamSynchronize",
+    "cudaEventCreate": "hipEventCreate",
+    "cudaEventRecord": "hipEventRecord",
+    "cudaEventSynchronize": "hipEventSynchronize",
+    "cudaEventElapsedTime": "hipEventElapsedTime",
+    "cudaEventDestroy": "hipEventDestroy",
+    "cudaGetLastError": "hipGetLastError",
+    "cudaGetErrorString": "hipGetErrorString",
+    # cuRAND (the paper's own example)
+    "curand_uniform_double": "rocrand_uniform_double",
+    "curand_uniform": "rocrand_uniform",
+    "curand_normal_double": "rocrand_normal_double",
+    "curand_init": "rocrand_init",
+    # cuBLAS-ish
+    "cublasDaxpy": "rocblas_daxpy",
+    "cublasDdot": "rocblas_ddot",
+    "cublasCreate": "rocblas_create_handle",
+    "cublasDestroy": "rocblas_destroy_handle",
+}
+
+#: CUDA → HIP type translation table (paper: ``C2HT``).
+TYPE_MAP: dict[str, str] = {
+    "__half": "rocblas_half",
+    "cudaError_t": "hipError_t",
+    "cudaStream_t": "hipStream_t",
+    "cudaEvent_t": "hipEvent_t",
+    "cudaDeviceProp": "hipDeviceProp_t",
+    "curandState": "rocrand_state_xorwow",
+    "cublasHandle_t": "rocblas_handle",
+}
+
+#: CUDA → HIP constant/enumerator translation (token-to-token, via functions
+#: rule chain as they appear in argument position as identifiers).
+CONSTANT_MAP: dict[str, str] = {
+    "cudaMemcpyHostToDevice": "hipMemcpyHostToDevice",
+    "cudaMemcpyDeviceToHost": "hipMemcpyDeviceToHost",
+    "cudaMemcpyDeviceToDevice": "hipMemcpyDeviceToDevice",
+    "cudaSuccess": "hipSuccess",
+}
+
+#: CUDA → HIP header translation.
+HEADER_MAP: dict[str, str] = {
+    "cuda_runtime.h": "hip/hip_runtime.h",
+    "curand_kernel.h": "rocrand/rocrand_kernel.h",
+    "cublas_v2.h": "rocblas/rocblas.h",
+}
+
+
+PAPER_LISTING_FUNCTIONS = """\
+@initialize:python@ @@
+C2HF = { "curand_uniform_double":
+  "rocrand_uniform_double" }
+
+@cfe@
+identifier fn;
+expression list el;
+position p;
+@@
+fn@p(el)
+
+@script:python cf2hf@
+fn << cfe.fn;
+nf;
+@@
+coccinelle.nf = cocci.make_ident(C2HF[fn])
+
+@hfe@
+identifier cfe.fn;
+identifier cf2hf.nf;
+position cfe.p;
+@@
+- fn@p
++ nf
+(...)
+"""
+
+PAPER_LISTING_TYPES = """\
+@initialize:python@ @@
+C2HT = { "__half": "rocblas_half" }
+
+@cte@
+type c_t;
+identifier i;
+@@
+c_t i;
+
+@script:python ct2hf@
+c_t << cte.c_t;
+h_t;
+@@
+coccinelle.h_t = cocci.make_type(C2HT[c_t])
+
+@hte@
+type ct2hf.h_t;
+type cte.c_t;
+identifier cte.i;
+@@
+- c_t i;
++ h_t i;
+"""
+
+PAPER_LISTING_CHEVRON = """\
+#spatch --c++
+@@
+identifier k;
+expression b,t,x,y;
+expression list el;
+@@
+- k<<<b,t,x,y>>>(el)
++ hipLaunchKernelGGL(k,b,t,x,y,el)
+"""
+
+
+def paper_listing_functions() -> str:
+    return PAPER_LISTING_FUNCTIONS
+
+
+def paper_listing_types() -> str:
+    return PAPER_LISTING_TYPES
+
+
+def paper_listing_chevron() -> str:
+    return PAPER_LISTING_CHEVRON
+
+
+# ---------------------------------------------------------------------------
+# parameterised builders
+# ---------------------------------------------------------------------------
+
+def function_rename_text(function_map: dict[str, str] | None = None) -> str:
+    mapping = dict(FUNCTION_MAP if function_map is None else function_map)
+    mapping.update({} if function_map is not None else CONSTANT_MAP)
+    table = json.dumps(mapping, indent=1)
+    return f"""\
+@initialize:python@ @@
+C2HF = {table}
+
+@cfe@
+identifier fn;
+expression list el;
+position p;
+@@
+fn@p(el)
+
+@script:python cf2hf@
+fn << cfe.fn;
+nf;
+@@
+coccinelle.nf = cocci.make_ident(C2HF[fn])
+
+@hfe@
+identifier cfe.fn;
+identifier cf2hf.nf;
+position cfe.p;
+@@
+- fn@p
++ nf
+(...)
+"""
+
+
+def type_rename_text(type_map: dict[str, str] | None = None) -> str:
+    mapping = TYPE_MAP if type_map is None else type_map
+    table = json.dumps(dict(mapping), indent=1)
+    return f"""\
+@initialize:python@ @@
+C2HT = {table}
+
+@cte@
+type c_t;
+identifier i;
+@@
+c_t i;
+
+@script:python ct2hf@
+c_t << cte.c_t;
+h_t;
+@@
+coccinelle.h_t = cocci.make_type(C2HT[c_t])
+
+@hte@
+type ct2hf.h_t;
+type cte.c_t;
+identifier cte.i;
+@@
+- c_t i;
++ h_t i;
+"""
+
+
+def header_rename_text(header_map: dict[str, str] | None = None) -> str:
+    mapping = HEADER_MAP if header_map is None else header_map
+    rules = []
+    for index, (cuda_header, hip_header) in enumerate(sorted(mapping.items())):
+        rules.append(f"""\
+@hdr{index}@ @@
+- #include <{cuda_header}>
++ #include <{hip_header}>
+""")
+    return "\n".join(rules)
+
+
+def chevron_text() -> str:
+    return PAPER_LISTING_CHEVRON
+
+
+def function_rename_patch(function_map: dict[str, str] | None = None) -> SemanticPatch:
+    """The dictionary-driven function renaming chain (paper listing, full map)."""
+    return SemanticPatch.from_string(function_rename_text(function_map),
+                                     name="cuda-hip-functions")
+
+
+def type_rename_patch(type_map: dict[str, str] | None = None) -> SemanticPatch:
+    """The dictionary-driven type renaming chain (paper listing, full map)."""
+    return SemanticPatch.from_string(type_rename_text(type_map), name="cuda-hip-types")
+
+
+def kernel_launch_patch() -> SemanticPatch:
+    """Triple-chevron kernel launches → ``hipLaunchKernelGGL``."""
+    return SemanticPatch.from_string(chevron_text(), name="cuda-hip-chevron")
+
+
+def header_rename_patch(header_map: dict[str, str] | None = None) -> SemanticPatch:
+    """CUDA headers → HIP headers."""
+    return SemanticPatch.from_string(header_rename_text(header_map),
+                                     name="cuda-hip-headers")
+
+
+def cuda_to_hip_patch(function_map: dict[str, str] | None = None,
+                      type_map: dict[str, str] | None = None,
+                      header_map: dict[str, str] | None = None,
+                      include_chevron: bool = True) -> SemanticPatch:
+    """The full CUDA→HIP translation: headers, types, functions and kernel
+    launches in one semantic patch (applied in that order)."""
+    chunks = ["#spatch --c++"]
+    chunks.append(header_rename_text(header_map))
+    chunks.append(type_rename_text(type_map))
+    chunks.append(function_rename_text(function_map))
+    if include_chevron:
+        chunks.append("""\
+@chevron@
+identifier k;
+expression b,t,x,y;
+expression list el;
+@@
+- k<<<b,t,x,y>>>(el)
++ hipLaunchKernelGGL(k,b,t,x,y,el)
+""")
+    return SemanticPatch.from_string("\n".join(chunks), name="cuda-to-hip")

@@ -1,0 +1,116 @@
+"""Use case: interfacing with an instrumentation (marker) API.
+
+Paper, Section 3, *"Interfacing with an instrumentation API"*: insert calls
+to a marker API (LIKWID, Score-P, Caliper, ...) around OpenMP regions so that
+performance metrics are collected per code phase.  The semantic patch has two
+rules: one adds the marker header next to ``#include <omp.h>``, the other
+encloses every ``#pragma omp`` region that is followed by a braced block with
+start/stop marker calls labelled by ``__func__``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..api import SemanticPatch
+
+
+#: Marker APIs the builder knows about: header, start macro, stop macro.
+MARKER_APIS = {
+    "likwid": ("likwid-marker.h", "LIKWID_MARKER_START", "LIKWID_MARKER_STOP"),
+    "scorep": ("scorep/SCOREP_User.h", "SCOREP_USER_REGION_BY_NAME_BEGIN",
+               "SCOREP_USER_REGION_BY_NAME_END"),
+    "caliper": ("caliper/cali.h", "CALI_MARK_BEGIN", "CALI_MARK_END"),
+}
+
+
+PAPER_LISTING = """\
+@@ @@
+#include <omp.h>
++ #include <likwid-marker.h>
+
+@@ @@
+#pragma omp ...
+{
++ LIKWID_MARKER_START(__func__);
+...
++ LIKWID_MARKER_STOP(__func__);
+}
+"""
+
+
+def paper_listing() -> str:
+    """The semantic patch exactly as printed in the paper."""
+    return PAPER_LISTING
+
+
+@dataclass(frozen=True)
+class InstrumentationConfig:
+    """Configuration of the instrumentation patch.
+
+    ``api`` selects the marker API; ``pragma_prefix`` restricts which pragma
+    lines are instrumented (the paper suggests refining the pattern "to be
+    more selective in choosing such code locations"); ``label`` is the
+    expression passed to the marker macros (``__func__`` by default).
+    """
+
+    api: str = "likwid"
+    pragma_prefix: str = "omp"
+    label: str = "__func__"
+
+    def marker(self) -> tuple[str, str, str]:
+        if self.api not in MARKER_APIS:
+            raise ValueError(f"unknown marker API {self.api!r}; "
+                             f"known: {sorted(MARKER_APIS)}")
+        return MARKER_APIS[self.api]
+
+
+def patch_text(config: InstrumentationConfig = InstrumentationConfig()) -> str:
+    """Render the semantic patch for a given marker API / pragma prefix."""
+    header, start, stop = config.marker()
+    return f"""\
+@add_header@ @@
+#include <omp.h>
++ #include <{header}>
+
+@instrument@ @@
+#pragma {config.pragma_prefix} ...
+{{
++ {start}({config.label});
+...
++ {stop}({config.label});
+}}
+"""
+
+
+def likwid_patch() -> SemanticPatch:
+    """The paper's LIKWID instrumentation patch."""
+    return SemanticPatch.from_string(patch_text(), name="instrumentation-likwid")
+
+
+def marker_patch(api: str = "likwid", pragma_prefix: str = "omp",
+                 label: str = "__func__") -> SemanticPatch:
+    """Instrumentation patch for an arbitrary marker API."""
+    config = InstrumentationConfig(api=api, pragma_prefix=pragma_prefix, label=label)
+    return SemanticPatch.from_string(patch_text(config),
+                                     name=f"instrumentation-{api}")
+
+
+def removal_patch(api: str = "likwid") -> SemanticPatch:
+    """The inverse refactoring the paper mentions ("introduction and removal
+    of instrumentation syntax"): strip the marker calls and the header again,
+    restoring the un-instrumented code."""
+    header, start, stop = InstrumentationConfig(api=api).marker()
+    text = f"""\
+@strip_header@ @@
+#include <omp.h>
+- #include <{header}>
+
+@strip_markers@
+expression L;
+@@
+- {start}(L);
+...
+- {stop}(L);
+"""
+    return SemanticPatch.from_string(text, name=f"instrumentation-remove-{api}")

@@ -1,0 +1,150 @@
+"""Use case: introduction of APIs enclosing lambdas (Kokkos).
+
+Paper, Section 3, *"Introduction of APIs enclosing lambdas"*: Kokkos, RAJA,
+ISO C++ parallel algorithms and SYCL all require wrapping numerical kernels
+in C++ lambdas.  Since Coccinelle (1.3) does not yet fully support lambda
+manipulation, the paper demonstrates a "loophole": the loop body matched as a
+statement is turned into a lambda *string* in a Python rule and passed back
+through an ``identifier`` metavariable into calls to ``parallel_for`` /
+``parallel_reduce``.
+
+Two flavours are provided:
+
+* :func:`paper_listing` — the exercise-specific patch of the paper (index
+  variables ``i``/``j``, hard-coded ``RangePolicy`` bound ``n``, lambda index
+  ``i``), targeting the loops of Kokkos tutorial exercise 01;
+* :func:`kokkos_patch` — the same rule chain with the small generalisations
+  the prose calls for: the policy bound and the lambda index are taken from
+  the matched loop rather than hard-coded.
+"""
+
+from __future__ import annotations
+
+from ..api import SemanticPatch
+from ..options import SpatchOptions
+
+
+PAPER_LISTING = """\
+#spatch --c++
+@r0@ @@
++ #include <Kokkos_Core.hpp>
+#include <cmath>
+
+@r1@
+statement fb, fc;
+expression n;
+identifier c = {i,j};
+position p;
+@@
+(
+fc@p
+&
+for (...;c<n;...) fb
+)
+
+@script:python r2@
+fb << r1.fb;
+lb;
+rp;
+@@
+coccinelle.lb = "KOKKOS_LAMBDA(const int i)" + fb
+coccinelle.rp = "RangePolicy<HostExecutionSpace>(0,n)"
+
+@r3@
+statement r1.fc;
+position r1.p;
+identifier r2.lb;
+identifier r2.rp;
+@@
+(
+fc@p
+&
+(
+- for (...;...;...) { ... result += ...; }
++ parallel_reduce(rp, lb);
+|
+- for (...;...;...) { ... }
++ parallel_for(rp, lb);
+)
+)
+"""
+
+
+def paper_listing() -> str:
+    """The semantic patch essentially as printed in the paper (targeting the
+    Kokkos tutorial exercise: loops with index variables ``i`` and ``j``)."""
+    return PAPER_LISTING
+
+
+def paper_patch() -> SemanticPatch:
+    """The verbatim paper patch."""
+    return SemanticPatch.from_string(PAPER_LISTING, name="kokkos-paper",
+                                     options=SpatchOptions(cxx=17))
+
+
+def patch_text(index_vars: tuple[str, ...] = ("i", "j"),
+               accumulator: str = "result",
+               execution_space: str = "Kokkos::DefaultHostExecutionSpace",
+               anchor_header: str = "cmath") -> str:
+    """The generalised rule chain: the RangePolicy bound and the lambda index
+    come from the matched loop (metavariables ``n`` and ``c`` imported into
+    the Python rule), and the reduction accumulator name is configurable."""
+    idx_set = ",".join(index_vars)
+    return f"""\
+#spatch --c++
+@r0@ @@
++ #include <Kokkos_Core.hpp>
+#include <{anchor_header}>
+
+@r1@
+statement fb, fc;
+expression n;
+identifier c = {{{idx_set}}};
+position p;
+@@
+(
+fc@p
+&
+for (...;c<n;...) fb
+)
+
+@script:python r2@
+fb << r1.fb;
+n << r1.n;
+c << r1.c;
+lb;
+rp;
+@@
+coccinelle.lb = "KOKKOS_LAMBDA(const int " + c + ")" + fb
+coccinelle.rp = "Kokkos::RangePolicy<{execution_space}>(0, " + n + ")"
+
+@r3@
+statement r1.fc;
+position r1.p;
+identifier r2.lb;
+identifier r2.rp;
+identifier r1.c;
+expression r1.n;
+@@
+(
+fc@p
+&
+(
+- for (...;...;...) {{ ... {accumulator} += ...; }}
++ Kokkos::parallel_reduce(rp, lb, {accumulator});
+|
+- for (...;...;...) {{ ... }}
++ Kokkos::parallel_for(rp, lb);
+)
+)
+"""
+
+
+def kokkos_patch(index_vars: tuple[str, ...] = ("i", "j"),
+                 accumulator: str = "result",
+                 execution_space: str = "Kokkos::DefaultHostExecutionSpace",
+                 anchor_header: str = "cmath") -> SemanticPatch:
+    """Generalised Kokkos lambda-introduction patch."""
+    return SemanticPatch.from_string(
+        patch_text(index_vars, accumulator, execution_space, anchor_header),
+        name="kokkos-lambda", options=SpatchOptions(cxx=17))

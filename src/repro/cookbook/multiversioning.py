@@ -1,0 +1,103 @@
+"""Use case: function cloning and attributes for function multiversioning.
+
+Paper, Section 3, *"Function cloning and introduction of attributes for
+function multiversioning"*: independent of OpenMP, GCC/Clang offer the
+``target`` and ``target_clones`` attributes.  The patch below automates the
+two steps the paper describes:
+
+1. clone functions and mark the base as ``__attribute__((target("default")))``
+   while the clones get the architecture-specific attribute (analogous to the
+   declare-variant example), and
+2. match functions already carrying an architecture attribute in order to
+   apply architecture-specific edits inside them (the paper's second listing
+   matches ``__attribute__((target(...,"avx512",...)))``).
+"""
+
+from __future__ import annotations
+
+from ..api import SemanticPatch
+
+
+PAPER_LISTING_MATCH_AVX512 = """\
+@@
+identifier f;
+type T;
+@@
+__attribute__((target(...,"avx512",...)))
+T f(...)
+{
++ // add and modify avx512-specific code only
+...
+}
+"""
+
+
+def paper_listing() -> str:
+    """The attribute-matching listing as printed in the paper."""
+    return PAPER_LISTING_MATCH_AVX512
+
+
+def clone_with_target_attributes(function_regex: str = "kernel",
+                                 architectures: tuple[str, ...] = ("avx2", "avx512")) -> SemanticPatch:
+    """Create per-architecture clones guarded by ``__attribute__((target(...)))``
+    and mark the original as the ``"default"`` version (step 1 of the use case)."""
+    fresh_decls = []
+    plus_lines = []
+    for idx, arch in enumerate(architectures):
+        mv = f"fc{idx}"
+        fresh_decls.append(f'fresh identifier {mv} = "{arch}_" ## f;')
+        plus_lines.append(f'+ __attribute__((target("{arch}")))')
+        plus_lines.append(f"+ T {mv} (PL) {{ SL }}")
+    plus_lines.append('+ __attribute__((target("default")))')
+    text = f"""\
+@multiversion@
+type T;
+identifier f =~ "{function_regex}";
+parameter list PL;
+statement list SL;
+{chr(10).join(fresh_decls)}
+@@
+{chr(10).join(plus_lines)}
+T f (PL) {{ SL }}
+"""
+    return SemanticPatch.from_string(text, name="target-multiversioning")
+
+
+def target_clones_patch(function_regex: str = "kernel",
+                        architectures: tuple[str, ...] = ("default", "avx2", "avx512")) -> SemanticPatch:
+    """The lighter-weight alternative the paper mentions first: a single
+    ``target_clones`` attribute makes the compiler create and dispatch the
+    clones itself."""
+    arch_list = ",".join(f'"{a}"' for a in architectures)
+    text = f"""\
+@add_target_clones@
+type T;
+identifier f =~ "{function_regex}";
+parameter list PL;
+@@
++ __attribute__((target_clones({arch_list})))
+T f (PL) {{ ... }}
+"""
+    return SemanticPatch.from_string(text, name="target-clones")
+
+
+def match_architecture_specific(arch: str = "avx512",
+                                marker_comment: str | None = None) -> SemanticPatch:
+    """Step 2 of the use case: locate the functions specialised for ``arch``
+    so that follow-up (program-specific) rules can edit only those.  By
+    default it inserts the explanatory comment the paper's listing inserts."""
+    comment = marker_comment if marker_comment is not None else \
+        f"// add and modify {arch}-specific code only"
+    text = f"""\
+@arch_specific@
+identifier f;
+type T;
+@@
+__attribute__((target(...,"{arch}",...)))
+T f(...)
+{{
++ {comment}
+...
+}}
+"""
+    return SemanticPatch.from_string(text, name=f"match-{arch}-functions")

@@ -1,0 +1,263 @@
+"""Use case: removal of explicit loop unrolling.
+
+Paper, Section 3, *"Removal of explicit loop unrolling"*: script-generated
+code bases often contain manually unrolled loops whose generator has been
+lost.  Two strategies are given for loops unrolled ``k`` times (``k = 4`` in
+the paper), both replacing the explicit unrolling with the OpenMP 5.1
+``#pragma omp unroll partial`` request:
+
+* rule ``p0`` matches a loop whose body is four statements using
+  ``i+0 .. i+3`` and deletes the last three — simple, but may mis-fire when
+  the four statements are not identical modulo the index;
+* rules ``p1`` + ``r1`` first rewrite ``i+1 .. i+3`` to ``i+0`` (``p1``) and
+  only then (``r1``) collapse the body when the rewrite really produced four
+  identical statements, which is the safer variant the paper recommends for
+  ambiguous code bases.
+"""
+
+from __future__ import annotations
+
+from ..api import SemanticPatch
+
+
+PAPER_LISTING_P0 = r"""
+@p0@
+type T;
+identifier i,l;
+constant k={4};
+statement A,B,C,D;
+@@
++ #pragma omp unroll partial(4)
+for (T i=0; i
+- +k-1
+< l ;
+- i+=k
++ ++i
+)
+{
+\( A \& i+0 \) \(
+- B \& i+1
+\) \(
+- C \& i+2
+\) \(
+- D \& i+3
+\)
+}
+"""
+
+PAPER_LISTING_P1_R1 = r"""
+@p1@
+type T;
+identifier i,l;
+constant k={4};
+statement A,B,C,D;
+@@
+for (T i=0; i+k-1 < l; i+=k)
+{
+\( A \& i+0 \) \( B \&
+- i+1
++ i+0
+\) \( C \&
+- i+2
++ i+0
+\) \( D \&
+- i+3
++ i+0
+\)
+}
+
+@r1@
+type T;
+identifier i,l;
+constant k={4};
+statement p1.A;
+@@
++ #pragma omp unroll partial(4)
+for (T i=0; i
+- +k-1
+< l ;
+- i+=k
++ ++i
+)
+{
+A
+- A A A
+}
+"""
+
+
+def paper_listing_p0() -> str:
+    """Rule ``p0`` as printed in the paper."""
+    return PAPER_LISTING_P0
+
+
+def paper_listing_p1_r1() -> str:
+    """Rules ``p1`` and ``r1`` as printed in the paper."""
+    return PAPER_LISTING_P1_R1
+
+
+def _statement_groups(factor: int, replace_index: bool) -> str:
+    """Render the conjunction groups of the loop body for a given unroll
+    factor.  With ``replace_index`` the groups rewrite ``i+n`` to ``i+0``
+    (rules p1); otherwise they delete the repeated statements (rule p0)."""
+    letters = [f"S{n}" for n in range(factor)]
+    chunks = [rf"\( {letters[0]} \& i+0 \)"]
+    for n in range(1, factor):
+        if replace_index:
+            chunks.append(rf"\( {letters[n]} \&" + "\n"
+                          + f"- i+{n}\n+ i+0\n" + r"\)")
+        else:
+            chunks.append(rf"\(" + "\n" + rf"- {letters[n]} \& i+{n}" + "\n" + r"\)")
+    return " ".join(chunks)
+
+
+def _statement_decl(factor: int) -> str:
+    return "statement " + ",".join(f"S{n}" for n in range(factor)) + ";"
+
+
+def reroll_patch_p0(factor: int = 4) -> SemanticPatch:
+    """Rule ``p0`` generalised to an arbitrary unroll factor."""
+    text = f"""\
+@p0@
+type T;
+identifier i,l;
+constant k={{{factor}}};
+{_statement_decl(factor)}
+@@
++ #pragma omp unroll partial({factor})
+for (T i=0; i
+- +k-1
+< l ;
+- i+=k
++ ++i
+)
+{{
+{_statement_groups(factor, replace_index=False)}
+}}
+"""
+    return SemanticPatch.from_string(text, name=f"reroll-p0-{factor}")
+
+
+def reroll_patch_p1_r1(factor: int = 4) -> SemanticPatch:
+    """Rules ``p1`` + ``r1`` generalised to an arbitrary unroll factor."""
+    repeated = " ".join("S0" for _ in range(factor - 1))
+    text = f"""\
+@p1@
+type T;
+identifier i,l;
+constant k={{{factor}}};
+{_statement_decl(factor)}
+@@
+for (T i=0; i+k-1 < l; i+=k)
+{{
+{_statement_groups(factor, replace_index=True)}
+}}
+
+@r1@
+type T;
+identifier i,l;
+constant k={{{factor}}};
+statement p1.S0;
+@@
++ #pragma omp unroll partial({factor})
+for (T i=0; i
+- +k-1
+< l ;
+- i+=k
++ ++i
+)
+{{
+S0
+- {repeated}
+}}
+"""
+    return SemanticPatch.from_string(text, name=f"reroll-p1r1-{factor}")
+
+
+def reroll_patch_checked(factor: int = 4) -> SemanticPatch:
+    """The *checked* strategy — our implementation of the follow-up the paper
+    asks for ("we could introduce a third rule that undoes the
+    transformations of p1 when r1 is not applied"): instead of rewriting and
+    undoing, a pure matching rule binds the ``factor`` candidate statements, a
+    ``script:python`` rule verifies that they really are copies of the first
+    one modulo the index offset (dropping the environment otherwise), and only
+    then does the transforming rule reroll the loop.  Impostor loops are left
+    completely untouched."""
+    letters = [f"S{n}" for n in range(factor)]
+    groups = " ".join(rf"\( {letters[n]} \& i+{n} \)" for n in range(factor))
+    imports = "\n".join(f"{s} << cand.{s};" for s in letters)
+    stmt_decl_inherited = "\n".join(f"statement cand.{s};" for s in letters)
+    norm_checks = "\n".join(
+        f"ok = ok and _same(S0, S{n}, {n})" for n in range(1, factor))
+    repeated = " ".join(letters[1:])
+    text = f"""\
+@cand@
+type T;
+identifier i,l;
+constant k={{{factor}}};
+{_statement_decl(factor)}
+@@
+for (T i=0; i+k-1 < l; i+=k)
+{{
+{groups}
+}}
+
+@script:python verify@
+{imports}
+i << cand.i;
+@@
+import re
+def _same(first, other, offset):
+    rewritten = re.sub(r"\\b" + re.escape(i) + r"\\s*\\+\\s*" + str(offset) + r"\\b",
+                       i + "+0", other)
+    return " ".join(first.split()) == " ".join(rewritten.split())
+ok = True
+{norm_checks}
+if not ok:
+    cocci.include_match(False)
+
+@reroll depends on verify@
+type T;
+identifier cand.i;
+identifier cand.l;
+constant k={{{factor}}};
+{stmt_decl_inherited}
+@@
++ #pragma omp unroll partial({factor})
+for (T i=0; i
+- +k-1
+< l ;
+- i+=k
++ ++i
+)
+{{
+S0
+- {repeated}
+}}
+"""
+    return SemanticPatch.from_string(text, name=f"reroll-checked-{factor}")
+
+
+#: available unroll-removal strategies, from the least to the most careful
+STRATEGIES = ("p0", "p1r1", "checked")
+
+
+def reroll_patch(factor: int = 4, safe: bool = True,
+                 strategy: str | None = None) -> SemanticPatch:
+    """The unroll-removal patch.
+
+    ``strategy`` selects among ``"p0"`` (paper rule p0), ``"p1r1"`` (paper
+    rules p1+r1) and ``"checked"`` (p1+r1 plus the verification rule the
+    paper proposes as follow-up).  Without ``strategy``, ``safe=True`` maps to
+    ``"p1r1"`` as in the paper.
+    """
+    if strategy is None:
+        strategy = "p1r1" if safe else "p0"
+    if strategy == "p0":
+        return reroll_patch_p0(factor)
+    if strategy == "p1r1":
+        return reroll_patch_p1_r1(factor)
+    if strategy == "checked":
+        return reroll_patch_checked(factor)
+    raise ValueError(f"unknown unroll-removal strategy {strategy!r}; "
+                     f"expected one of {STRATEGIES}")

@@ -1,0 +1,19 @@
+"""Matching and transformation engine for semantic patches."""
+
+from .bindings import BoundValue, Env, Position, EMPTY_ENV
+from .edits import Deletion, EditSet, Insertion
+from .matcher import Correspondence, Matcher, MatchInstance, MState
+from .transform import Transformer, FreshNameRegistry
+from .scripting import CocciHelpers, ScriptRunner, TaggedValue
+from .report import FileResult, PatchResult, RuleReport
+from .engine import Engine
+
+__all__ = [
+    "BoundValue", "Env", "Position", "EMPTY_ENV",
+    "Deletion", "EditSet", "Insertion",
+    "Correspondence", "Matcher", "MatchInstance", "MState",
+    "Transformer", "FreshNameRegistry",
+    "CocciHelpers", "ScriptRunner", "TaggedValue",
+    "FileResult", "PatchResult", "RuleReport",
+    "Engine",
+]

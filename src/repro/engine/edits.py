@@ -1,0 +1,229 @@
+"""Textual edits: the output of the transformation stage.
+
+A rule application produces a set of byte-range deletions and point
+insertions against the original file.  :class:`EditSet` normalises them
+(merging overlapping deletions, extending whole-line deletions to remove the
+now-empty lines, relocating insertions that were anchored inside a removed
+region) and applies them, producing the patched text.  Everything not touched
+by an edit is preserved byte-for-byte — the property that makes the output
+reviewable as an ordinary patch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+from ..errors import EditConflictError
+from ..lang.source import SourceFile
+
+
+#: insertion placement modes
+PLACE_INLINE = "inline"
+PLACE_NEWLINE_AFTER = "newline-after"
+PLACE_NEWLINE_BEFORE = "newline-before"
+
+
+@dataclass(frozen=True)
+class Deletion:
+    """Delete the byte range ``[start, end)`` of the original text."""
+
+    start: int
+    end: int
+    origin: str = ""
+
+    def overlaps(self, other: "Deletion") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass(frozen=True)
+class Insertion:
+    """Insert ``lines`` at byte ``offset`` of the original text.
+
+    ``placement`` controls rendering: inline insertions join the lines with a
+    single space and add no newline; newline insertions put each line on its
+    own line using ``indent``.
+    """
+
+    offset: int
+    lines: tuple[str, ...]
+    placement: str = PLACE_INLINE
+    indent: str = ""
+    origin: str = ""
+
+    def render(self, at_line_start: bool = False) -> str:
+        if self.placement == PLACE_INLINE:
+            return " ".join(self.lines)
+        if self.placement == PLACE_NEWLINE_AFTER:
+            return "".join("\n" + self.indent + line for line in self.lines)
+        # PLACE_NEWLINE_BEFORE: the insertion point is at the start of
+        # existing content (just after its indentation), so terminate each
+        # inserted line and re-indent the following original content.
+        if at_line_start:
+            return "".join(self.indent + line + "\n" for line in self.lines)
+        return ("\n".join(self.lines) + "\n" + self.indent)
+
+
+@dataclass
+class EditSet:
+    """A collection of edits against one source file."""
+
+    source: SourceFile
+    deletions: list[Deletion] = field(default_factory=list)
+    insertions: list[Insertion] = field(default_factory=list)
+
+    # -- building -------------------------------------------------------------
+
+    def delete(self, start: int, end: int, origin: str = "") -> None:
+        if end > start:
+            self.deletions.append(Deletion(start=start, end=end, origin=origin))
+
+    def insert(self, offset: int, lines: Iterable[str], placement: str = PLACE_INLINE,
+               indent: str = "", origin: str = "") -> None:
+        lines = tuple(lines)
+        if lines:
+            self.insertions.append(Insertion(offset=offset, lines=lines,
+                                             placement=placement, indent=indent,
+                                             origin=origin))
+
+    def extend(self, other: "EditSet") -> None:
+        self.deletions.extend(other.deletions)
+        self.insertions.extend(other.insertions)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.deletions and not self.insertions
+
+    def __len__(self) -> int:
+        return len(self.deletions) + len(self.insertions)
+
+    # -- normalisation ----------------------------------------------------------
+
+    def _merged_deletions(self) -> list[Deletion]:
+        """Merge overlapping deletions and deletions separated only by
+        whitespace that does not span a newline."""
+        text = self.source.text
+        dels = sorted(set(self.deletions), key=lambda d: (d.start, d.end))
+        merged: list[Deletion] = []
+        for d in dels:
+            if merged:
+                prev = merged[-1]
+                gap = text[prev.end:d.start]
+                if d.start <= prev.end or (gap.strip() == "" and "\n" not in gap):
+                    merged[-1] = Deletion(start=prev.start, end=max(prev.end, d.end),
+                                          origin=prev.origin or d.origin)
+                    continue
+            merged.append(d)
+        return merged
+
+    def _extend_full_lines(self, deletions: list[Deletion]) -> list[Deletion]:
+        """If a deletion leaves only whitespace on every line it touches,
+        extend it to swallow those lines entirely (including the newline)."""
+        text = self.source.text
+        out: list[Deletion] = []
+        for d in deletions:
+            start_loc = self.source.location(d.start)
+            end_loc = self.source.location(max(d.start, d.end - 1))
+            line_start = self.source.line_start(start_loc.line)
+            line_end = self.source.line_end(end_loc.line)
+            before = text[line_start:d.start]
+            after = text[d.end:line_end]
+            if before.strip() == "" and after.strip() == "":
+                new_end = line_end + 1 if line_end < len(text) and text[line_end] == "\n" \
+                    else line_end
+                out.append(Deletion(start=line_start, end=new_end, origin=d.origin))
+            else:
+                out.append(d)
+        # extension may have created new overlaps
+        out = sorted(out, key=lambda d: (d.start, d.end))
+        merged: list[Deletion] = []
+        for d in out:
+            if merged and d.start <= merged[-1].end:
+                merged[-1] = Deletion(start=merged[-1].start, end=max(merged[-1].end, d.end),
+                                      origin=merged[-1].origin or d.origin)
+            else:
+                merged.append(d)
+        return merged
+
+    def _relocate_insertions(self, deletions: list[Deletion]) -> list[Insertion]:
+        """Insertions anchored inside a removed region are placed at the start
+        of that region, rendered one-per-line with their recorded indent."""
+        out: list[Insertion] = []
+        for ins in sorted(self.insertions, key=lambda i: i.offset):
+            target: Optional[Deletion] = None
+            for d in deletions:
+                if d.start < ins.offset < d.end or (ins.offset == d.end and
+                                                    self._deletion_covers_line(d, ins.offset)):
+                    target = d
+                    break
+            if target is None:
+                out.append(ins)
+                continue
+            out.append(replace(ins, offset=target.start,
+                               placement=PLACE_NEWLINE_BEFORE))
+        # drop exact duplicates (same offset, same rendered content)
+        seen: set[tuple] = set()
+        unique: list[Insertion] = []
+        for ins in out:
+            key = (ins.offset, ins.lines, ins.placement, ins.indent)
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(ins)
+        return unique
+
+    def _deletion_covers_line(self, deletion: Deletion, offset: int) -> bool:
+        """True when the deletion swallowed whole lines and ``offset`` was at
+        the very end of that region (so the insertion would otherwise dangle
+        between two removed lines)."""
+        text = self.source.text
+        return (deletion.end > deletion.start
+                and text[deletion.start:deletion.end].endswith("\n")
+                and offset == deletion.end - 0)
+
+    # -- application -------------------------------------------------------------
+
+    def apply(self) -> str:
+        """Apply all edits, returning the patched text."""
+        text = self.source.text
+        deletions = self._extend_full_lines(self._merged_deletions())
+        insertions = self._relocate_insertions(deletions)
+
+        # sanity: insertions must not fall strictly inside a deleted range now
+        for ins in insertions:
+            for d in deletions:
+                if d.start < ins.offset < d.end:
+                    raise EditConflictError(
+                        f"insertion at offset {ins.offset} falls inside deleted "
+                        f"range [{d.start}, {d.end})")
+
+        events: list[tuple[int, int, object]] = []
+        for d in deletions:
+            events.append((d.start, 0, d))
+        for ins in insertions:
+            events.append((ins.offset, 1, ins))
+        events.sort(key=lambda e: (e[0], e[1]))
+
+        out: list[str] = []
+        pos = 0
+        for offset, _prio, edit in events:
+            if offset > pos:
+                out.append(text[pos:offset])
+                pos = offset
+            if isinstance(edit, Deletion):
+                pos = max(pos, edit.end)
+            else:
+                at_line_start = offset == 0 or text[offset - 1] == "\n"
+                out.append(edit.render(at_line_start=at_line_start))
+        out.append(text[pos:])
+        return "".join(out)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "deletions": len(self.deletions),
+            "insertions": len(self.insertions),
+            "deleted_bytes": sum(d.end - d.start for d in self._merged_deletions()),
+            "inserted_lines": sum(len(i.lines) for i in self.insertions),
+        }

@@ -1,0 +1,191 @@
+"""Support for ``initialize:python`` / ``script:python`` / ``finalize:python``
+rules.
+
+A script rule runs once per environment exported by the rules it imports
+metavariables from.  Inside the script two objects are available, mirroring
+Coccinelle's Python API as used in the paper:
+
+``cocci``
+    helper constructors — ``make_ident``, ``make_type``, ``make_expr``,
+    ``make_stmt``, ``make_pragmainfo`` — plus ``include_match(False)`` to
+    drop the current environment.
+``coccinelle``
+    a namespace on which the script assigns the metavariables it declared
+    (``coccinelle.nf = cocci.make_ident(...)``).
+
+A script that raises (for example a ``KeyError`` when looking up a function
+that is not in its translation dictionary) simply drops the environment, with
+a diagnostic; this is what makes the CUDA→HIP toy patch of the paper only
+rename the functions present in its dictionary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+from typing import Optional
+
+from ..errors import Diagnostic, ScriptRuleError
+from ..smpl.ast import ScriptRule
+from .bindings import BoundValue, Env
+
+
+@dataclass
+class TaggedValue:
+    """A value created by one of the ``cocci.make_*`` helpers."""
+
+    kind: str
+    text: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.text
+
+
+class CocciHelpers:
+    """The ``cocci`` object exposed to python rules."""
+
+    def __init__(self) -> None:
+        self._include_match = True
+
+    # constructors ---------------------------------------------------------
+
+    @staticmethod
+    def make_ident(text: str) -> TaggedValue:
+        return TaggedValue(kind="identifier", text=str(text))
+
+    @staticmethod
+    def make_type(text: str) -> TaggedValue:
+        return TaggedValue(kind="type", text=str(text))
+
+    @staticmethod
+    def make_expr(text: str) -> TaggedValue:
+        return TaggedValue(kind="expression", text=str(text))
+
+    @staticmethod
+    def make_stmt(text: str) -> TaggedValue:
+        return TaggedValue(kind="statement", text=str(text))
+
+    @staticmethod
+    def make_pragmainfo(text: str) -> TaggedValue:
+        return TaggedValue(kind="pragmainfo", text=str(text))
+
+    # control -----------------------------------------------------------------
+
+    def include_match(self, keep: bool) -> None:
+        self._include_match = bool(keep)
+
+
+@dataclass
+class ScriptOutcome:
+    """The result of running one script rule over the inherited environments."""
+
+    environments: list[Env] = field(default_factory=list)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    ran: bool = False
+
+
+class ScriptRunner:
+    """Executes python rules with a namespace shared across the whole patch
+    application (so ``initialize:python`` rules can set up dictionaries used
+    by later ``script:python`` rules)."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.globals: dict = {"__builtins__": __builtins__}
+        self._initialized_rules: set[str] = set()
+
+    # -- initialize / finalize ---------------------------------------------------
+
+    def run_initialize(self, rule: ScriptRule) -> list[Diagnostic]:
+        if not self.enabled:
+            return [Diagnostic(severity="warning",
+                               message=f"python scripting disabled; skipping {rule.name}")]
+        if rule.name in self._initialized_rules:
+            return []
+        self._initialized_rules.add(rule.name)
+        try:
+            exec(compile(rule.code, f"<initialize:{rule.name}>", "exec"), self.globals)
+        except Exception as exc:  # noqa: BLE001 - surfaced as a diagnostic
+            return [Diagnostic(severity="error",
+                               message=f"initialize rule {rule.name} failed: {exc!r}")]
+        return []
+
+    def run_finalize(self, rule: ScriptRule) -> list[Diagnostic]:
+        if not self.enabled:
+            return []
+        try:
+            exec(compile(rule.code, f"<finalize:{rule.name}>", "exec"), self.globals)
+        except Exception as exc:  # noqa: BLE001
+            return [Diagnostic(severity="error",
+                               message=f"finalize rule {rule.name} failed: {exc!r}")]
+        return []
+
+    # -- per-environment scripts ----------------------------------------------------
+
+    def run_script(self, rule: ScriptRule, environments: list[Env]) -> ScriptOutcome:
+        outcome = ScriptOutcome()
+        if not self.enabled:
+            outcome.diagnostics.append(Diagnostic(
+                severity="warning",
+                message=f"python scripting disabled; rule {rule.name} skipped"))
+            return outcome
+
+        for env in environments:
+            local_ns: dict = {}
+            missing = False
+            for local, source_rule, source_name in rule.imports:
+                bound = env.get(f"{source_rule}.{source_name}") or env.get(source_name)
+                if bound is None:
+                    missing = True
+                    break
+                local_ns[local] = bound.render()
+            if missing:
+                continue
+
+            cocci = CocciHelpers()
+            coccinelle = SimpleNamespace()
+            local_ns["cocci"] = cocci
+            local_ns["coccinelle"] = coccinelle
+
+            # a single namespace (shared globals + per-environment locals) so
+            # that functions defined inside the script see both its imports
+            # and the dictionaries set up by initialize rules
+            namespace = dict(self.globals)
+            namespace.update(local_ns)
+            try:
+                exec(compile(rule.code, f"<script:{rule.name}>", "exec"), namespace)
+            except Exception as exc:  # noqa: BLE001 - drop this environment
+                outcome.diagnostics.append(Diagnostic(
+                    severity="info",
+                    message=(f"script rule {rule.name} dropped an environment: "
+                             f"{type(exc).__name__}: {exc}")))
+                continue
+            local_ns = namespace
+
+            if not cocci._include_match:
+                continue
+
+            extended: Optional[Env] = env
+            ok = True
+            for out_name in rule.outputs:
+                raw = getattr(coccinelle, out_name, local_ns.get(out_name))
+                if raw is None:
+                    outcome.diagnostics.append(Diagnostic(
+                        severity="warning",
+                        message=(f"script rule {rule.name} did not define metavariable "
+                                 f"{out_name!r}; environment dropped")))
+                    ok = False
+                    break
+                if isinstance(raw, TaggedValue):
+                    value = BoundValue(kind=raw.kind, text=raw.text, source_text=raw.text)
+                else:
+                    value = BoundValue(kind="identifier", text=str(raw), source_text=str(raw))
+                extended = extended.bind(f"{rule.name}.{out_name}", value)
+                if extended is None:
+                    ok = False
+                    break
+            if ok and extended is not None:
+                outcome.environments.append(extended)
+
+        outcome.ran = True
+        return outcome

@@ -1,0 +1,336 @@
+"""Transformation stage: turn rule matches into textual edits.
+
+Given a :class:`~repro.engine.matcher.MatchInstance` (pattern↔code
+correspondences + metavariable bindings) and the rule's annotated pattern
+tokens, this module produces:
+
+* deletions for every ``-`` pattern token, mapped onto the code tokens it
+  matched (metavariable references and dots delete the full extent they
+  bound),
+* insertions for every ``+`` block, anchored through the pattern token its
+  anchor line resolves to, with metavariable references (including ``fresh
+  identifier`` values) spliced into the inserted text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import Diagnostic
+from ..lang import ast_nodes as A
+from ..lang.lexer import Token, TokenKind, ANNOT_MINUS
+from ..lang.parser import ParseTree
+from ..options import SpatchOptions, DEFAULT_OPTIONS
+from ..smpl.ast import PatchRule, PlusBlock
+from .bindings import BoundValue, Env
+from .edits import EditSet, PLACE_INLINE, PLACE_NEWLINE_AFTER, PLACE_NEWLINE_BEFORE
+from .matcher import Correspondence, MatchInstance
+
+
+def own_token_indices(node: A.Node) -> list[int]:
+    """Token indices covered by ``node`` but by none of its children."""
+    if node.start < 0 or node.end < 0:
+        return []
+    covered = [False] * (node.end - node.start)
+    for child in A.iter_child_nodes(node):
+        if child.start < 0:
+            continue
+        for i in range(max(child.start, node.start), min(child.end, node.end)):
+            covered[i - node.start] = True
+    return [node.start + i for i, flag in enumerate(covered) if not flag]
+
+
+@dataclass
+class FreshNameRegistry:
+    """Allocates ``fresh identifier`` values, guaranteeing uniqueness within
+    the file being transformed."""
+
+    used: set[str] = field(default_factory=set)
+
+    @classmethod
+    def for_tree(cls, tree: ParseTree) -> "FreshNameRegistry":
+        used = {tok.value for tok in tree.tokens if tok.kind is TokenKind.IDENT}
+        return cls(used=used)
+
+    def allocate(self, seed: str) -> str:
+        if seed not in self.used:
+            self.used.add(seed)
+            return seed
+        counter = 1
+        while f"{seed}_{counter}" in self.used:
+            counter += 1
+        name = f"{seed}_{counter}"
+        self.used.add(name)
+        return name
+
+
+class Transformer:
+    """Produces the edits of one rule for one file."""
+
+    def __init__(self, rule: PatchRule, tree: ParseTree,
+                 options: SpatchOptions = DEFAULT_OPTIONS,
+                 fresh_registry: Optional[FreshNameRegistry] = None):
+        self.rule = rule
+        self.tree = tree
+        self.options = options
+        self.pattern_tokens: list[Token] = rule.slice_tokens
+        self.fresh_registry = fresh_registry or FreshNameRegistry.for_tree(tree)
+        self.diagnostics: list[Diagnostic] = []
+
+    # ------------------------------------------------------------------ API --
+
+    def apply_instance(self, instance: MatchInstance, edits: EditSet) -> dict[str, BoundValue]:
+        """Emit the edits of one match into ``edits``; return the fresh
+        identifier bindings generated for this instance (so the engine can
+        export them to later rules)."""
+        fresh = self._generate_fresh(instance.env)
+        token_map, extent_map = self._build_alignment(instance)
+        self._emit_deletions(instance, token_map, extent_map, edits)
+        self._emit_insertions(instance, token_map, extent_map, edits, fresh)
+        return fresh
+
+    # -------------------------------------------------------------- fresh ids --
+
+    def _generate_fresh(self, env: Env) -> dict[str, BoundValue]:
+        out: dict[str, BoundValue] = {}
+        for decl in self.rule.metavars.fresh():
+            parts: list[str] = []
+            for part in decl.fresh_parts:
+                if part.kind == "str":
+                    parts.append(part.value)
+                else:
+                    bound = env.get(part.value) or out.get(part.value)
+                    parts.append(bound.text if bound is not None else part.value)
+            name = self.fresh_registry.allocate("".join(parts))
+            out[decl.name] = BoundValue.for_name("identifier", name)
+        return out
+
+    # ---------------------------------------------------------- alignment maps --
+
+    def _build_alignment(self, instance: MatchInstance):
+        """Build pattern-token -> code-token alignment for structural pairs and
+        pattern-extent -> code-extent records for bindings and dots."""
+        token_map: dict[int, list[int]] = {}
+        extent_map: list[tuple[Correspondence, tuple[int, int]]] = []
+
+        for corr in instance.correspondences:
+            if corr.kind == "node":
+                code = corr.single
+                if code is None:
+                    continue
+                own_p = own_token_indices(corr.pattern)
+                own_c = self.tree.own_token_indices(code)
+                if len(own_p) == len(own_c):
+                    for p_idx, c_idx in zip(own_p, own_c):
+                        token_map.setdefault(p_idx, []).append(c_idx)
+                else:
+                    # isomorphism changed the shape; remember the extents so
+                    # minus annotations can still fall back to whole-extent
+                    # deletion.
+                    extent_map.append((corr, self._code_extent(corr.code)))
+            else:
+                extent_map.append((corr, self._code_extent(corr.code)))
+        return token_map, extent_map
+
+    def _code_extent(self, nodes: tuple[A.Node, ...]) -> tuple[int, int]:
+        offsets = [self.tree.node_offsets(n) for n in nodes if n.start >= 0]
+        if not offsets:
+            return (-1, -1)
+        return (min(o[0] for o in offsets), max(o[1] for o in offsets))
+
+    # -------------------------------------------------------------- deletions --
+
+    def _pattern_token_is_minus(self, idx: int) -> bool:
+        return (0 <= idx < len(self.pattern_tokens)
+                and self.pattern_tokens[idx].annot == ANNOT_MINUS)
+
+    def _all_pattern_tokens_minus(self, node: A.Node) -> bool:
+        if node.start < 0 or node.end <= node.start:
+            return False
+        return all(self._pattern_token_is_minus(i) for i in range(node.start, node.end))
+
+    def _emit_deletions(self, instance: MatchInstance, token_map, extent_map,
+                        edits: EditSet) -> None:
+        origin = f"rule {self.rule.name}"
+        # structural own-token deletions
+        for corr in instance.correspondences:
+            if corr.kind != "node" or corr.single is None:
+                continue
+            own_p = own_token_indices(corr.pattern)
+            own_c = self.tree.own_token_indices(corr.single)
+            if len(own_p) != len(own_c):
+                if self._all_pattern_tokens_minus(corr.pattern):
+                    start, end = self.tree.node_offsets(corr.single)
+                    edits.delete(start, end, origin=origin)
+                elif any(self._pattern_token_is_minus(i) for i in own_p):
+                    self.diagnostics.append(Diagnostic(
+                        severity="warning",
+                        message=(f"rule {self.rule.name}: cannot align removed tokens of a "
+                                 f"{corr.pattern.kind} pattern node; skipping its deletion"),
+                        filename=self.tree.source.name))
+                continue
+            for p_idx, c_idx in zip(own_p, own_c):
+                if self._pattern_token_is_minus(p_idx):
+                    tok = self.tree.tokens[c_idx]
+                    edits.delete(tok.offset, tok.end, origin=origin)
+
+        # metavariable references / dots annotated as removed
+        for corr, (start, end) in extent_map:
+            if start < 0:
+                continue
+            pattern = corr.pattern
+            if corr.kind in ("binding", "dots"):
+                if self._all_pattern_tokens_minus(pattern):
+                    for node in corr.code:
+                        n_start, n_end = self.tree.node_offsets(node)
+                        edits.delete(n_start, n_end, origin=origin)
+
+    # -------------------------------------------------------------- insertions --
+
+    def _emit_insertions(self, instance: MatchInstance, token_map, extent_map,
+                         edits: EditSet, fresh: dict[str, BoundValue]) -> None:
+        origin = f"rule {self.rule.name}"
+        for block in self.rule.plus_blocks:
+            anchor_idx = self._anchor_token_index(block)
+            if anchor_idx is None:
+                self.diagnostics.append(Diagnostic(
+                    severity="warning",
+                    message=f"rule {self.rule.name}: cannot resolve anchor of a '+' block",
+                    filename=self.tree.source.name))
+                continue
+            offsets = self._resolve_anchor(anchor_idx, block.anchor, instance, token_map)
+            if not offsets:
+                # common with disjunctions: the '+' block belongs to a branch
+                # that did not match this particular site
+                self.diagnostics.append(Diagnostic(
+                    severity="info",
+                    message=(f"rule {self.rule.name}: a '+' block was not emitted because "
+                             f"its anchor belongs to an unmatched pattern branch"),
+                    filename=self.tree.source.name))
+                continue
+            lines = [self._substitute(line, instance.env, fresh) for line in block.lines]
+            for offset in offsets:
+                placement, indent = self._placement(offset, block.anchor)
+                edits.insert(offset, lines, placement=placement, indent=indent,
+                             origin=origin)
+
+    def _anchor_token_index(self, block: PlusBlock) -> Optional[int]:
+        """The pattern token the block anchors to: the last (for ``after``) or
+        first (for ``before``) token of its anchor slice line."""
+        line_index = block.anchor_slice_line - 1
+        candidates = [i for i, tok in enumerate(self.pattern_tokens)
+                      if tok.kind is not TokenKind.EOF and tok.pline == line_index]
+        if not candidates:
+            return None
+        return candidates[-1] if block.anchor == "after" else candidates[0]
+
+    def _resolve_anchor(self, tok_idx: int, kind: str, instance: MatchInstance,
+                        token_map: dict[int, list[int]]) -> list[int]:
+        """Map a pattern token onto code byte offsets.
+
+        Preference order: the *largest* matched pattern node that starts (for
+        ``before``) or ends (for ``after``) exactly at the token — so that
+        plus code attached before a function lands before its attributes and
+        specifiers too; then the directly aligned code token; then the
+        innermost matched node containing the token.
+        """
+        offsets: list[int] = []
+
+        best: Optional[Correspondence] = None
+        best_size = -1
+        for corr in instance.correspondences:
+            p = corr.pattern
+            if p.start < 0:
+                continue
+            boundary = (p.start == tok_idx) if kind == "before" else (p.end == tok_idx + 1)
+            if boundary and (p.end - p.start) > best_size:
+                best, best_size = corr, p.end - p.start
+        if best is not None:
+            for corr in instance.correspondences:
+                if corr.pattern is best.pattern and corr.kind == best.kind:
+                    for node in corr.code:
+                        start, end = self.tree.node_offsets(node)
+                        offsets.append(start if kind == "before" else end)
+            if offsets:
+                return sorted(set(offsets))
+
+        if tok_idx in token_map:
+            for c_idx in token_map[tok_idx]:
+                tok = self.tree.tokens[c_idx]
+                offsets.append(tok.offset if kind == "before" else tok.end)
+            return sorted(set(offsets))
+
+        # innermost matched node containing the token
+        containing: list[tuple[int, Correspondence]] = []
+        for corr in instance.correspondences:
+            p = corr.pattern
+            if p.start <= tok_idx < p.end:
+                containing.append((p.end - p.start, corr))
+        for _size, corr in sorted(containing, key=lambda item: item[0]):
+            for node in corr.code:
+                start, end = self.tree.node_offsets(node)
+                offsets.append(start if kind == "before" else end)
+            if offsets:
+                break
+        return sorted(set(offsets))
+
+    def _placement(self, offset: int, anchor_kind: str) -> tuple[str, str]:
+        text = self.tree.source.text
+        if anchor_kind == "after":
+            line_end = text.find("\n", offset)
+            if line_end == -1:
+                line_end = len(text)
+            rest = text[offset:line_end]
+            if rest.strip() == "":
+                indent = self._next_line_indent(line_end)
+                return PLACE_NEWLINE_AFTER, indent
+            return PLACE_INLINE, ""
+        # before
+        loc = self.tree.source.location(offset)
+        line_start = self.tree.source.line_start(loc.line)
+        before = text[line_start:offset]
+        if before.strip() == "":
+            return PLACE_NEWLINE_BEFORE, self.tree.source.indentation_of_line(loc.line)
+        return PLACE_INLINE, ""
+
+    def _next_line_indent(self, line_end: int) -> str:
+        text = self.tree.source.text
+        pos = line_end + 1
+        while pos < len(text):
+            nl = text.find("\n", pos)
+            if nl == -1:
+                nl = len(text)
+            line = text[pos:nl]
+            if line.strip():
+                return line[: len(line) - len(line.lstrip(" \t"))]
+            pos = nl + 1
+        if line_end < len(text):
+            loc = self.tree.source.location(max(0, line_end - 1))
+            return self.tree.source.indentation_of_line(loc.line)
+        return ""
+
+    # ------------------------------------------------------------ substitution --
+
+    def _substitute(self, line: str, env: Env, fresh: dict[str, BoundValue]) -> str:
+        """Replace metavariable names in a '+' line by their bound text,
+        skipping string literals."""
+        values: dict[str, str] = {}
+        for name, value in env.items():
+            if "." in name:
+                continue
+            values[name] = value.render()
+        for name, value in fresh.items():
+            values[name] = value.render()
+        if not values:
+            return line
+        names = sorted(values, key=len, reverse=True)
+        pattern = re.compile(r'("(?:[^"\\]|\\.)*")|\b(' + "|".join(re.escape(n) for n in names) + r")\b")
+
+        def _repl(match: re.Match) -> str:
+            if match.group(1) is not None:
+                return match.group(1)
+            return values[match.group(2)]
+
+        return pattern.sub(_repl, line)

@@ -1,0 +1,11 @@
+"""Mini C interpreter and behaviour-equivalence checks."""
+
+from .interpreter import CallRecord, Interpreter, run_function
+from .equivalence import EquivalenceReport, compare_aos_soa, compare_function, compare_many
+from .values import StructValue, make_array
+
+__all__ = [
+    "CallRecord", "Interpreter", "run_function",
+    "EquivalenceReport", "compare_aos_soa", "compare_function", "compare_many",
+    "StructValue", "make_array",
+]

@@ -1,0 +1,154 @@
+"""Behaviour-equivalence checks between original and refactored code.
+
+The paper's central workflow keeps the pristine code as the source of truth
+and regenerates the refactored variant on demand; test suites are then the
+main acceptance instrument ("the habit of writing comprehensive test suites
+... can surely facilitate reviewing a large refactoring contribution").  This
+module plays the role of that test suite for the synthetic workloads: it runs
+the same entry points in the original and the transformed code base on the
+mini interpreter and compares observable results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from ..api import CodeBase
+from ..errors import InterpreterError
+from ..options import SpatchOptions, DEFAULT_OPTIONS
+from .interpreter import Interpreter
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of comparing one or more entry points."""
+
+    checked: int = 0
+    equivalent: int = 0
+    mismatches: list[str] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def all_equivalent(self) -> bool:
+        return self.checked > 0 and self.equivalent == self.checked and not self.errors
+
+    def record(self, name: str, ok: bool, detail: str = "") -> None:
+        self.checked += 1
+        if ok:
+            self.equivalent += 1
+        else:
+            self.mismatches.append(f"{name}: {detail}")
+
+
+def _values_close(a: Any, b: Any, rel_tol: float = 1e-9, abs_tol: float = 1e-12) -> bool:
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(_values_close(x, y, rel_tol, abs_tol)
+                                        for x, y in zip(a, b))
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return math.isclose(float(a), float(b), rel_tol=rel_tol, abs_tol=abs_tol)
+    return a == b
+
+
+def compare_function(original: CodeBase, transformed: CodeBase, function: str,
+                     args_factory: Callable[[], tuple],
+                     observed_args: Sequence[int] = (),
+                     options: SpatchOptions = DEFAULT_OPTIONS,
+                     defines: Optional[dict[str, Any]] = None,
+                     rel_tol: float = 1e-9) -> EquivalenceReport:
+    """Call ``function`` with identical (freshly constructed) arguments in
+    both code bases and compare the return value plus the argument positions
+    listed in ``observed_args`` (output arrays)."""
+    report = EquivalenceReport()
+    try:
+        interp_a = Interpreter(original, options=options, defines=defines)
+        interp_b = Interpreter(transformed, options=options, defines=defines)
+        args_a = args_factory()
+        args_b = args_factory()
+        result_a = interp_a.call(function, *args_a)
+        result_b = interp_b.call(function, *args_b)
+        ok = _values_close(result_a, result_b, rel_tol=rel_tol)
+        detail = f"return {result_a!r} != {result_b!r}" if not ok else ""
+        for pos in observed_args:
+            if not _values_close(args_a[pos], args_b[pos], rel_tol=rel_tol):
+                ok = False
+                detail += f" arg[{pos}] differs"
+        report.record(function, ok, detail)
+    except InterpreterError as exc:
+        report.errors.append(f"{function}: {exc}")
+    return report
+
+
+def compare_many(original: CodeBase, transformed: CodeBase,
+                 cases: dict[str, tuple[Callable[[], tuple], Sequence[int]]],
+                 options: SpatchOptions = DEFAULT_OPTIONS,
+                 defines: Optional[dict[str, Any]] = None) -> EquivalenceReport:
+    """Run :func:`compare_function` for several entry points and merge."""
+    merged = EquivalenceReport()
+    for function, (factory, observed) in cases.items():
+        one = compare_function(original, transformed, function, factory, observed,
+                               options=options, defines=defines)
+        merged.checked += one.checked
+        merged.equivalent += one.equivalent
+        merged.mismatches.extend(one.mismatches)
+        merged.errors.extend(one.errors)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# AoS / SoA specific comparison
+# ---------------------------------------------------------------------------
+
+def _seed_particles_aos(interp: Interpreter, array: str, fields: dict[str, int],
+                        count: int) -> None:
+    particles = interp.get_global(array)
+    for i in range(count):
+        for f_index, (fname, dim) in enumerate(sorted(fields.items())):
+            if dim:
+                for d in range(dim):
+                    particles[i][fname][d] = 0.25 * i + 0.5 * d + f_index
+            else:
+                particles[i][fname] = 0.125 * i + f_index
+
+
+def _seed_particles_soa(interp: Interpreter, array: str, fields: dict[str, int],
+                        count: int) -> None:
+    for f_index, (fname, dim) in enumerate(sorted(fields.items())):
+        soa = interp.get_global(f"{array}_{fname}")
+        for i in range(count):
+            if dim:
+                for d in range(dim):
+                    soa[i][d] = 0.25 * i + 0.5 * d + f_index
+            else:
+                soa[i] = 0.125 * i + f_index
+
+
+def compare_aos_soa(original: CodeBase, transformed: CodeBase, functions: Sequence[str],
+                    array: str = "P", fields: Optional[dict[str, int]] = None,
+                    count: int = 64, extra_args: Sequence[Any] = (),
+                    options: SpatchOptions = DEFAULT_OPTIONS) -> EquivalenceReport:
+    """Seed the particle data identically in the AoS and the SoA
+    representation, run scalar-returning entry points in both code bases and
+    compare the results (the observable behaviour of the GADGET-like
+    workload's reductions)."""
+    fields = fields or {"pos": 3, "vel": 3, "acc": 3, "mass": 0, "density": 0,
+                        "energy": 0, "type": 0}
+    report = EquivalenceReport()
+    try:
+        interp_a = Interpreter(original, options=options)
+        interp_b = Interpreter(transformed, options=options)
+        _seed_particles_aos(interp_a, array, fields, count)
+        _seed_particles_soa(interp_b, array, fields, count)
+        for function in functions:
+            try:
+                result_a = interp_a.call(function, count, *extra_args)
+                result_b = interp_b.call(function, count, *extra_args)
+            except InterpreterError as exc:
+                report.errors.append(f"{function}: {exc}")
+                continue
+            ok = _values_close(result_a, result_b)
+            report.record(function, ok, f"{result_a!r} != {result_b!r}")
+    except InterpreterError as exc:
+        report.errors.append(str(exc))
+    return report

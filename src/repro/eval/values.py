@@ -1,0 +1,195 @@
+"""Runtime values for the mini C interpreter.
+
+The interpreter models just enough of C's object model to execute the
+synthetic workloads: numeric scalars, (nested) arrays backed by Python lists,
+struct objects backed by dicts, and l-values as ``(container, key)`` pairs so
+assignment and compound assignment work uniformly for variables, array
+elements and struct fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import InterpreterError
+
+
+class BreakSignal(Exception):
+    """Raised to unwind a ``break`` statement."""
+
+
+class ContinueSignal(Exception):
+    """Raised to unwind a ``continue`` statement."""
+
+
+class ReturnSignal(Exception):
+    """Raised to unwind a ``return`` statement; carries the value."""
+
+    def __init__(self, value: Any = None):
+        super().__init__("return")
+        self.value = value
+
+
+@dataclass
+class StructValue:
+    """An instance of a C struct: field name → value."""
+
+    struct_name: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> Any:
+        if name not in self.fields:
+            raise InterpreterError(f"struct {self.struct_name} has no field {name!r}")
+        return self.fields[name]
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        self.fields[name] = value
+
+    def copy(self) -> "StructValue":
+        return StructValue(struct_name=self.struct_name,
+                           fields={k: _copy_value(v) for k, v in self.fields.items()})
+
+
+def _copy_value(value: Any) -> Any:
+    if isinstance(value, list):
+        return [_copy_value(v) for v in value]
+    if isinstance(value, StructValue):
+        return value.copy()
+    return value
+
+
+def make_array(dims: list[int], fill: Any = 0.0) -> list:
+    """Allocate a nested list with the given dimensions."""
+    if not dims:
+        return fill
+    head, *rest = dims
+    return [make_array(rest, fill) for _ in range(head)]
+
+
+def default_value(type_text: str, struct_fields: Optional[dict[str, list[int]]] = None):
+    """The zero value of a scalar type."""
+    if "int" in type_text or type_text in ("char", "long", "short", "size_t", "bool"):
+        return 0
+    return 0.0
+
+
+@dataclass
+class LValue:
+    """A resolved assignable location."""
+
+    container: Any   # dict (scope / struct fields) or list (array)
+    key: Any         # name or index
+
+    def load(self) -> Any:
+        try:
+            return self.container[self.key]
+        except (KeyError, IndexError) as exc:
+            raise InterpreterError(f"invalid l-value access: {exc}") from exc
+
+    def store(self, value: Any) -> None:
+        try:
+            self.container[self.key] = value
+        except (KeyError, IndexError) as exc:
+            raise InterpreterError(f"invalid l-value store: {exc}") from exc
+
+
+class Scope:
+    """A chain of name→value frames (function locals, nested blocks, globals)."""
+
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self.names: dict[str, Any] = {}
+
+    def child(self) -> "Scope":
+        return Scope(parent=self)
+
+    def declare(self, name: str, value: Any) -> None:
+        self.names[name] = value
+
+    def _frame_of(self, name: str) -> Optional[dict[str, Any]]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names
+            scope = scope.parent
+        return None
+
+    def lookup(self, name: str) -> Any:
+        frame = self._frame_of(name)
+        if frame is None:
+            raise InterpreterError(f"undefined identifier {name!r}")
+        return frame[name]
+
+    def has(self, name: str) -> bool:
+        return self._frame_of(name) is not None
+
+    def lvalue(self, name: str) -> LValue:
+        frame = self._frame_of(name)
+        if frame is None:
+            # implicit declaration at the innermost scope (tolerant mode)
+            frame = self.names
+            frame[name] = 0.0
+        return LValue(container=frame, key=name)
+
+
+def truthy(value: Any) -> bool:
+    if isinstance(value, (int, float, bool)):
+        return value != 0
+    if value is None:
+        return False
+    return bool(value)
+
+
+def c_int(value: Any) -> int:
+    return int(value)
+
+
+def binary_op(op: str, left: Any, right: Any) -> Any:
+    """Evaluate a C binary operator on Python values."""
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if isinstance(left, int) and isinstance(right, int):
+            if right == 0:
+                raise InterpreterError("integer division by zero")
+            return int(left / right) if (left < 0) != (right < 0) else left // right
+        if right == 0:
+            raise InterpreterError("division by zero")
+        return left / right
+    if op == "%":
+        if right == 0:
+            raise InterpreterError("modulo by zero")
+        return int(left) - int(right) * int(int(left) / int(right)) if (left < 0) != (right < 0) \
+            else int(left) % int(right)
+    if op == "<":
+        return 1 if left < right else 0
+    if op == ">":
+        return 1 if left > right else 0
+    if op == "<=":
+        return 1 if left <= right else 0
+    if op == ">=":
+        return 1 if left >= right else 0
+    if op == "==":
+        return 1 if left == right else 0
+    if op == "!=":
+        return 1 if left != right else 0
+    if op == "&&":
+        return 1 if truthy(left) and truthy(right) else 0
+    if op == "||":
+        return 1 if truthy(left) or truthy(right) else 0
+    if op == "&":
+        return c_int(left) & c_int(right)
+    if op == "|":
+        return c_int(left) | c_int(right)
+    if op == "^":
+        return c_int(left) ^ c_int(right)
+    if op == "<<":
+        return c_int(left) << c_int(right)
+    if op == ">>":
+        return c_int(left) >> c_int(right)
+    raise InterpreterError(f"unsupported binary operator {op!r}")

@@ -1,0 +1,291 @@
+"""Per-function control-flow graphs.
+
+Coccinelle matches semantic patches against a function's control-flow graph
+so that ``...`` respects execution order (e.g. across loop back edges).  Our
+sequence matcher works on statement lists (sufficient for every pattern in
+the paper), and the CFG built here backs the complementary analyses the
+engine and the cookbook expose: loop discovery (which loops does a rule
+instrument / rewrite), reachability queries used to validate that inserted
+markers enclose the intended region, and simple dominance information used by
+the analysis reports.
+
+The graph is kept in plain Python structures; :meth:`CFG.to_networkx` exports
+it for clients that want the full algorithm library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .ast_nodes import (
+    BreakStmt, CompoundStmt, ContinueStmt, DeclStmt, DoWhileStmt, ExprStmt,
+    ForStmt, FunctionDef, IfStmt, Node, PragmaDirective, RangeForStmt,
+    ReturnStmt, WhileStmt, RawStmt, EmptyStmt,
+)
+
+
+@dataclass
+class CFGNode:
+    """One node of the control-flow graph.
+
+    ``kind`` is ``entry``, ``exit``, ``stmt``, ``cond``, ``loop-head`` or
+    ``join``; ``stmt`` nodes reference the AST statement they represent.
+    """
+
+    index: int
+    kind: str
+    stmt: Optional[Node] = None
+    label: str = ""
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CFGNode({self.index}, {self.kind}, {self.label!r})"
+
+
+@dataclass
+class Loop:
+    """A natural loop discovered in the CFG."""
+
+    head: int
+    back_edge_from: int
+    body: set[int] = field(default_factory=set)
+    stmt: Optional[Node] = None
+
+
+class CFG:
+    """Control-flow graph of one function."""
+
+    def __init__(self, function: FunctionDef):
+        self.function = function
+        self.nodes: list[CFGNode] = []
+        self.entry = self._new_node("entry", label="ENTRY")
+        self.exit = self._new_node("exit", label="EXIT")
+        self._break_targets: list[int] = []
+        self._continue_targets: list[int] = []
+        if function.body is not None and isinstance(function.body, CompoundStmt):
+            last = self._build_seq(function.body.stmts, self.entry.index)
+            self._add_edge(last, self.exit.index)
+        else:
+            self._add_edge(self.entry.index, self.exit.index)
+
+    # -- construction ---------------------------------------------------------
+
+    def _new_node(self, kind: str, stmt: Node | None = None, label: str = "") -> CFGNode:
+        node = CFGNode(index=len(self.nodes), kind=kind, stmt=stmt, label=label)
+        self.nodes.append(node)
+        return node
+
+    def _add_edge(self, src: int, dst: int) -> None:
+        if src < 0 or dst < 0:
+            return
+        if dst not in self.nodes[src].succs:
+            self.nodes[src].succs.append(dst)
+        if src not in self.nodes[dst].preds:
+            self.nodes[dst].preds.append(src)
+
+    def _build_seq(self, stmts: list[Node], pred: int) -> int:
+        """Wire a statement sequence after node ``pred``; return the last node
+        (or -1 if control cannot fall through)."""
+        current = pred
+        for stmt in stmts:
+            if current < 0:
+                # unreachable code still gets nodes, but no incoming edge
+                current = -1
+            current = self._build_stmt(stmt, current)
+        return current
+
+    def _build_stmt(self, stmt: Node, pred: int) -> int:
+        if isinstance(stmt, CompoundStmt):
+            return self._build_seq(stmt.stmts, pred)
+
+        if isinstance(stmt, IfStmt):
+            cond = self._new_node("cond", stmt=stmt, label="if")
+            self._add_edge(pred, cond.index)
+            then_last = self._build_stmt(stmt.then, cond.index)
+            join = self._new_node("join", label="endif")
+            self._add_edge(then_last, join.index)
+            if stmt.orelse is not None:
+                else_last = self._build_stmt(stmt.orelse, cond.index)
+                self._add_edge(else_last, join.index)
+            else:
+                self._add_edge(cond.index, join.index)
+            return join.index
+
+        if isinstance(stmt, (ForStmt, WhileStmt, RangeForStmt)):
+            head = self._new_node("loop-head", stmt=stmt, label=type(stmt).__name__)
+            self._add_edge(pred, head.index)
+            after = self._new_node("join", label="after-loop")
+            self._break_targets.append(after.index)
+            self._continue_targets.append(head.index)
+            body = stmt.body
+            body_last = self._build_stmt(body, head.index) if body is not None else head.index
+            self._add_edge(body_last, head.index)  # back edge
+            self._add_edge(head.index, after.index)
+            self._break_targets.pop()
+            self._continue_targets.pop()
+            return after.index
+
+        if isinstance(stmt, DoWhileStmt):
+            head = self._new_node("loop-head", stmt=stmt, label="do")
+            self._add_edge(pred, head.index)
+            after = self._new_node("join", label="after-loop")
+            self._break_targets.append(after.index)
+            self._continue_targets.append(head.index)
+            body_last = self._build_stmt(stmt.body, head.index) if stmt.body is not None else head.index
+            self._add_edge(body_last, head.index)
+            self._add_edge(head.index, after.index)
+            self._break_targets.pop()
+            self._continue_targets.pop()
+            return after.index
+
+        if isinstance(stmt, ReturnStmt):
+            node = self._new_node("stmt", stmt=stmt, label="return")
+            self._add_edge(pred, node.index)
+            self._add_edge(node.index, self.exit.index)
+            return -1
+
+        if isinstance(stmt, BreakStmt):
+            node = self._new_node("stmt", stmt=stmt, label="break")
+            self._add_edge(pred, node.index)
+            if self._break_targets:
+                self._add_edge(node.index, self._break_targets[-1])
+            return -1
+
+        if isinstance(stmt, ContinueStmt):
+            node = self._new_node("stmt", stmt=stmt, label="continue")
+            self._add_edge(pred, node.index)
+            if self._continue_targets:
+                self._add_edge(node.index, self._continue_targets[-1])
+            return -1
+
+        # plain statements: expressions, declarations, pragmas, raw, empty
+        label = type(stmt).__name__
+        node = self._new_node("stmt", stmt=stmt, label=label)
+        self._add_edge(pred, node.index)
+        return node.index
+
+    # -- queries -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def successors(self, index: int) -> list[int]:
+        return list(self.nodes[index].succs)
+
+    def predecessors(self, index: int) -> list[int]:
+        return list(self.nodes[index].preds)
+
+    def statement_nodes(self) -> Iterator[CFGNode]:
+        for node in self.nodes:
+            if node.stmt is not None:
+                yield node
+
+    def node_for_statement(self, stmt: Node) -> Optional[CFGNode]:
+        for node in self.nodes:
+            if node.stmt is stmt:
+                return node
+        return None
+
+    def reachable_from(self, index: int) -> set[int]:
+        """All node indices reachable from ``index`` (including itself)."""
+        seen: set[int] = set()
+        stack = [index]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(self.nodes[cur].succs)
+        return seen
+
+    def on_every_path_between(self, start: int, end: int, through: int) -> bool:
+        """True when every path ``start -> end`` passes through ``through``
+        (a weak form of the path-sensitivity Coccinelle's dots provide)."""
+        if through in (start, end):
+            return True
+        seen: set[int] = set()
+        stack = [start]
+        while stack:
+            cur = stack.pop()
+            if cur == through:
+                continue
+            if cur == end:
+                return False
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(self.nodes[cur].succs)
+        return True
+
+    def back_edges(self) -> list[tuple[int, int]]:
+        """Edges ``(src, dst)`` where ``dst`` is an ancestor of ``src`` in the
+        DFS tree rooted at the entry node (loop back edges)."""
+        color: dict[int, int] = {}
+        edges: list[tuple[int, int]] = []
+
+        def dfs(u: int) -> None:
+            color[u] = 1
+            for v in self.nodes[u].succs:
+                if color.get(v, 0) == 0:
+                    dfs(v)
+                elif color.get(v) == 1:
+                    edges.append((u, v))
+            color[u] = 2
+
+        dfs(self.entry.index)
+        return edges
+
+    def natural_loops(self) -> list[Loop]:
+        """Natural loops: for each back edge ``n -> h``, the set of nodes that
+        can reach ``n`` without going through ``h``."""
+        loops: list[Loop] = []
+        for src, head in self.back_edges():
+            body = {head, src}
+            stack = [src]
+            while stack:
+                cur = stack.pop()
+                for pred in self.nodes[cur].preds:
+                    if pred not in body:
+                        body.add(pred)
+                        stack.append(pred)
+            loops.append(Loop(head=head, back_edge_from=src, body=body,
+                              stmt=self.nodes[head].stmt))
+        return loops
+
+    def dominators(self) -> dict[int, set[int]]:
+        """Classic iterative dominator computation (small functions only)."""
+        all_nodes = set(range(len(self.nodes)))
+        dom: dict[int, set[int]] = {n: set(all_nodes) for n in all_nodes}
+        dom[self.entry.index] = {self.entry.index}
+        changed = True
+        while changed:
+            changed = False
+            for n in all_nodes - {self.entry.index}:
+                preds = self.nodes[n].preds
+                if preds:
+                    new = set.intersection(*(dom[p] for p in preds)) | {n}
+                else:
+                    new = {n}
+                if new != dom[n]:
+                    dom[n] = new
+                    changed = True
+        return dom
+
+    def to_networkx(self):
+        """Export as a :class:`networkx.DiGraph` (node attribute ``kind``)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for node in self.nodes:
+            g.add_node(node.index, kind=node.kind, label=node.label)
+        for node in self.nodes:
+            for succ in node.succs:
+                g.add_edge(node.index, succ)
+        return g
+
+
+def build_cfg(function: FunctionDef) -> CFG:
+    """Build the control-flow graph of one function definition."""
+    return CFG(function)

@@ -1,0 +1,338 @@
+"""Tokenizer for the C/C++ subset understood by the front end.
+
+The same lexer is reused by the SmPL pattern parser (with
+``smpl_mode=True``), which adds a handful of extra tokens: escaped
+disjunction delimiters (``\\(``, ``\\|``, ``\\&``, ``\\)``), the position
+operator ``@``, the regex-constraint operator ``=~`` and the concatenation
+operator ``##`` used by ``fresh identifier`` declarations.
+
+Preprocessor directives are lexed as single :data:`TokenKind.DIRECTIVE`
+tokens covering the whole *logical* line (backslash continuations merged),
+because semantic patches treat ``#pragma``/``#include`` lines as atomic
+pattern elements, exactly as Coccinelle does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+from ..errors import LexError
+from .source import SourceFile
+
+
+class TokenKind(enum.Enum):
+    """Lexical token categories."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    CHAR = "char"
+    PUNCT = "punct"
+    DIRECTIVE = "directive"
+    # SmPL-only kinds
+    DOTS = "dots"          # ...
+    DISJ_OPEN = "disj_open"    # \( or a column-0 '(' line
+    DISJ_OR = "disj_or"        # \| or a column-0 '|' line
+    CONJ_AND = "conj_and"      # \& or a column-0 '&' line
+    DISJ_CLOSE = "disj_close"  # \) or a column-0 ')' line
+    EOF = "eof"
+
+
+#: Pattern-line annotations used by the SmPL machinery.  Plain C tokens carry
+#: ``None``.
+ANNOT_CONTEXT = " "
+ANNOT_MINUS = "-"
+ANNOT_PLUS = "+"
+
+
+@dataclass
+class Token:
+    """One lexical token.
+
+    ``offset``/``end`` index into the originating text, which is what the
+    transformation stage uses to produce byte-accurate edits.  ``annot`` and
+    ``pline`` are only populated for SmPL pattern tokens (the annotation of
+    the pattern line the token came from, and that line's index).
+    """
+
+    kind: TokenKind
+    value: str
+    offset: int
+    end: int
+    line: int
+    col: int
+    annot: Optional[str] = None
+    pline: int = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.value}, {self.value!r}, @{self.line}:{self.col})"
+
+    @property
+    def length(self) -> int:
+        return self.end - self.offset
+
+    def is_punct(self, *values: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.value in values
+
+    def is_ident(self, *names: str) -> bool:
+        if self.kind is not TokenKind.IDENT:
+            return False
+        return not names or self.value in names
+
+    def with_annotation(self, annot: str, pline: int) -> "Token":
+        return replace(self, annot=annot, pline=pline)
+
+
+# Multi-character punctuators, longest first.  ``<<<``/``>>>`` are the CUDA
+# kernel-launch chevrons the paper's CUDA->HIP rules must recognise.
+_PUNCTUATORS = [
+    "<<<", ">>>",
+    "<<=", ">>=", "...", "->*", "::*",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "::", "##", "=~",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "[", "]", "{", "}", ";", ",", ".", "?", ":", "#", "@",
+]
+
+_SMPL_ESCAPES = {
+    "\\(": TokenKind.DISJ_OPEN,
+    "\\|": TokenKind.DISJ_OR,
+    "\\&": TokenKind.CONJ_AND,
+    "\\)": TokenKind.DISJ_CLOSE,
+}
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+
+class Lexer:
+    """Streaming tokenizer over a :class:`SourceFile`.
+
+    Parameters
+    ----------
+    source:
+        The file to tokenize.
+    smpl_mode:
+        Enable the SmPL-only tokens (escaped disjunction markers, ``...`` as
+        a DOTS token, ``@``/``=~``/``##`` punctuators).  In plain C mode
+        ``...`` is also emitted as DOTS (it only occurs in parameter lists as
+        varargs, which the parser handles).
+    directives_as_tokens:
+        Lex ``#``-lines as single DIRECTIVE tokens (the default).  When
+        disabled, ``#`` is an ordinary punctuator (used when tokenizing the
+        *interior* of a pragma line).
+    """
+
+    def __init__(self, source: SourceFile, smpl_mode: bool = False,
+                 directives_as_tokens: bool = True):
+        self.source = source
+        self.text = source.text
+        self.smpl_mode = smpl_mode
+        self.directives_as_tokens = directives_as_tokens
+        self.pos = 0
+        self.comments: list[tuple[int, int]] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def _loc(self, offset: int) -> tuple[int, int]:
+        loc = self.source.location(offset)
+        return loc.line, loc.col
+
+    def _error(self, message: str, offset: int) -> LexError:
+        line, col = self._loc(offset)
+        return LexError(message, self.source.name, line, col)
+
+    def _make(self, kind: TokenKind, value: str, start: int, end: int) -> Token:
+        line, col = self._loc(start)
+        return Token(kind=kind, value=value, offset=start, end=end, line=line, col=col)
+
+    # -- scanning ----------------------------------------------------------
+
+    def tokenize(self) -> list[Token]:
+        """Tokenize the whole file, appending a final EOF token."""
+        tokens: list[Token] = []
+        while True:
+            tok = self._next_token()
+            tokens.append(tok)
+            if tok.kind is TokenKind.EOF:
+                break
+        return tokens
+
+    def _skip_trivia(self) -> None:
+        text, n = self.text, len(self.text)
+        while self.pos < n:
+            ch = text[self.pos]
+            if ch in " \t\r\n":
+                self.pos += 1
+            elif ch == "/" and self.pos + 1 < n and text[self.pos + 1] == "/":
+                start = self.pos
+                while self.pos < n and text[self.pos] != "\n":
+                    self.pos += 1
+                self.comments.append((start, self.pos))
+            elif ch == "/" and self.pos + 1 < n and text[self.pos + 1] == "*":
+                start = self.pos
+                self.pos += 2
+                while self.pos < n and not text.startswith("*/", self.pos):
+                    self.pos += 1
+                if self.pos >= n:
+                    raise self._error("unterminated block comment", start)
+                self.pos += 2
+                self.comments.append((start, self.pos))
+            elif ch == "\\" and self.pos + 1 < n and text[self.pos + 1] == "\n":
+                # stray line continuation outside a directive
+                self.pos += 2
+            else:
+                break
+
+    def _at_line_start(self, offset: int) -> bool:
+        i = offset - 1
+        while i >= 0 and self.text[i] in " \t":
+            i -= 1
+        return i < 0 or self.text[i] == "\n"
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        text, n = self.text, len(self.text)
+        if self.pos >= n:
+            return self._make(TokenKind.EOF, "", n, n)
+        start = self.pos
+        ch = text[start]
+
+        # --- preprocessor directives -----------------------------------
+        if ch == "#" and self.directives_as_tokens and self._at_line_start(start):
+            return self._lex_directive(start)
+
+        # --- SmPL escaped disjunction markers ---------------------------
+        if self.smpl_mode and ch == "\\" and start + 1 < n:
+            two = text[start:start + 2]
+            if two in _SMPL_ESCAPES:
+                self.pos = start + 2
+                return self._make(_SMPL_ESCAPES[two], two, start, self.pos)
+
+        # --- identifiers and keywords ------------------------------------
+        if ch in _IDENT_START:
+            end = start + 1
+            while end < n and text[end] in _IDENT_CONT:
+                end += 1
+            self.pos = end
+            return self._make(TokenKind.IDENT, text[start:end], start, end)
+
+        # --- numbers ------------------------------------------------------
+        if ch in _DIGITS or (ch == "." and start + 1 < n and text[start + 1] in _DIGITS):
+            return self._lex_number(start)
+
+        # --- string / char literals --------------------------------------
+        if ch == '"':
+            return self._lex_quoted(start, '"', TokenKind.STRING)
+        if ch == "'":
+            return self._lex_quoted(start, "'", TokenKind.CHAR)
+
+        # --- punctuation ---------------------------------------------------
+        for punct in _PUNCTUATORS:
+            if text.startswith(punct, start):
+                # '>>>' only closes a CUDA kernel launch; inside nested
+                # templates it would be wrong, but the supported subset never
+                # nests templates three deep.
+                end = start + len(punct)
+                self.pos = end
+                kind = TokenKind.DOTS if punct == "..." else TokenKind.PUNCT
+                return self._make(kind, punct, start, end)
+
+        raise self._error(f"unexpected character {ch!r}", start)
+
+    def _lex_directive(self, start: int) -> Token:
+        """Lex a whole ``#...`` logical line (merging ``\\`` continuations)."""
+        text, n = self.text, len(self.text)
+        end = start
+        while end < n:
+            if text[end] == "\n":
+                # merged continuation?
+                back = end - 1
+                while back > start and text[back] in " \t\r":
+                    back -= 1
+                if text[back] == "\\":
+                    end += 1
+                    continue
+                break
+            end += 1
+        self.pos = end
+        raw = text[start:end]
+        # normalise continuations and collapse whitespace runs in the value;
+        # the raw extent is still [start, end) for edit purposes.
+        value = " ".join(raw.replace("\\\n", " ").replace("\\\r\n", " ").split())
+        return self._make(TokenKind.DIRECTIVE, value, start, end)
+
+    def _lex_number(self, start: int) -> Token:
+        text, n = self.text, len(self.text)
+        end = start
+        if text.startswith(("0x", "0X"), start):
+            end = start + 2
+            while end < n and (text[end] in "0123456789abcdefABCDEF"):
+                end += 1
+        else:
+            seen_dot = seen_exp = False
+            while end < n:
+                c = text[end]
+                if c in _DIGITS:
+                    end += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    end += 1
+                elif c in "eE" and not seen_exp and end + 1 < n and (
+                        text[end + 1] in _DIGITS or text[end + 1] in "+-"):
+                    seen_exp = True
+                    end += 1
+                    if text[end] in "+-":
+                        end += 1
+                else:
+                    break
+        # suffixes
+        while end < n and text[end] in "uUlLfF":
+            end += 1
+        self.pos = end
+        return self._make(TokenKind.NUMBER, text[start:end], start, end)
+
+    def _lex_quoted(self, start: int, quote: str, kind: TokenKind) -> Token:
+        text, n = self.text, len(self.text)
+        end = start + 1
+        while end < n and text[end] != quote:
+            if text[end] == "\\" and end + 1 < n:
+                end += 2
+            else:
+                end += 1
+        if end >= n:
+            raise self._error("unterminated literal", start)
+        end += 1
+        self.pos = end
+        return self._make(kind, text[start:end], start, end)
+
+
+def tokenize(text: str, name: str = "<string>", smpl_mode: bool = False,
+             directives_as_tokens: bool = True) -> list[Token]:
+    """Convenience wrapper: tokenize a string into a token list (with EOF)."""
+    src = SourceFile(name=name, text=text)
+    return Lexer(src, smpl_mode=smpl_mode,
+                 directives_as_tokens=directives_as_tokens).tokenize()
+
+
+def tokenize_pragma_text(text: str) -> list[str]:
+    """Split the body of a ``#pragma`` (after the ``#pragma`` keyword) into
+    word/punctuation tokens.  Used for prefix matching of pragma patterns
+    such as ``#pragma omp ...``."""
+    toks: list[str] = []
+    try:
+        for tok in tokenize(text, directives_as_tokens=False):
+            if tok.kind is TokenKind.EOF:
+                break
+            toks.append(tok.value)
+    except LexError:
+        toks = text.split()
+    return toks
+
+
+def significant_tokens(tokens: Iterable[Token]) -> list[Token]:
+    """Drop the trailing EOF token (and nothing else)."""
+    return [t for t in tokens if t.kind is not TokenKind.EOF]

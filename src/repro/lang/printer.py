@@ -1,0 +1,319 @@
+"""Pretty printer: turn AST nodes back into C/C++ source text.
+
+The transformation engine does *not* reprint matched files (it performs
+byte-level edits on the original text, as Coccinelle does), so this module is
+used for: rendering synthetic code in tests, printing bound metavariable
+values in reports, the mini interpreter's diagnostics, and round-trip
+property tests of the parser.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    AttributeSpec, Assignment, BinaryOp, BreakStmt, Call, Cast, CommaExpr,
+    CompoundStmt, Conjunction, ContinueStmt, Declaration, Declarator,
+    DeclStmt, DefineDirective, Disjunction, DoWhileStmt, DotsExpr, DotsParam,
+    DotsStmt, EmptyStmt, ExprStmt, ForStmt, FunctionDef, Ident, IfStmt,
+    IncludeDirective, InitList, KernelLaunch, Lambda, Literal, Member,
+    MetaExprList, MetaParamList, MetaStmt, MetaStmtList, Node, OtherDirective,
+    Param, ParamList, Paren, PragmaDirective, RangeForStmt, RawDecl, RawStmt,
+    ReturnStmt, SizeofExpr, StructDef, Subscript, Ternary, TranslationUnit,
+    TypeName, UnaryOp, WhileStmt,
+)
+
+
+class CPrinter:
+    """Render AST nodes as source text with simple, consistent formatting."""
+
+    def __init__(self, indent: str = "    "):
+        self.indent_unit = indent
+
+    # -- public API ---------------------------------------------------------
+
+    def print(self, node: Node) -> str:
+        return self._print(node, 0)
+
+    __call__ = print
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _print(self, node: Node, level: int) -> str:
+        method = getattr(self, f"_print_{type(node).__name__}", None)
+        if method is None:
+            raise TypeError(f"CPrinter cannot print node of kind {node.kind}")
+        return method(node, level)
+
+    def _ind(self, level: int) -> str:
+        return self.indent_unit * level
+
+    # -- top level ------------------------------------------------------------
+
+    def _print_TranslationUnit(self, node: TranslationUnit, level: int) -> str:
+        chunks = [self._print(d, level) for d in node.decls]
+        return "\n".join(chunks) + ("\n" if chunks else "")
+
+    def _print_IncludeDirective(self, node: IncludeDirective, level: int) -> str:
+        return f"#include {node.header_text}"
+
+    def _print_DefineDirective(self, node: DefineDirective, level: int) -> str:
+        return node.raw
+
+    def _print_PragmaDirective(self, node: PragmaDirective, level: int) -> str:
+        return f"{self._ind(level)}#pragma {node.text}"
+
+    def _print_OtherDirective(self, node: OtherDirective, level: int) -> str:
+        return node.raw
+
+    def _print_RawDecl(self, node: RawDecl, level: int) -> str:
+        return node.text
+
+    def _print_StructDef(self, node: StructDef, level: int) -> str:
+        head = f"typedef {node.keyword}" if node.is_typedef else node.keyword
+        if node.name:
+            head += f" {node.name}"
+        lines = [head + " {"]
+        if node.keyword == "enum":
+            inner = ", ".join(node.enumerators)
+            lines.append(self._ind(level + 1) + inner)
+        else:
+            for member in node.members:
+                lines.append(self._print(member, level + 1))
+        tail = "}"
+        if node.is_typedef and node.typedef_name:
+            tail += f" {node.typedef_name}"
+        lines.append(self._ind(level) + tail + ";")
+        return "\n".join(lines)
+
+    def _print_AttributeSpec(self, node: AttributeSpec, level: int) -> str:
+        if node.has_args:
+            args = ", ".join(self._print(a, 0) for a in node.args)
+            return f"__attribute__(({node.name}({args})))"
+        return f"__attribute__(({node.name}))"
+
+    def _print_FunctionDef(self, node: FunctionDef, level: int) -> str:
+        parts = []
+        for attr in node.attributes:
+            parts.append(self._print(attr, level))
+        head = ""
+        if node.specifiers:
+            head += " ".join(node.specifiers) + " "
+        head += node.return_type.text if node.return_type else "void"
+        if node.pointer:
+            head += " " + node.pointer
+        head += f" {node.name}"
+        head += self._print(node.params, level) if node.params else "()"
+        if node.is_prototype or node.body is None:
+            parts.append(head + ";")
+        else:
+            parts.append(head)
+            parts.append(self._print(node.body, level))
+        return "\n".join(self._ind(level) + p if not p.startswith(self._ind(level)) else p
+                         for p in parts)
+
+    def _print_ParamList(self, node: ParamList, level: int) -> str:
+        if not node.params:
+            return "(void)"
+        return "(" + ", ".join(self._print(p, 0) for p in node.params) + ")"
+
+    def _print_Param(self, node: Param, level: int) -> str:
+        text = node.type.text if node.type else ""
+        if node.pointer:
+            text += " " + node.pointer
+        if node.reference:
+            text += " &"
+        if node.name:
+            text += ("" if text.endswith(("*", "&")) else " ") + node.name
+        for dim in node.arrays:
+            text += "[" + (self._print(dim, 0) if dim is not None else "") + "]"
+        if node.default is not None:
+            text += " = " + self._print(node.default, 0)
+        return text.strip()
+
+    def _print_DotsParam(self, node: DotsParam, level: int) -> str:
+        return "..."
+
+    def _print_MetaParamList(self, node: MetaParamList, level: int) -> str:
+        return node.name
+
+    def _print_Declaration(self, node: Declaration, level: int) -> str:
+        prefix = ""
+        for attr in node.attributes:
+            prefix += self._print(attr, 0) + " "
+        words = list(node.specifiers)
+        if node.type is not None:
+            words.append(node.type.text)
+        decls = ", ".join(self._print(d, 0) for d in node.declarators)
+        return f"{self._ind(level)}{prefix}{' '.join(words)} {decls};"
+
+    def _print_Declarator(self, node: Declarator, level: int) -> str:
+        text = node.pointer + ("&" if node.reference else "") + node.name
+        for dim in node.arrays:
+            text += "[" + (self._print(dim, 0) if dim is not None else "") + "]"
+        if node.init is not None:
+            text += " = " + self._print(node.init, 0)
+        return text
+
+    # -- statements -------------------------------------------------------------
+
+    def _print_CompoundStmt(self, node: CompoundStmt, level: int) -> str:
+        lines = [self._ind(level) + "{"]
+        for stmt in node.stmts:
+            lines.append(self._print(stmt, level + 1))
+        lines.append(self._ind(level) + "}")
+        return "\n".join(lines)
+
+    def _print_ExprStmt(self, node: ExprStmt, level: int) -> str:
+        semi = ";" if node.has_semicolon else ""
+        return f"{self._ind(level)}{self._print(node.expr, 0)}{semi}"
+
+    def _print_DeclStmt(self, node: DeclStmt, level: int) -> str:
+        return self._print(node.decl, level)
+
+    def _print_IfStmt(self, node: IfStmt, level: int) -> str:
+        text = f"{self._ind(level)}if ({self._print(node.cond, 0)})\n"
+        text += self._body(node.then, level)
+        if node.orelse is not None:
+            text += f"\n{self._ind(level)}else\n" + self._body(node.orelse, level)
+        return text
+
+    def _body(self, stmt: Node, level: int) -> str:
+        if isinstance(stmt, CompoundStmt):
+            return self._print(stmt, level)
+        return self._print(stmt, level + 1)
+
+    def _print_ForStmt(self, node: ForStmt, level: int) -> str:
+        init = ""
+        if isinstance(node.init, DeclStmt):
+            init = self._print(node.init, 0).strip().rstrip(";")
+        elif isinstance(node.init, ExprStmt):
+            init = self._print(node.init.expr, 0)
+        elif node.init is not None:
+            init = self._print(node.init, 0)
+        cond = self._print(node.cond, 0) if node.cond is not None else ""
+        step = self._print(node.step, 0) if node.step is not None else ""
+        head = f"{self._ind(level)}for ({init}; {cond}; {step})"
+        return head + "\n" + self._body(node.body, level)
+
+    def _print_RangeForStmt(self, node: RangeForStmt, level: int) -> str:
+        ref = " &" if node.reference else (" " + node.pointer if node.pointer else " ")
+        head = (f"{self._ind(level)}for ({node.type.text}{ref}{node.var} : "
+                f"{self._print(node.iterable, 0)})")
+        return head + "\n" + self._body(node.body, level)
+
+    def _print_WhileStmt(self, node: WhileStmt, level: int) -> str:
+        return (f"{self._ind(level)}while ({self._print(node.cond, 0)})\n"
+                + self._body(node.body, level))
+
+    def _print_DoWhileStmt(self, node: DoWhileStmt, level: int) -> str:
+        return (f"{self._ind(level)}do\n" + self._body(node.body, level)
+                + f"\n{self._ind(level)}while ({self._print(node.cond, 0)});")
+
+    def _print_ReturnStmt(self, node: ReturnStmt, level: int) -> str:
+        if node.value is None:
+            return f"{self._ind(level)}return;"
+        return f"{self._ind(level)}return {self._print(node.value, 0)};"
+
+    def _print_BreakStmt(self, node: BreakStmt, level: int) -> str:
+        return f"{self._ind(level)}break;"
+
+    def _print_ContinueStmt(self, node: ContinueStmt, level: int) -> str:
+        return f"{self._ind(level)}continue;"
+
+    def _print_EmptyStmt(self, node: EmptyStmt, level: int) -> str:
+        return f"{self._ind(level)};"
+
+    def _print_RawStmt(self, node: RawStmt, level: int) -> str:
+        return f"{self._ind(level)}{node.text}"
+
+    def _print_MetaStmt(self, node: MetaStmt, level: int) -> str:
+        return f"{self._ind(level)}{node.name}"
+
+    def _print_MetaStmtList(self, node: MetaStmtList, level: int) -> str:
+        return f"{self._ind(level)}{node.name}"
+
+    def _print_DotsStmt(self, node: DotsStmt, level: int) -> str:
+        return f"{self._ind(level)}..."
+
+    # -- expressions -------------------------------------------------------------
+
+    def _print_Ident(self, node: Ident, level: int) -> str:
+        return node.name
+
+    def _print_Literal(self, node: Literal, level: int) -> str:
+        return node.value
+
+    def _print_BinaryOp(self, node: BinaryOp, level: int) -> str:
+        return f"{self._print(node.left, 0)} {node.op} {self._print(node.right, 0)}"
+
+    def _print_UnaryOp(self, node: UnaryOp, level: int) -> str:
+        if node.prefix:
+            return f"{node.op}{self._print(node.operand, 0)}"
+        return f"{self._print(node.operand, 0)}{node.op}"
+
+    def _print_Assignment(self, node: Assignment, level: int) -> str:
+        return f"{self._print(node.target, 0)} {node.op} {self._print(node.value, 0)}"
+
+    def _print_Ternary(self, node: Ternary, level: int) -> str:
+        return (f"{self._print(node.cond, 0)} ? {self._print(node.then, 0)}"
+                f" : {self._print(node.orelse, 0)}")
+
+    def _print_Call(self, node: Call, level: int) -> str:
+        args = ", ".join(self._print(a, 0) for a in node.args)
+        return f"{self._print(node.func, 0)}({args})"
+
+    def _print_KernelLaunch(self, node: KernelLaunch, level: int) -> str:
+        config = ", ".join(self._print(a, 0) for a in node.config)
+        args = ", ".join(self._print(a, 0) for a in node.args)
+        return f"{self._print(node.func, 0)}<<<{config}>>>({args})"
+
+    def _print_Subscript(self, node: Subscript, level: int) -> str:
+        idx = ", ".join(self._print(i, 0) for i in node.indices)
+        return f"{self._print(node.base, 0)}[{idx}]"
+
+    def _print_Member(self, node: Member, level: int) -> str:
+        return f"{self._print(node.base, 0)}{node.op}{node.name}"
+
+    def _print_Cast(self, node: Cast, level: int) -> str:
+        return f"({node.type.text}){self._print(node.expr, 0)}"
+
+    def _print_Paren(self, node: Paren, level: int) -> str:
+        return f"({self._print(node.expr, 0)})"
+
+    def _print_InitList(self, node: InitList, level: int) -> str:
+        return "{" + ", ".join(self._print(i, 0) for i in node.items) + "}"
+
+    def _print_CommaExpr(self, node: CommaExpr, level: int) -> str:
+        return ", ".join(self._print(i, 0) for i in node.items)
+
+    def _print_SizeofExpr(self, node: SizeofExpr, level: int) -> str:
+        if isinstance(node.arg, TypeName):
+            return f"sizeof({node.arg.text})"
+        return f"sizeof({self._print(node.arg, 0)})"
+
+    def _print_Lambda(self, node: Lambda, level: int) -> str:
+        params = self._print(node.params, 0) if node.params else "()"
+        body = self._print(node.body, 0) if node.body else "{}"
+        return f"[{node.capture}]{params} {body}"
+
+    def _print_TypeName(self, node: TypeName, level: int) -> str:
+        return node.text
+
+    def _print_DotsExpr(self, node: DotsExpr, level: int) -> str:
+        return "..."
+
+    def _print_MetaExprList(self, node: MetaExprList, level: int) -> str:
+        return node.name
+
+    def _print_Disjunction(self, node: Disjunction, level: int) -> str:
+        return "\\( " + " \\| ".join(self._print(b, 0) for b in node.branches) + " \\)"
+
+    def _print_Conjunction(self, node: Conjunction, level: int) -> str:
+        return "\\( " + " \\& ".join(self._print(b, 0) for b in node.branches) + " \\)"
+
+
+_DEFAULT_PRINTER = CPrinter()
+
+
+def to_source(node: Node) -> str:
+    """Render ``node`` with the default printer."""
+    return _DEFAULT_PRINTER.print(node)

@@ -1,0 +1,209 @@
+"""Lightweight symbol tables over parsed translation units.
+
+The AoS→SoA cookbook rules and the analysis passes need to answer questions
+like "which global arrays have a struct element type?", "which fields does
+``struct particle`` have?", "which functions exist and what are their
+parameters?".  This module collects that information in one pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .ast_nodes import (
+    Declaration, DeclStmt, FunctionDef, Node, StructDef, TranslationUnit, walk,
+)
+from .parser import ParseTree
+
+
+@dataclass
+class StructInfo:
+    """A struct/union definition: name and ``(type text, field name, dims)``.
+
+    ``field_extents`` maps a field name to the printed extents of its array
+    dimensions (e.g. ``{"pos": ["3"]}`` for ``double pos[3];``).
+    """
+
+    name: str
+    keyword: str = "struct"
+    fields: list[tuple[str, str, int]] = field(default_factory=list)
+    typedef_name: str = ""
+    field_extents: dict[str, list[str]] = field(default_factory=dict)
+
+    def field_names(self) -> list[str]:
+        return [f[1] for f in self.fields]
+
+    def field_type(self, name: str) -> Optional[str]:
+        for ty, fname, _dims in self.fields:
+            if fname == name:
+                return ty
+        return None
+
+    def field_dims(self, name: str) -> int:
+        for _ty, fname, dims in self.fields:
+            if fname == name:
+                return dims
+        return 0
+
+
+@dataclass
+class VariableInfo:
+    """A (global or local) variable declaration."""
+
+    name: str
+    type_text: str
+    pointer: str = ""
+    array_dims: list[str] = field(default_factory=list)
+    is_global: bool = True
+    function: str = ""
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.array_dims)
+
+    @property
+    def element_struct(self) -> Optional[str]:
+        """If the element type is ``struct X`` (or a typedef'd struct name
+        registered in the table), return ``X``."""
+        words = self.type_text.split()
+        if "struct" in words:
+            idx = words.index("struct")
+            if idx + 1 < len(words):
+                return words[idx + 1]
+        return None
+
+
+@dataclass
+class FunctionInfo:
+    name: str
+    return_type: str
+    params: list[tuple[str, str]] = field(default_factory=list)  # (type, name)
+    has_body: bool = False
+    attributes: list[str] = field(default_factory=list)
+    node: Optional[FunctionDef] = None
+
+
+@dataclass
+class SymbolTable:
+    """All symbols of one translation unit."""
+
+    structs: dict[str, StructInfo] = field(default_factory=dict)
+    typedefs: dict[str, str] = field(default_factory=dict)
+    globals: dict[str, VariableInfo] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    locals: dict[str, list[VariableInfo]] = field(default_factory=dict)
+
+    # -- queries -------------------------------------------------------------
+
+    def struct_for_type(self, type_text: str) -> Optional[StructInfo]:
+        """Resolve a type text to a struct definition (through typedefs)."""
+        words = type_text.split()
+        if "struct" in words:
+            idx = words.index("struct")
+            if idx + 1 < len(words) and words[idx + 1] in self.structs:
+                return self.structs[words[idx + 1]]
+        for word in words:
+            if word in self.typedefs and self.typedefs[word] in self.structs:
+                return self.structs[self.typedefs[word]]
+            if word in self.structs:
+                return self.structs[word]
+        return None
+
+    def arrays_of_struct(self, struct_name: str) -> list[VariableInfo]:
+        """Global arrays whose element type is the given struct."""
+        out = []
+        for var in self.globals.values():
+            if not var.is_array:
+                continue
+            st = self.struct_for_type(var.type_text)
+            if st is not None and st.name == struct_name:
+                out.append(var)
+        return out
+
+    def functions_matching(self, regex: str) -> list[FunctionInfo]:
+        import re
+
+        pat = re.compile(regex)
+        return [f for f in self.functions.values() if pat.search(f.name)]
+
+    def all_variables(self) -> Iterator[VariableInfo]:
+        yield from self.globals.values()
+        for var_list in self.locals.values():
+            yield from var_list
+
+
+def _declaration_variables(decl: Declaration, is_global: bool,
+                           function: str = "") -> list[VariableInfo]:
+    out: list[VariableInfo] = []
+    type_text = decl.type.text if decl.type else ""
+    for d in decl.declarators:
+        if not d.name:
+            continue
+        dims = []
+        for a in d.arrays:
+            dims.append("" if a is None else "<expr>")
+        out.append(VariableInfo(name=d.name, type_text=type_text, pointer=d.pointer,
+                                array_dims=dims, is_global=is_global, function=function))
+    return out
+
+
+def build_symbol_table(tree: ParseTree) -> SymbolTable:
+    """Collect structs, typedefs, globals, functions and locals of a file."""
+    table = SymbolTable()
+    unit: TranslationUnit = tree.unit
+
+    for decl in unit.decls:
+        if isinstance(decl, StructDef):
+            name = decl.name or decl.typedef_name
+            info = StructInfo(name=name, keyword=decl.keyword,
+                              typedef_name=decl.typedef_name)
+            for member in decl.members:
+                mtype = member.type.text if member.type else ""
+                for d in member.declarators:
+                    info.fields.append((mtype, d.name, len(d.arrays)))
+                    if d.arrays:
+                        info.field_extents[d.name] = [
+                            tree.node_text(a) if a is not None else "" for a in d.arrays]
+            table.structs[name] = info
+            if decl.typedef_name:
+                table.typedefs[decl.typedef_name] = name
+        elif isinstance(decl, Declaration):
+            if decl.is_typedef:
+                base = decl.type.text if decl.type else ""
+                for d in decl.declarators:
+                    if d.name:
+                        table.typedefs[d.name] = base
+                continue
+            for var in _declaration_variables(decl, is_global=True):
+                table.globals[var.name] = var
+        elif isinstance(decl, FunctionDef):
+            params: list[tuple[str, str]] = []
+            if decl.params is not None:
+                for p in decl.params.params:
+                    ptype = getattr(getattr(p, "type", None), "text", "") or ""
+                    pname = getattr(p, "name", "") or ""
+                    if ptype or pname:
+                        params.append((ptype, pname))
+            info = FunctionInfo(
+                name=decl.name,
+                return_type=decl.return_type.text if decl.return_type else "void",
+                params=params,
+                has_body=decl.body is not None and not decl.is_prototype,
+                attributes=[a.name for a in decl.attributes],
+                node=decl,
+            )
+            # a body-bearing definition wins over an earlier prototype
+            existing = table.functions.get(decl.name)
+            if existing is None or (info.has_body and not existing.has_body):
+                table.functions[decl.name] = info
+            # locals
+            local_vars: list[VariableInfo] = []
+            if decl.body is not None:
+                for n in walk(decl.body):
+                    if isinstance(n, DeclStmt) and n.decl is not None:
+                        local_vars.extend(_declaration_variables(
+                            n.decl, is_global=False, function=decl.name))
+            table.locals[decl.name] = local_vars
+
+    return table

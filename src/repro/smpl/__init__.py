@@ -1,0 +1,17 @@
+"""SmPL — the Semantic Patch Language: rules, metavariables, isomorphisms."""
+
+from .ast import (
+    DependencyExpr, PatchRule, PatternLine, PlusBlock, Rule, ScriptRule,
+    SemanticPatchAST, KIND_EXPRESSION, KIND_STATEMENTS, KIND_TOPLEVEL,
+)
+from .metavars import MetavarDecl, MetavarTable, parse_metavar_declarations
+from .parser import parse_semantic_patch
+from .isomorphisms import IsoConfig, DEFAULT_ISOS, DISABLED_ISOS
+
+__all__ = [
+    "DependencyExpr", "PatchRule", "PatternLine", "PlusBlock", "Rule",
+    "ScriptRule", "SemanticPatchAST", "KIND_EXPRESSION", "KIND_STATEMENTS",
+    "KIND_TOPLEVEL", "MetavarDecl", "MetavarTable",
+    "parse_metavar_declarations", "parse_semantic_patch", "IsoConfig",
+    "DEFAULT_ISOS", "DISABLED_ISOS",
+]

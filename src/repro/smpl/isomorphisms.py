@@ -1,0 +1,106 @@
+"""Built-in isomorphisms.
+
+Coccinelle ships a standard isomorphism file that lets a single pattern match
+several equivalent spellings of the same code (``x == NULL`` vs ``NULL == x``,
+redundant parentheses, ...).  The engine implements the small set the paper's
+rules rely on:
+
+* commutativity of symmetric binary operators (``k == elem`` / ``elem == k``),
+* transparency of redundant parentheses,
+* ``E + 0`` / ``E`` equivalence (used when matching the first statement of a
+  manually unrolled loop, whose index may be written ``i`` or ``i + 0``),
+* ``E += 1`` / ``E++`` / ``++E`` equivalence for loop steps.
+
+Isomorphisms apply during *matching only*; the transformation stage always
+edits the tokens that are really present in the file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.ast_nodes import (
+    Assignment, BinaryOp, COMMUTATIVE_OPS, Expr, Literal, Node, Paren, UnaryOp,
+)
+
+
+@dataclass(frozen=True)
+class IsoConfig:
+    """Which isomorphisms are active."""
+
+    commutative: bool = True
+    drop_parens: bool = True
+    plus_zero: bool = True
+    increment_forms: bool = True
+
+    @classmethod
+    def all_disabled(cls) -> "IsoConfig":
+        return cls(commutative=False, drop_parens=False, plus_zero=False,
+                   increment_forms=False)
+
+
+DEFAULT_ISOS = IsoConfig()
+DISABLED_ISOS = IsoConfig.all_disabled()
+
+
+def strip_parens(node: Node, config: IsoConfig = DEFAULT_ISOS) -> Node:
+    """Remove redundant parentheses around an expression (for matching)."""
+    if not config.drop_parens:
+        return node
+    while isinstance(node, Paren) and node.expr is not None:
+        node = node.expr
+    return node
+
+
+def is_zero_literal(node: Node) -> bool:
+    return isinstance(node, Literal) and node.category == "int" and \
+        node.value.rstrip("uUlL") in ("0", "00")
+
+
+def plus_zero_operand(node: Node, config: IsoConfig = DEFAULT_ISOS):
+    """If ``node`` is ``E + 0`` (or ``0 + E``), return ``E``; else ``None``."""
+    if not config.plus_zero:
+        return None
+    if isinstance(node, BinaryOp) and node.op == "+":
+        if is_zero_literal(node.right):
+            return node.left
+        if is_zero_literal(node.left):
+            return node.right
+    return None
+
+
+def commutative_swap(node: Node, config: IsoConfig = DEFAULT_ISOS):
+    """If ``node`` is a commutative binary operation, return the swapped
+    variant (same extent, operands exchanged); else ``None``."""
+    if not config.commutative:
+        return None
+    if isinstance(node, BinaryOp) and node.op in COMMUTATIVE_OPS:
+        swapped = BinaryOp(op=node.op, left=node.right, right=node.left)
+        swapped.start, swapped.end = node.start, node.end
+        return swapped
+    return None
+
+
+def increment_variants(node: Node, config: IsoConfig = DEFAULT_ISOS) -> list[Node]:
+    """Equivalent spellings of an increment: ``i++``, ``++i``, ``i += 1``.
+
+    Returns alternative nodes (sharing the original extent) that a pattern
+    increment may be matched against.
+    """
+    if not config.increment_forms:
+        return []
+    out: list[Node] = []
+    if isinstance(node, UnaryOp) and node.op in ("++", "--"):
+        op = "+=" if node.op == "++" else "-="
+        one = Literal(value="1", category="int")
+        one.start, one.end = node.start, node.end
+        alt = Assignment(op=op, target=node.operand, value=one)
+        alt.start, alt.end = node.start, node.end
+        out.append(alt)
+    if isinstance(node, Assignment) and node.op in ("+=", "-="):
+        if isinstance(node.value, Literal) and node.value.value in ("1", "1u", "1U"):
+            op = "++" if node.op == "+=" else "--"
+            alt = UnaryOp(op=op, operand=node.target, prefix=False)
+            alt.start, alt.end = node.start, node.end
+            out.append(alt)
+    return out

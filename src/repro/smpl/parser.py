@@ -1,0 +1,428 @@
+"""Parser for semantic patch files (the SmPL language).
+
+The entry point is :func:`parse_semantic_patch`, which turns the text of a
+``.cocci`` file into a :class:`~repro.smpl.ast.SemanticPatchAST`:
+
+* rule headers (``@name depends on other@``, ``@script:python name@``,
+  ``@initialize:python@`` ...),
+* metavariable declarations,
+* rule bodies: pattern lines annotated with ``+``/``-``/context, assembled
+  into the *minus slice* (context + minus lines) that is parsed with the
+  metavariable-aware C parser, and *plus blocks* anchored to their closest
+  non-plus line,
+* ``# spatch --c++=NN`` pseudo-option lines.
+"""
+
+from __future__ import annotations
+
+import re
+import textwrap
+from dataclasses import dataclass
+
+from ..errors import SmplParseError, CParseError
+from ..options import SpatchOptions, DEFAULT_OPTIONS
+from ..lang.lexer import Lexer, Token, TokenKind, ANNOT_CONTEXT, ANNOT_MINUS
+from ..lang.source import SourceFile
+from ..lang.parser import CParser
+from .ast import (
+    DependencyExpr, KIND_EMPTY, KIND_EXPRESSION, KIND_STATEMENTS,
+    KIND_TOPLEVEL, PatchRule, PatternLine, PlusBlock, Rule, ScriptRule,
+    SemanticPatchAST,
+)
+from .metavars import MetavarTable, parse_metavar_declarations, parse_script_header
+
+
+_HEADER_RE = re.compile(r"^@[^@]*@")
+_MARKER_MAP = {
+    "(": TokenKind.DISJ_OPEN,
+    "|": TokenKind.DISJ_OR,
+    "&": TokenKind.CONJ_AND,
+    ")": TokenKind.DISJ_CLOSE,
+}
+
+
+@dataclass
+class _RawRule:
+    """A rule before interpretation: header, metavar text, body lines."""
+
+    header: str
+    metavar_text: str
+    body_lines: list[tuple[int, str]]  # (1-based patch line number, raw text)
+    lineno: int
+
+
+# ---------------------------------------------------------------------------
+# splitting the patch file into raw rules
+# ---------------------------------------------------------------------------
+
+def _is_header_line(stripped: str) -> bool:
+    if not stripped.startswith("@"):
+        return False
+    return stripped == "@@" or _HEADER_RE.match(stripped) is not None
+
+
+def _split_rules(text: str) -> tuple[list[_RawRule], SpatchOptions]:
+    options = DEFAULT_OPTIONS
+    lines = text.splitlines()
+    raw_rules: list[_RawRule] = []
+    i = 0
+    n = len(lines)
+
+    while i < n:
+        line = lines[i]
+        stripped = line.strip()
+        if not _is_header_line(stripped):
+            # outside any rule: option lines and comments only
+            if stripped.startswith("#") and "spatch" in stripped:
+                options = SpatchOptions.from_spatch_line(stripped, options)
+            elif stripped and not stripped.startswith("//"):
+                raise SmplParseError(
+                    f"unexpected text outside a rule: {stripped!r}", line=i + 1)
+            i += 1
+            continue
+
+        header_lineno = i + 1
+        # header: text between the first '@' and the next '@' on this line
+        close = stripped.index("@", 1)
+        header = stripped[1:close].strip()
+        remainder = stripped[close + 1:].strip()
+
+        metavar_lines: list[str] = []
+        i += 1
+        if remainder == "@@":
+            pass  # empty metavariable section, body starts on the next line
+        else:
+            if remainder:
+                metavar_lines.append(remainder)
+            # collect metavariable lines until the terminating '@@'
+            while i < n:
+                mv_line = lines[i].strip()
+                i += 1
+                if mv_line == "@@":
+                    break
+                if mv_line.endswith("@@"):
+                    metavar_lines.append(mv_line[:-2])
+                    break
+                metavar_lines.append(mv_line)
+            else:
+                raise SmplParseError("missing '@@' terminating the metavariable "
+                                     f"section of rule starting at line {header_lineno}",
+                                     line=header_lineno)
+
+        # body: lines until the next header
+        body: list[tuple[int, str]] = []
+        while i < n:
+            stripped_next = lines[i].strip()
+            if _is_header_line(stripped_next):
+                break
+            if stripped_next.startswith("#") and "spatch" in stripped_next:
+                options = SpatchOptions.from_spatch_line(stripped_next, options)
+                i += 1
+                continue
+            body.append((i + 1, lines[i]))
+            i += 1
+
+        raw_rules.append(_RawRule(header=header, metavar_text="\n".join(metavar_lines),
+                                  body_lines=body, lineno=header_lineno))
+
+    return raw_rules, options
+
+
+# ---------------------------------------------------------------------------
+# header interpretation
+# ---------------------------------------------------------------------------
+
+def _parse_dependencies(words: list[str]) -> DependencyExpr:
+    required: list[str] = []
+    forbidden: list[str] = []
+    negate_next = False
+    for word in words:
+        if word in ("&&", "and", ",", "on", "ever", "exists", "forall"):
+            continue
+        if word in ("!", "never"):
+            negate_next = True
+            continue
+        name = word
+        neg = negate_next
+        if name.startswith("!"):
+            neg = True
+            name = name[1:]
+        if not name:
+            continue
+        (forbidden if neg else required).append(name)
+        negate_next = False
+    return DependencyExpr(required=tuple(required), forbidden=tuple(forbidden))
+
+
+def _parse_header(header: str, index: int, lineno: int) -> tuple[str, str, str, DependencyExpr]:
+    """Return ``(kind, name, language, dependencies)`` where kind is
+    ``patch``, ``initialize``, ``script`` or ``finalize``."""
+    header = header.strip()
+    normalized = header.replace(":", " : ")
+    words = normalized.split()
+
+    deps = DependencyExpr()
+    if "depends" in words:
+        at = words.index("depends")
+        deps = _parse_dependencies(words[at + 1:])
+        words = words[:at]
+
+    if words and words[0] in ("initialize", "script", "finalize"):
+        kind = words[0]
+        language = "python"
+        rest = words[1:]
+        if rest and rest[0] == ":":
+            if len(rest) < 2:
+                raise SmplParseError(f"missing language in rule header {header!r}", lineno)
+            language = rest[1]
+            rest = rest[2:]
+        name = rest[0] if rest else f"{kind}_rule_{index}"
+        if language not in ("python", "ocaml"):
+            raise SmplParseError(f"unsupported scripting language {language!r}", lineno)
+        return kind, name, language, deps
+
+    name = words[0] if words else f"rule_{index}"
+    return "patch", name, "", deps
+
+
+# ---------------------------------------------------------------------------
+# pattern body interpretation
+# ---------------------------------------------------------------------------
+
+def _pattern_lines(body_lines: list[tuple[int, str]]) -> list[PatternLine]:
+    out: list[PatternLine] = []
+    for lineno, raw in body_lines:
+        if not raw.strip():
+            continue
+        if raw.lstrip().startswith("//") and not raw.startswith(("+", "-")):
+            continue
+        first = raw[0]
+        if first == "+":
+            out.append(PatternLine(annot="+", text=raw[1:], lineno=lineno))
+        elif first == "-":
+            out.append(PatternLine(annot="-", text=raw[1:], lineno=lineno))
+        else:
+            out.append(PatternLine(annot=" ", text=raw, lineno=lineno))
+    return out
+
+
+def _assemble_minus_slice(pattern_lines: list[PatternLine]) -> tuple[SourceFile, list[str], list[PatternLine]]:
+    """Build the minus-slice source (context + minus lines) and return it with
+    the per-slice-line annotation list and the slice lines themselves."""
+    slice_lines = [pl for pl in pattern_lines if not pl.is_plus]
+    text = "\n".join(pl.text for pl in slice_lines)
+    source = SourceFile(name="<pattern>", text=text)
+    annots = [pl.annot for pl in slice_lines]
+    return source, annots, slice_lines
+
+
+def _marker_line_conversions(slice_lines: list[PatternLine]) -> dict[int, TokenKind]:
+    """Decide which standalone ``(``/``|``/``&``/``)`` lines are column-0
+    disjunction markers (by 0-based slice line index).
+
+    A lone ``|`` or ``&`` line is never valid C, so it is always a marker.
+    Lone ``(`` and ``)`` lines are markers only when the group they delimit
+    actually contains a separator line; otherwise they are ordinary
+    parentheses (e.g. the ``)`` closing a multi-line ``for`` header in the
+    paper's unrolling rules).
+    """
+    conversions: dict[int, TokenKind] = {}
+    stack: list[dict] = []  # {"line": idx, "has_sep": bool, "seps": [idx...]}
+    for idx, pl in enumerate(slice_lines):
+        ch = pl.text.strip()
+        if ch not in ("(", "|", "&", ")") or len(ch) != 1:
+            continue
+        if ch == "(":
+            stack.append({"line": idx, "has_sep": False, "seps": []})
+        elif ch in ("|", "&"):
+            conversions[idx] = _MARKER_MAP[ch]
+            if stack:
+                stack[-1]["has_sep"] = True
+        else:  # ")"
+            if stack:
+                group = stack.pop()
+                if group["has_sep"]:
+                    conversions[group["line"]] = TokenKind.DISJ_OPEN
+                    conversions[idx] = TokenKind.DISJ_CLOSE
+                    if stack:
+                        # a closed nested group still counts as content, not a
+                        # separator, for the enclosing group
+                        pass
+    return conversions
+
+
+def _lex_slice(source: SourceFile, annots: list[str],
+               slice_lines: list[PatternLine]) -> list[Token]:
+    tokens = Lexer(source, smpl_mode=True).tokenize()
+    conversions = _marker_line_conversions(slice_lines)
+    for tok in tokens:
+        if tok.kind is TokenKind.EOF:
+            continue
+        line_index = tok.line - 1
+        annot = annots[line_index] if 0 <= line_index < len(annots) else ANNOT_CONTEXT
+        tok.annot = ANNOT_MINUS if annot == "-" else ANNOT_CONTEXT
+        tok.pline = line_index
+        if (tok.kind is TokenKind.PUNCT and line_index in conversions
+                and slice_lines[line_index].text.strip() == tok.value):
+            tok.kind = conversions[line_index]
+    return tokens
+
+
+def _extract_plus_blocks(pattern_lines: list[PatternLine]) -> list[PlusBlock]:
+    """Group consecutive '+' lines and attach each group to its anchor line.
+
+    The anchor is the closest preceding non-plus line unless that line is a
+    lone ``...`` or a column-0 disjunction marker, in which case the block
+    attaches *before* the closest following non-plus line (this reproduces how
+    the paper's patches expect plus code to be placed).
+    """
+    # map pattern-line index -> slice line number (1-based) for non-plus lines
+    slice_line_of: dict[int, int] = {}
+    counter = 0
+    for idx, pl in enumerate(pattern_lines):
+        if not pl.is_plus:
+            counter += 1
+            slice_line_of[idx] = counter
+
+    blocks: list[PlusBlock] = []
+    i = 0
+    n = len(pattern_lines)
+    while i < n:
+        if not pattern_lines[i].is_plus:
+            i += 1
+            continue
+        j = i
+        lines: list[str] = []
+        while j < n and pattern_lines[j].is_plus:
+            lines.append(pattern_lines[j].text.strip())
+            j += 1
+
+        prev_idx = next((k for k in range(i - 1, -1, -1) if not pattern_lines[k].is_plus), None)
+        next_idx = next((k for k in range(j, n) if not pattern_lines[k].is_plus), None)
+
+        def _usable(idx: int | None) -> bool:
+            if idx is None:
+                return False
+            pl = pattern_lines[idx]
+            return not pl.is_dots_only and not pl.is_marker_only
+
+        if _usable(prev_idx):
+            anchor, anchor_idx = "after", prev_idx
+        elif _usable(next_idx):
+            anchor, anchor_idx = "before", next_idx
+        elif prev_idx is not None:
+            anchor, anchor_idx = "after", prev_idx
+        elif next_idx is not None:
+            anchor, anchor_idx = "before", next_idx
+        else:
+            raise SmplParseError(
+                "a rule consisting only of '+' lines has nothing to anchor to",
+                line=pattern_lines[i].lineno)
+
+        blocks.append(PlusBlock(lines=lines, anchor=anchor,
+                                anchor_slice_line=slice_line_of[anchor_idx],
+                                patch_lineno=pattern_lines[i].lineno))
+        i = j
+    return blocks
+
+
+def _classify_and_parse(rule_name: str, tokens: list[Token], source: SourceFile,
+                        metavars: MetavarTable,
+                        options: SpatchOptions) -> tuple[str, list]:
+    """Classify a minus slice as expression / statements / toplevel and parse
+    it into pattern nodes."""
+    significant = [t for t in tokens if t.kind is not TokenKind.EOF]
+    if not significant:
+        return KIND_EMPTY, []
+
+    kinds = metavars.kinds_for_parser()
+
+    def _parser() -> CParser:
+        return CParser(list(tokens), source, options=options, metavars=kinds,
+                       tolerant=False)
+
+    errors: list[str] = []
+    # 1. a single expression (no trailing ';')
+    try:
+        expr = _parser().parse_single_expression()
+        return KIND_EXPRESSION, [expr]
+    except CParseError as exc:
+        errors.append(f"as expression: {exc}")
+    # 2. a statement sequence
+    try:
+        stmts = _parser().parse_statement_list()
+        if stmts:
+            return KIND_STATEMENTS, stmts
+    except CParseError as exc:
+        errors.append(f"as statements: {exc}")
+    # 3. top-level declarations (function definitions, includes, ...)
+    try:
+        tree = _parser().parse_translation_unit()
+        if tree.unit.decls:
+            return KIND_TOPLEVEL, list(tree.unit.decls)
+    except CParseError as exc:
+        errors.append(f"as declarations: {exc}")
+
+    raise SmplParseError(
+        f"cannot parse the pattern of rule {rule_name!r}:\n  " + "\n  ".join(errors))
+
+
+# ---------------------------------------------------------------------------
+# public entry point
+# ---------------------------------------------------------------------------
+
+def parse_semantic_patch(text: str,
+                         options: SpatchOptions | None = None) -> SemanticPatchAST:
+    """Parse a semantic patch file into a :class:`SemanticPatchAST`."""
+    raw_rules, file_options = _split_rules(text)
+    if options is not None:
+        # explicit options win, but '#spatch --c++' lines can still raise the
+        # language level
+        if file_options.cxx is not None and options.cxx is None:
+            options = options.with_cxx(file_options.cxx)
+    else:
+        options = file_options
+
+    rules: list[Rule] = []
+    for index, raw in enumerate(raw_rules):
+        kind, name, language, deps = _parse_header(raw.header, index, raw.lineno)
+
+        if kind in ("initialize", "script", "finalize"):
+            imports, outputs = parse_script_header(raw.metavar_text)
+            # SmPL allows '//' comment lines inside script bodies (the paper's
+            # OpenACC listing has one); they are not Python, so drop them.
+            body = [line for _, line in raw.body_lines
+                    if not line.lstrip().startswith("//")]
+            code = textwrap.dedent("\n".join(body)).strip("\n")
+            rules.append(ScriptRule(name=name, language=language, when=kind,
+                                    imports=imports, outputs=outputs, code=code,
+                                    dependencies=deps, lineno=raw.lineno))
+            continue
+
+        metavars = parse_metavar_declarations(raw.metavar_text)
+        pattern_lines = _pattern_lines(raw.body_lines)
+        slice_source, annots, slice_lines = _assemble_minus_slice(pattern_lines)
+        slice_tokens = _lex_slice(slice_source, annots, slice_lines)
+        plus_blocks = _extract_plus_blocks(pattern_lines)
+        pattern_kind, pattern_nodes = _classify_and_parse(
+            name, slice_tokens, slice_source, metavars, options)
+
+        has_minus = any(t.annot == ANNOT_MINUS for t in slice_tokens
+                        if t.kind is not TokenKind.EOF)
+        rule = PatchRule(
+            name=name,
+            metavars=metavars,
+            dependencies=deps,
+            pattern_lines=pattern_lines,
+            plus_blocks=plus_blocks,
+            slice_source=slice_source,
+            slice_tokens=slice_tokens,
+            pattern_nodes=pattern_nodes,
+            pattern_kind=pattern_kind,
+            is_pure_match=not has_minus and not plus_blocks,
+            lineno=raw.lineno,
+            is_anonymous=(raw.header.strip() == ""),
+        )
+        rules.append(rule)
+
+    return SemanticPatchAST(rules=rules, options=options, source_text=text)

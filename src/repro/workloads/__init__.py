@@ -1,0 +1,42 @@
+"""Synthetic HPC code bases used by the examples, tests and benchmarks.
+
+Each generator is deterministic for a given seed and produces a
+:class:`repro.CodeBase` whose shape mirrors the code the paper refers to:
+
+===================  ==========================================================
+module               stands in for
+===================  ==========================================================
+``gadget``           the GADGET cosmological code (AoS particle arrays, many
+                     OpenMP loops over particle properties, 3-D grids)
+``openmp_kernels``   generic OpenMP numeric kernels (instrumentation target,
+                     declare-variant target)
+``multiversion_app`` a library with ``__attribute__((target(...)))`` clones
+``unrolled``         script-generated manually unrolled kernels (plus impostor
+                     sequences that look unrolled but are not)
+``cuda_app``         a CUDA mini-application (kernels, chevron launches,
+                     cuRAND/cuBLAS calls, CUDA types)
+``openacc_app``      an OpenACC mini-application (directives with clause
+                     lists, line continuations)
+``rawloops``         C++ code with raw search/accumulate loops
+``kokkos_exercise``  the loops of Kokkos tutorial exercise 01
+``librsb_like``      LIBRSB-style generated sparse kernels following the
+                     ``rsb__BCSR_...`` naming convention
+===================  ==========================================================
+"""
+
+from . import (
+    cuda_app,
+    gadget,
+    kokkos_exercise,
+    librsb_like,
+    multiversion_app,
+    openacc_app,
+    openmp_kernels,
+    rawloops,
+    unrolled,
+)
+
+__all__ = [
+    "cuda_app", "gadget", "kokkos_exercise", "librsb_like", "multiversion_app",
+    "openacc_app", "openmp_kernels", "rawloops", "unrolled",
+]

@@ -1,0 +1,137 @@
+"""A CUDA mini-application (the CUDA→HIP translation target).
+
+Contains the elements the paper's CUDA→HIP rules must handle:
+
+* CUDA runtime calls (``cudaMalloc``/``cudaMemcpy``/...),
+* cuRAND / cuBLAS calls (dictionary-driven function renaming),
+* CUDA types in declarations (``cudaStream_t``, ``curandState``, ``__half``),
+* triple-chevron kernel launches, including launches split across lines and
+  an identifier (``cudart_like_helper``) whose *substring* matches a CUDA
+  API name — the adversarial cases on which the textual baseline mis-fires
+  (experiment Q2).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..api import CodeBase
+from ..errors import WorkloadError
+
+
+PREAMBLE = """\
+#include <cuda_runtime.h>
+#include <curand_kernel.h>
+#include <cublas_v2.h>
+#include <stdio.h>
+
+#define CHECK(x) x
+"""
+
+
+def _kernel_def(rng: random.Random, index: int) -> str:
+    op = rng.choice(["+", "*"])
+    return f"""\
+__global__ void saxpy_kernel_{index}(double *y, const double *x, double a, int n)
+{{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {{
+        y[i] = a {op} x[i] + y[i];
+    }}
+}}
+"""
+
+
+def _host_driver(rng: random.Random, index: int, adversarial: bool) -> str:
+    nblocks = rng.choice(["(n + 255) / 256", "n / 128", "grid_size"])
+    launch = (f"saxpy_kernel_{index}<<<{nblocks}, 256, 0, stream>>>(dev_y, dev_x, alpha, n);")
+    if adversarial and index % 2 == 0:
+        # the launch configuration split across lines: a line-oriented tool
+        # sees no complete '<<<...>>>(...)' on any single line
+        launch = (f"saxpy_kernel_{index}<<<{nblocks},\n"
+                  f"                   256, 0, stream>>>(dev_y,\n"
+                  f"                   dev_x, alpha, n);")
+    extra = ""
+    if adversarial and index % 3 == 0:
+        extra = """\
+    /* cudaMalloc is discussed in this comment and must stay untouched */
+    int cudart_like_helper_cudaMalloc_count = 0;
+    cudart_like_helper_cudaMalloc_count++;
+"""
+    return f"""\
+int run_saxpy_{index}(double *host_y, const double *host_x, double alpha, int n, int grid_size)
+{{
+    double *dev_x;
+    double *dev_y;
+    cudaStream_t stream;
+    cudaError_t status;
+{extra}\
+    CHECK(cudaStreamCreate(&stream));
+    CHECK(cudaMalloc(&dev_x, n * sizeof(double)));
+    CHECK(cudaMalloc(&dev_y, n * sizeof(double)));
+    CHECK(cudaMemcpy(dev_x, host_x, n * sizeof(double), cudaMemcpyHostToDevice));
+    CHECK(cudaMemcpy(dev_y, host_y, n * sizeof(double), cudaMemcpyHostToDevice));
+    {launch}
+    status = cudaGetLastError();
+    if (status != cudaSuccess) {{
+        printf("cudaMemcpy or kernel launch failed: %s\\n", cudaGetErrorString(status));
+    }}
+    CHECK(cudaDeviceSynchronize());
+    CHECK(cudaMemcpy(host_y, dev_y, n * sizeof(double), cudaMemcpyDeviceToHost));
+    CHECK(cudaFree(dev_x));
+    CHECK(cudaFree(dev_y));
+    CHECK(cudaStreamDestroy(stream));
+    return (int)status;
+}}
+"""
+
+
+def _random_init(rng: random.Random, index: int) -> str:
+    return f"""\
+double sample_noise_{index}(unsigned long long seed)
+{{
+    curandState state;
+    __half scratch;
+    curand_init(seed, 0, 0, &state);
+    double first = curand_uniform_double(&state);
+    double second = curand_uniform_double(&state);
+    return first + second;
+}}
+"""
+
+
+def generate(n_files: int = 3, drivers_per_file: int = 3, adversarial: bool = True,
+             seed: int = 0) -> CodeBase:
+    """Generate the CUDA mini-application."""
+    if n_files < 1:
+        raise WorkloadError("n_files must be >= 1")
+    rng = random.Random(seed)
+    files: dict[str, str] = {}
+    counter = 0
+    for f in range(n_files):
+        chunks = [PREAMBLE]
+        for _ in range(drivers_per_file):
+            chunks.append(_kernel_def(rng, counter))
+            chunks.append(_host_driver(rng, counter, adversarial))
+            counter += 1
+        chunks.append(_random_init(rng, counter))
+        files[f"cuda_app_{f}.cu"] = "\n".join(chunks)
+    return CodeBase.from_files(files)
+
+
+def kernel_launch_count(codebase: CodeBase) -> int:
+    """Number of triple-chevron launches (ground truth for the chevron rule)."""
+    return sum(text.count("<<<") for text in codebase.files.values())
+
+
+def cuda_call_count(codebase: CodeBase, names: tuple[str, ...] = ("cudaMalloc", "cudaMemcpy",
+                                                                  "cudaFree", "curand_uniform_double")) -> int:
+    """Number of *call sites* of selected CUDA API functions (not counting
+    occurrences inside comments or longer identifiers)."""
+    import re
+
+    count = 0
+    for text in codebase.files.values():
+        for name in names:
+            count += len(re.findall(rf"(?<![\w_]){re.escape(name)}\s*\(", text))
+    return count

@@ -1,0 +1,188 @@
+"""GADGET-like synthetic workload: AoS particle arrays and 3-D grids.
+
+The paper's AoS→SoA case study ([ML21]) rewrote accesses to the particle
+array of the GADGET cosmological code.  This generator produces a code base
+with the same shape:
+
+* one header defining ``struct particle`` and the global particle array,
+* several translation units, each with many OpenMP loops reading and writing
+  particle fields through ``P[expr].field`` / ``P[expr].field[dim]``
+  accesses,
+* optional 3-D grid arrays accessed with chained subscripts
+  (``rho[i][j][k]``), which are the target of the mdspan use case.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..api import CodeBase
+from ..errors import WorkloadError
+
+
+HEADER_NAME = "particles.h"
+
+STRUCT_FIELDS = (
+    ("double", "pos", 3),
+    ("double", "vel", 3),
+    ("double", "acc", 3),
+    ("double", "mass", 0),
+    ("double", "density", 0),
+    ("double", "energy", 0),
+    ("int", "type", 0),
+)
+
+
+def header(n_particles: int = 4096, grid: int = 32) -> str:
+    fields = "\n".join(
+        f"    {ctype} {name}" + (f"[{dim}]" if dim else "") + ";"
+        for ctype, name, dim in STRUCT_FIELDS)
+    return f"""\
+#ifndef PARTICLES_H
+#define PARTICLES_H
+
+#define NPART {n_particles}
+#define NGRID {grid}
+
+struct particle {{
+{fields}
+}};
+
+extern struct particle P[NPART];
+extern double rho[NGRID][NGRID][NGRID];
+extern double phi[NGRID][NGRID][NGRID];
+
+#endif
+"""
+
+
+_SCALAR_FIELDS = [f for f in STRUCT_FIELDS if f[2] == 0 and f[0] == "double"]
+_VECTOR_FIELDS = [f for f in STRUCT_FIELDS if f[2] == 3]
+
+
+def _particle_loop(rng: random.Random, index: int) -> str:
+    """One OpenMP loop over particles mixing scalar and vector field accesses."""
+    scalar = rng.choice(_SCALAR_FIELDS)[1]
+    scalar2 = rng.choice(_SCALAR_FIELDS)[1]
+    vector = rng.choice(_VECTOR_FIELDS)[1]
+    vector2 = rng.choice(_VECTOR_FIELDS)[1]
+    dt = rng.choice(["dt", "0.5 * dt", "dt * dt"])
+    kind = rng.randrange(3)
+    name = f"update_{vector}_{scalar}_{index}"
+    if kind == 0:
+        body = f"""\
+        for (int d = 0; d < 3; d++) {{
+            P[i].{vector}[d] = P[i].{vector}[d] + {dt} * P[i].{vector2}[d];
+        }}
+        P[i].{scalar} = P[i].{scalar} + {dt} * P[i].{scalar2};"""
+    elif kind == 1:
+        body = f"""\
+        double w = P[i].{scalar} * P[i].{scalar2};
+        P[i].{vector}[0] = w * P[i].{vector2}[0];
+        P[i].{vector}[1] = w * P[i].{vector2}[1];
+        P[i].{vector}[2] = w * P[i].{vector2}[2];"""
+    else:
+        body = f"""\
+        P[i].{scalar} = P[i].{vector}[0] * P[i].{vector}[0]
+                      + P[i].{vector}[1] * P[i].{vector}[1]
+                      + P[i].{vector}[2] * P[i].{vector}[2];"""
+    return f"""\
+void {name}(int n, double dt)
+{{
+    #pragma omp parallel
+    {{
+    #pragma omp for
+    for (int i = 0; i < n; i++) {{
+{body}
+    }}
+    }}
+}}
+"""
+
+
+def _grid_kernel(rng: random.Random, index: int) -> str:
+    """A 3-D grid stencil using chained subscripts (mdspan rewrite target)."""
+    coeff = rng.choice(["0.125", "0.25", "0.5"])
+    return f"""\
+void smooth_rho_{index}(void)
+{{
+    for (int i = 1; i < NGRID - 1; i++) {{
+        for (int j = 1; j < NGRID - 1; j++) {{
+            for (int kk = 1; kk < NGRID - 1; kk++) {{
+                phi[i][j][kk] = {coeff} * (rho[i - 1][j][kk] + rho[i + 1][j][kk])
+                              + {coeff} * (rho[i][j - 1][kk] + rho[i][j + 1][kk])
+                              - rho[i][j][kk];
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def _reduction_kernel(rng: random.Random, index: int) -> str:
+    scalar = rng.choice(_SCALAR_FIELDS)[1]
+    return f"""\
+double total_{scalar}_{index}(int n)
+{{
+    double total = 0.0;
+    #pragma omp parallel for reduction(+:total)
+    for (int i = 0; i < n; i++) {{
+        total += P[i].{scalar};
+    }}
+    return total;
+}}
+"""
+
+
+def generate(n_files: int = 4, loops_per_file: int = 8, grid_kernels_per_file: int = 2,
+             n_particles: int = 4096, seed: int = 0) -> CodeBase:
+    """Generate the GADGET-like code base."""
+    if n_files < 1 or loops_per_file < 0:
+        raise WorkloadError("n_files must be >= 1 and loops_per_file >= 0")
+    rng = random.Random(seed)
+    files = {HEADER_NAME: header(n_particles=n_particles)}
+    files["globals.c"] = f"""\
+#include "{HEADER_NAME}"
+
+struct particle P[NPART];
+double rho[NGRID][NGRID][NGRID];
+double phi[NGRID][NGRID][NGRID];
+"""
+    counter = 0
+    for f in range(n_files):
+        chunks = [f'#include <omp.h>\n#include "{HEADER_NAME}"\n']
+        for _ in range(loops_per_file):
+            chunks.append(_particle_loop(rng, counter))
+            counter += 1
+            if counter % 3 == 0:
+                chunks.append(_reduction_kernel(rng, counter))
+        for _ in range(grid_kernels_per_file):
+            chunks.append(_grid_kernel(rng, counter))
+            counter += 1
+        files[f"timestep_{f}.c"] = "\n".join(chunks)
+    return CodeBase.from_files(files)
+
+
+def aos_access_count(codebase: CodeBase) -> int:
+    """Count textual occurrences of ``P[...].field`` accesses (ground truth
+    for the AoS→SoA benchmark: after the transformation there must be none)."""
+    import re
+
+    pattern = re.compile(r"\bP\s*\[[^]]*\]\s*\.")
+    return sum(len(pattern.findall(text)) for text in codebase.files.values())
+
+
+def chained_3d_subscript_count(codebase: CodeBase) -> int:
+    """Count ``name[a][b][c]`` chained *accesses* to the grid arrays (their
+    declarations keep the chained form — only expressions are rewritten)."""
+    import re
+
+    pattern = re.compile(r"\b(?:rho|phi)\s*\[[^]]+\]\s*\[[^]]+\]\s*\[[^]]+\]")
+    decl = re.compile(r"^\s*(extern\s+)?double\s")
+    count = 0
+    for text in codebase.files.values():
+        for line in text.splitlines():
+            if decl.match(line):
+                continue
+            count += len(pattern.findall(line))
+    return count

@@ -1,0 +1,76 @@
+"""The loops of Kokkos tutorial exercise 01 (reconstruction).
+
+The paper's Kokkos use case targets a specific exercise of the Kokkos
+tutorials (``Exercises/01/Begin/exercise_1_begin.cpp``): initialisation loops
+over index variables ``i`` and ``j`` and a ``result +=`` reduction loop, plus
+other loops that must be left untouched.  This module reconstructs a file of
+the same shape (without the proprietary tutorial text) and can replicate it
+over several translation units for scaling experiments.
+"""
+
+from __future__ import annotations
+
+from ..api import CodeBase
+from ..errors import WorkloadError
+
+
+EXERCISE_TEMPLATE = """\
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+int run_exercise_{index}(int argc, char *argv[])
+{{
+    int N = {n};
+    int M = {m};
+    int nrepeat = 100;
+
+    double *y = (double *)malloc(N * sizeof(double));
+    double *x = (double *)malloc(M * sizeof(double));
+    double *A = (double *)malloc(N * M * sizeof(double));
+
+    for (int i = 0; i < N; ++i) {{ y[i] = 1.0; }}
+    for (int i = 0; i < M; ++i) {{ x[i] = 1.0; }}
+    for (int j = 0; j < N * M; ++j) {{ A[j] = 1.0; }}
+
+    double result = 0.0;
+    for (int repeat = 0; repeat < nrepeat; repeat++) {{
+        for (int i = 0; i < N; ++i) {{ result += y[i] * x[i % M]; }}
+    }}
+
+    const double solution = (double)N * (double)M;
+    if (result != solution * nrepeat) {{
+        printf("  Error: result( %lf ) != solution( %lf )\\n", result, solution);
+    }}
+
+    free(A);
+    free(x);
+    free(y);
+    return 0;
+}}
+"""
+
+
+def generate(n_files: int = 1, n: int = 4096, m: int = 1024, seed: int = 0) -> CodeBase:
+    """Generate ``n_files`` copies of the exercise (seed kept for interface
+    uniformity; the exercise itself is deterministic)."""
+    if n_files < 1:
+        raise WorkloadError("n_files must be >= 1")
+    files: dict[str, str] = {}
+    for index in range(n_files):
+        files[f"exercise_1_{index}.cpp"] = EXERCISE_TEMPLATE.format(index=index, n=n, m=m)
+    return CodeBase.from_files(files)
+
+
+def transformable_loop_count(codebase: CodeBase) -> int:
+    """Loops with index variable ``i`` or ``j`` and a simple upper bound — the
+    ones rules r1/r3 are meant to capture (3 per exercise file: two inits and
+    one reduction; the ``repeat`` loop and the ``i % M`` inner bound keep the
+    count at 4 candidate header matches of which 4 have i/j indices)."""
+    count = 0
+    for text in codebase.files.values():
+        for line in text.splitlines():
+            stripped = line.strip()
+            if stripped.startswith("for (int i = 0;") or stripped.startswith("for (int j = 0;"):
+                count += 1
+    return count

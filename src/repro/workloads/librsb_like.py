@@ -1,0 +1,84 @@
+"""LIBRSB-style generated sparse kernels.
+
+The compiler-workaround use case selects, out of a few hundred generated
+kernels, the dozen whose names match the affected-function naming convention
+``rsb__BCSR_spmv_sasa_double_complex_[CH]__t[NTC]_r1_c1_uu_s[HS]_dE_uG``.
+This generator emits kernels over the cross product of type / transposition /
+symmetry / conjugation codes so that exactly the expected subset matches.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+
+from ..api import CodeBase
+from ..errors import WorkloadError
+from ..cookbook.compiler_workaround import LIBRSB_AFFECTED_REGEX
+
+
+TYPES = ("double", "float", "double_complex", "float_complex")
+OPERATIONS = ("spmv_uaua", "spmv_sasa", "spmv_uxua", "spsv_uxua")
+STORAGE = ("C", "H")
+TRANS = ("N", "T", "C")
+SYMMETRY = ("S", "H", "G")
+
+
+def _kernel_name(op: str, ctype: str, storage: str, trans: str, sym: str) -> str:
+    return f"rsb__BCSR_{op}_{ctype}_{storage}__t{trans}_r1_c1_uu_s{sym}_dE_uG"
+
+
+def _kernel_source(name: str, ctype: str) -> str:
+    scalar = "double" if "double" in ctype else "float"
+    conj = "-" if "complex" in ctype else ""
+    return f"""\
+static int {name}(const {scalar} *VA, const {scalar} *rhs, {scalar} *out,
+                  const int *bindx, int nnz)
+{{
+    int k;
+    for (k = 0; k < nnz; ++k) {{
+        out[bindx[k]] += {conj}VA[k] * rhs[bindx[k]];
+    }}
+    return 0;
+}}
+"""
+
+
+def generate(n_files: int = 2, seed: int = 0,
+             combos_per_file: int | None = None) -> CodeBase:
+    """Generate the LIBRSB-like kernel library.
+
+    The full cross product is 4*4*2*3*3 = 288 kernels; they are distributed
+    round-robin over ``n_files`` files (``combos_per_file`` caps the total for
+    smaller test runs).
+    """
+    if n_files < 1:
+        raise WorkloadError("n_files must be >= 1")
+    combos = list(itertools.product(OPERATIONS, TYPES, STORAGE, TRANS, SYMMETRY))
+    if combos_per_file is not None:
+        combos = combos[: combos_per_file * n_files]
+    buckets: list[list[str]] = [[] for _ in range(n_files)]
+    for idx, (op, ctype, storage, trans, sym) in enumerate(combos):
+        name = _kernel_name(op, ctype, storage, trans, sym)
+        buckets[idx % n_files].append(_kernel_source(name, ctype))
+    files: dict[str, str] = {}
+    for f, bucket in enumerate(buckets):
+        files[f"rsb_krn_{f}.c"] = ("#include <stdlib.h>\n\n" + "\n".join(bucket))
+    return CodeBase.from_files(files)
+
+
+def affected_kernel_count(codebase: CodeBase,
+                          regex: str = LIBRSB_AFFECTED_REGEX) -> int:
+    """Number of kernels matching the affected-function regex (ground truth
+    for E11; the paper reports "a dozen functions among a few hundred")."""
+    pattern = re.compile(regex)
+    count = 0
+    for text in codebase.files.values():
+        for line in text.splitlines():
+            if line.startswith("static int rsb__") and pattern.search(line):
+                count += 1
+    return count
+
+
+def total_kernel_count(codebase: CodeBase) -> int:
+    return sum(text.count("static int rsb__BCSR_") for text in codebase.files.values())

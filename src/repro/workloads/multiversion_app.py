@@ -1,0 +1,92 @@
+"""A library with ``__attribute__((target(...)))`` function clones.
+
+This is the target of the bloat-removal use case (and the post-state of the
+multiversioning use case): for every base function there is a ``"default"``
+version plus clones specialised for a configurable set of ISAs; some
+functions additionally exist only in the default version (and must not be
+touched by the cleanup rules).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..api import CodeBase
+from ..errors import WorkloadError
+
+
+DEFAULT_ARCHS = ("avx2", "avx512")
+
+
+def _function_body(rng: random.Random, name: str) -> str:
+    op = rng.choice(["+", "*"])
+    return f"""\
+{{
+    double acc = 0.0;
+    for (int i = 0; i < n; i++) {{
+        acc += a[i] {op} b[i];
+    }}
+    return acc;
+}}"""
+
+
+def _clone_set(rng: random.Random, index: int, archs: tuple[str, ...]) -> str:
+    name = f"blas_op_{index}"
+    signature = f"double {name}(const double *a, const double *b, int n)"
+    chunks = [f'__attribute__((target("default")))\n{signature}\n'
+              f"{_function_body(rng, name)}\n"]
+    for arch in archs:
+        chunks.append(f'__attribute__((target("{arch}")))\n{signature}\n'
+                      f"{_function_body(rng, name)}\n")
+    return "\n".join(chunks)
+
+
+def _default_only(rng: random.Random, index: int) -> str:
+    name = f"io_helper_{index}"
+    return f"""\
+__attribute__((target("default")))
+double {name}(const double *a, const double *b, int n)
+{_function_body(rng, name)}
+"""
+
+
+def _plain_kernel(rng: random.Random, index: int) -> str:
+    name = f"plain_kernel_{index}"
+    return f"""\
+double {name}(const double *a, const double *b, int n)
+{_function_body(rng, name)}
+"""
+
+
+def generate(n_files: int = 3, clone_sets_per_file: int = 4,
+             archs: tuple[str, ...] = DEFAULT_ARCHS, seed: int = 0) -> CodeBase:
+    """Generate the multiversioned library."""
+    if n_files < 1:
+        raise WorkloadError("n_files must be >= 1")
+    rng = random.Random(seed)
+    files: dict[str, str] = {}
+    counter = 0
+    for f in range(n_files):
+        chunks = ["#include <stddef.h>\n"]
+        for _ in range(clone_sets_per_file):
+            chunks.append(_clone_set(rng, counter, archs))
+            counter += 1
+        chunks.append(_default_only(rng, counter))
+        chunks.append(_plain_kernel(rng, counter))
+        counter += 1
+        files[f"multiversion_{f}.c"] = "\n".join(chunks)
+    return CodeBase.from_files(files)
+
+
+def clone_count(codebase: CodeBase, archs: tuple[str, ...] = DEFAULT_ARCHS) -> int:
+    """Number of arch-specialised clones present (ground truth for E4)."""
+    count = 0
+    for text in codebase.files.values():
+        for arch in archs:
+            count += text.count(f'__attribute__((target("{arch}")))')
+    return count
+
+
+def default_attr_count(codebase: CodeBase) -> int:
+    return sum(text.count('__attribute__((target("default")))')
+               for text in codebase.files.values())

@@ -1,0 +1,107 @@
+"""An OpenACC mini-application (the directive-translation target).
+
+The files contain ``#pragma acc`` directives with realistic clause lists;
+with ``adversarial=True`` some directives use backslash line continuations
+and irregular spacing — which Coccinelle-style matching handles transparently
+(the lexer merges continuations) while a naive line-oriented script breaks
+(experiment Q2).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..api import CodeBase
+from ..errors import WorkloadError
+
+
+_DIRECTIVES = [
+    "parallel loop copy(y[0:n]) copyin(x[0:n])",
+    "kernels loop copyin(a[0:n]) copyout(b[0:n])",
+    "parallel loop reduction(+:total) copyin(values[0:n])",
+    "parallel loop collapse(2) present(grid)",
+    "data copyin(x[0:n]) copyout(y[0:n])",
+    "update device(coeffs[0:m])",
+]
+
+
+def _loop_function(rng: random.Random, index: int, adversarial: bool) -> str:
+    directive = rng.choice(_DIRECTIVES[:4])
+    if adversarial and index % 2 == 1:
+        # split the clause list over two physical lines with a continuation
+        words = directive.split()
+        head = " ".join(words[:2])
+        tail = " ".join(words[2:])
+        pragma = f"    #pragma acc {head} \\\n        {tail}"
+    else:
+        pragma = f"    #pragma acc {directive}"
+    body = rng.choice([
+        "y[i] = alpha * x[i] + y[i];",
+        "b[i] = a[i] * a[i];",
+        "total += values[i];",
+    ])
+    decl = "double total = 0.0;\n    " if "total" in body else ""
+    ret = "return total;" if "total" in body else "return 0.0;"
+    return f"""\
+double acc_loop_{index}(int n, double alpha, const double *x, double *y,
+                        const double *a, double *b, const double *values)
+{{
+    {decl}{pragma}
+    for (int i = 0; i < n; i++) {{
+        {body}
+    }}
+    {ret}
+}}
+"""
+
+
+def _data_region(rng: random.Random, index: int) -> str:
+    return f"""\
+void acc_pipeline_{index}(int n, double *x, double *y)
+{{
+    #pragma acc data copyin(x[0:n]) copyout(y[0:n])
+    {{
+        #pragma acc parallel loop
+        for (int i = 0; i < n; i++) {{
+            y[i] = 2.0 * x[i];
+        }}
+    }}
+}}
+"""
+
+
+def generate(n_files: int = 3, loops_per_file: int = 5, adversarial: bool = True,
+             seed: int = 0) -> CodeBase:
+    """Generate the OpenACC mini-application."""
+    if n_files < 1:
+        raise WorkloadError("n_files must be >= 1")
+    rng = random.Random(seed)
+    files: dict[str, str] = {}
+    counter = 0
+    for f in range(n_files):
+        chunks = ["#include <stdio.h>\n"]
+        for _ in range(loops_per_file):
+            chunks.append(_loop_function(rng, counter, adversarial))
+            counter += 1
+        chunks.append(_data_region(rng, counter))
+        counter += 1
+        files[f"acc_app_{f}.c"] = "\n".join(chunks)
+    return CodeBase.from_files(files)
+
+
+def acc_directive_count(codebase: CodeBase) -> int:
+    """Number of OpenACC directives (counting a continued directive once)."""
+    count = 0
+    for text in codebase.files.values():
+        count += text.count("#pragma acc")
+    return count
+
+
+def continued_directive_count(codebase: CodeBase) -> int:
+    """Directives using backslash continuations (the adversarial subset)."""
+    count = 0
+    for text in codebase.files.values():
+        for line in text.splitlines():
+            if "#pragma acc" in line and line.rstrip().endswith("\\"):
+                count += 1
+    return count

@@ -1,0 +1,125 @@
+"""Generic OpenMP numeric kernels.
+
+This is the instrumentation / declare-variant target: several translation
+units, each containing a mix of
+
+* functions whose name contains ``kernel`` (the declare-variant rule's regex
+  target) with simple vectorisable loops,
+* OpenMP regions written as ``#pragma omp ...`` followed by a braced block
+  (the shape the paper's LIKWID rule instruments),
+* OpenMP worksharing loops *without* a braced block (which the rule must
+  leave alone),
+* helper functions with no pragmas at all.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..api import CodeBase
+from ..errors import WorkloadError
+
+
+_OPS = ["+", "*", "-"]
+
+
+def _kernel_function(rng: random.Random, index: int) -> str:
+    op = rng.choice(_OPS)
+    a, b = rng.choice([("x", "y"), ("a", "b"), ("u", "v")])
+    name = f"axpy_kernel_{index}" if index % 2 == 0 else f"stencil_kernel_{index}"
+    return f"""\
+double {name}(int n, double alpha, const double *{a}, double *{b})
+{{
+    double checksum = 0.0;
+    for (int i = 0; i < n; i++) {{
+        {b}[i] = alpha {op} {a}[i] + {b}[i];
+        checksum += {b}[i];
+    }}
+    return checksum;
+}}
+"""
+
+
+def _braced_region(rng: random.Random, index: int) -> str:
+    schedule = rng.choice(["", " schedule(static)", " schedule(dynamic, 64)"])
+    return f"""\
+void relax_region_{index}(int n, double *grid, double omega)
+{{
+    #pragma omp parallel{schedule}
+    {{
+        int tid = omp_get_thread_num();
+        #pragma omp for
+        for (int i = 1; i < n - 1; i++) {{
+            grid[i] = omega * (grid[i - 1] + grid[i + 1]) * 0.5;
+        }}
+    }}
+}}
+"""
+
+
+def _unbraced_loop(rng: random.Random, index: int) -> str:
+    return f"""\
+void scale_all_{index}(int n, double *data, double factor)
+{{
+    #pragma omp parallel for
+    for (int i = 0; i < n; i++)
+        data[i] = factor * data[i];
+}}
+"""
+
+
+def _helper(rng: random.Random, index: int) -> str:
+    return f"""\
+static double clamp_{index}(double value, double lo, double hi)
+{{
+    if (value < lo) {{
+        return lo;
+    }}
+    if (value > hi) {{
+        return hi;
+    }}
+    return value;
+}}
+"""
+
+
+def generate(n_files: int = 4, kernels_per_file: int = 4, regions_per_file: int = 3,
+             seed: int = 0) -> CodeBase:
+    """Generate the OpenMP kernels code base."""
+    if n_files < 1:
+        raise WorkloadError("n_files must be >= 1")
+    rng = random.Random(seed)
+    files: dict[str, str] = {}
+    counter = 0
+    for f in range(n_files):
+        chunks = ["#include <stdio.h>\n#include <omp.h>\n"]
+        for _ in range(kernels_per_file):
+            chunks.append(_kernel_function(rng, counter))
+            counter += 1
+        for _ in range(regions_per_file):
+            chunks.append(_braced_region(rng, counter))
+            chunks.append(_unbraced_loop(rng, counter))
+            chunks.append(_helper(rng, counter))
+            counter += 1
+        files[f"kernels_{f}.c"] = "\n".join(chunks)
+    return CodeBase.from_files(files)
+
+
+def braced_region_count(codebase: CodeBase) -> int:
+    """Number of ``#pragma omp`` lines directly followed by a '{' line — the
+    sites the instrumentation rule must hit (ground truth for E1)."""
+    count = 0
+    for text in codebase.files.values():
+        lines = [ln.strip() for ln in text.splitlines()]
+        for i, line in enumerate(lines[:-1]):
+            if line.startswith("#pragma omp") and lines[i + 1].startswith("{"):
+                count += 1
+    return count
+
+
+def kernel_function_count(codebase: CodeBase) -> int:
+    """Number of functions whose name matches the declare-variant regex."""
+    import re
+
+    pattern = re.compile(r"^\w[\w *]*\s(\w*kernel\w*)\s*\(", re.MULTILINE)
+    return sum(len(pattern.findall(text)) for text in codebase.files.values())

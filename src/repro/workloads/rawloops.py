@@ -1,0 +1,96 @@
+"""C++ code with raw search loops (the STL-modernisation target).
+
+Each file contains functions following the raw-loop idiom the paper's
+``std::find`` rule targets (flag + range-for + equality test + break), with
+variations: some print diagnostics inside the loop (deleted by the rule's
+``...``), some compare ``k == elem`` instead of ``elem == k`` (matched through
+the disjunction), and some loops that must NOT be rewritten because they do
+more than searching (e.g. they also count elements).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..api import CodeBase
+from ..errors import WorkloadError
+
+
+PREAMBLE = """\
+#include <iostream>
+#include <vector>
+"""
+
+
+def _search_function(rng: random.Random, index: int) -> str:
+    flag = rng.choice(["found", "present", "hit"])
+    elem = rng.choice(["value", "item", "entry"])
+    container = rng.choice(["samples", "ids", "cells"])
+    constant = rng.choice(["42", "7", "1000"])
+    reversed_cmp = index % 3 == 1
+    cmp = f"{constant} == {elem}" if reversed_cmp else f"{elem} == {constant}"
+    diag = ""
+    if index % 2 == 0:
+        diag = f'        std::cout << "match in {container}" << std::endl;\n'
+    return f"""\
+bool contains_{index}(std::vector<int> &{container})
+{{
+    bool {flag} = false;
+    int visited_{index} = 0;
+    for ( int &{elem} : {container} )
+      if ( {cmp} )
+      {{
+{diag}        {flag} = true;
+        break;
+      }}
+    return {flag};
+}}
+"""
+
+
+def _counting_function(rng: random.Random, index: int) -> str:
+    """A loop that looks similar but also counts matches — outside the rule's
+    pattern (no break), so it must be preserved."""
+    return f"""\
+int count_matches_{index}(std::vector<int> &values)
+{{
+    bool seen = false;
+    int count = 0;
+    for ( int &v : values )
+      if ( v == 42 )
+      {{
+        seen = true;
+        count = count + 1;
+      }}
+    return count;
+}}
+"""
+
+
+def generate(n_files: int = 3, searches_per_file: int = 5, counters_per_file: int = 2,
+             seed: int = 0) -> CodeBase:
+    """Generate the raw-loops code base."""
+    if n_files < 1:
+        raise WorkloadError("n_files must be >= 1")
+    rng = random.Random(seed)
+    files: dict[str, str] = {}
+    counter = 0
+    for f in range(n_files):
+        chunks = [PREAMBLE]
+        for _ in range(searches_per_file):
+            chunks.append(_search_function(rng, counter))
+            counter += 1
+        for _ in range(counters_per_file):
+            chunks.append(_counting_function(rng, counter))
+            counter += 1
+        files[f"search_{f}.cpp"] = "\n".join(chunks)
+    return CodeBase.from_files(files)
+
+
+def raw_search_count(codebase: CodeBase) -> int:
+    """Number of rewritable raw search loops (ground truth for E9)."""
+    return sum(text.count("bool contains_") for text in codebase.files.values())
+
+
+def preserved_loop_count(codebase: CodeBase) -> int:
+    return sum(text.count("int count_matches_") for text in codebase.files.values())

@@ -1,0 +1,93 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CodeBase, SpatchOptions
+from repro.lang.parser import parse_source
+
+
+@pytest.fixture
+def cxx_options() -> SpatchOptions:
+    return SpatchOptions(cxx=17)
+
+
+@pytest.fixture
+def simple_c_code() -> str:
+    return """\
+#include <omp.h>
+#include "util.h"
+#define N 1024
+
+struct particle { double pos[3]; double mass; };
+struct particle P[1024];
+
+static double kernel_density(const struct particle *p, int n) {
+    double acc = 0.0;
+    #pragma omp parallel for reduction(+:acc)
+    for (int i = 0; i < n; ++i) {
+        acc += p[i].mass * p[i].pos[0];
+        if (acc > 1e9) { acc = 0.0; break; }
+    }
+    return acc;
+}
+
+int find_flag(int arr[], int n, int k) {
+    bool result = false;
+    for (int idx = 0; idx < n; idx++) {
+        if (arr[idx] == k) { result = true; break; }
+    }
+    return result ? 1 : 0;
+}
+"""
+
+
+@pytest.fixture
+def simple_tree(simple_c_code):
+    return parse_source(simple_c_code, "simple.c")
+
+
+@pytest.fixture
+def omp_region_code() -> str:
+    return """\
+#include <stdio.h>
+#include <omp.h>
+
+void daxpy(int n, double a, double *x, double *y) {
+    #pragma omp parallel
+    {
+        #pragma omp for
+        for (int i = 0; i < n; i++) {
+            y[i] = a * x[i] + y[i];
+        }
+    }
+}
+
+void scale(int n, double a, double *x) {
+    #pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        x[i] = a * x[i];
+    }
+}
+"""
+
+
+@pytest.fixture
+def unrolled_code() -> str:
+    return """\
+void scale4(double *y, const double *x, double a, int n) {
+    for (int idx=0; idx+4-1 < n; idx+=4)
+    {
+        y[idx+0] = a * x[idx+0];
+        y[idx+1] = a * x[idx+1];
+        y[idx+2] = a * x[idx+2];
+        y[idx+3] = a * x[idx+3];
+    }
+}
+"""
+
+
+@pytest.fixture
+def tiny_codebase(omp_region_code, unrolled_code) -> CodeBase:
+    return CodeBase.from_files({"omp.c": omp_region_code, "unrolled.c": unrolled_code})

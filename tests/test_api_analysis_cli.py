@@ -1,0 +1,170 @@
+"""Tests for the public API, the analysis helpers and the CLI."""
+
+import pytest
+
+from repro import CodeBase, SemanticPatch, apply_patch
+from repro.analysis import (
+    format_table, render_experiment, robustness_cuda, robustness_openacc,
+    robustness_unroll, scaling_sweep, terseness,
+)
+from repro.cli.spatch import main as spatch_main
+from repro.cookbook import instrumentation, mdspan
+from repro.workloads import cuda_app, openacc_app, openmp_kernels, unrolled
+
+
+class TestCodeBase:
+    def test_from_files_and_access(self, tiny_codebase):
+        assert len(tiny_codebase) == 2
+        assert "omp.c" in tiny_codebase
+        assert "daxpy" in tiny_codebase["omp.c"]
+        assert sorted(tiny_codebase.names()) == ["omp.c", "unrolled.c"]
+
+    def test_loc_and_total_lines(self, tiny_codebase):
+        assert 0 < tiny_codebase.loc() <= tiny_codebase.total_lines()
+
+    def test_round_trip_directory(self, tmp_path, tiny_codebase):
+        tiny_codebase.write_to(tmp_path)
+        loaded = CodeBase.from_dir(tmp_path)
+        assert loaded.files == tiny_codebase.files
+
+    def test_with_file_is_functional(self, tiny_codebase):
+        extended = tiny_codebase.with_file("extra.c", "int x;\n")
+        assert "extra.c" in extended and "extra.c" not in tiny_codebase
+
+    def test_parse_all(self, tiny_codebase):
+        trees = tiny_codebase.parse()
+        assert set(trees) == set(tiny_codebase.names())
+
+
+class TestSemanticPatchApi:
+    def test_from_string_and_describe(self):
+        patch = SemanticPatch.from_string(instrumentation.paper_listing(), name="likwid")
+        assert "likwid" in patch.name
+        assert "rule_0" in patch.describe()
+        assert patch.loc() > 5
+
+    def test_from_path(self, tmp_path):
+        p = tmp_path / "x.cocci"
+        p.write_text(mdspan.PAPER_LISTING)
+        patch = SemanticPatch.from_path(p)
+        assert patch.rule_names == ["tomultiindex"]
+        assert patch.options.cxx == 23
+
+    def test_apply_and_transform(self, tiny_codebase):
+        patch = instrumentation.likwid_patch()
+        result = patch.apply(tiny_codebase)
+        assert result.summary()["changed_files"] == 1
+        transformed = patch.transform(tiny_codebase)
+        assert "LIKWID_MARKER_START" in transformed["omp.c"]
+        assert transformed["unrolled.c"] == tiny_codebase["unrolled.c"]
+
+    def test_apply_patch_helper(self):
+        result = apply_patch("@r@ @@\n- foo();\n+ bar();\n", "void f(void) { foo(); }\n")
+        assert "bar();" in result.text
+
+    def test_file_result_diff_and_lines(self, omp_region_code):
+        result = instrumentation.likwid_patch().apply_to_source(omp_region_code)
+        diff = result.diff()
+        assert diff.startswith("--- a/")
+        assert any("LIKWID_MARKER_START" in l for l in result.added_lines())
+        assert result.removed_lines() == []
+
+    def test_patch_result_aggregation(self, tiny_codebase):
+        result = instrumentation.likwid_patch().apply(tiny_codebase)
+        assert result.total_matches == (result.matches_of("add_header")
+                                        + result.matches_of("instrument"))
+        assert result.lines_added() >= 3
+        assert result["omp.c"].changed
+        assert result.get("missing.c") is None
+
+
+class TestAnalysis:
+    def test_terseness_leverage_above_one(self):
+        codebase = openmp_kernels.generate(n_files=3, kernels_per_file=4,
+                                           regions_per_file=3, seed=0)
+        row = terseness("E1", instrumentation.likwid_patch(), codebase)
+        assert row.sites_matched > 5
+        assert row.lines_changed > row.patch_loc
+        assert row.leverage > 1.0
+
+    def test_robustness_cuda_shapes(self):
+        codebase = cuda_app.generate(n_files=1, drivers_per_file=3, adversarial=True, seed=0)
+        semantic, textual = robustness_cuda(codebase)
+        assert semantic.correct
+        assert not textual.correct
+        assert textual.missed + textual.spurious + textual.broken > 0
+
+    def test_robustness_openacc_shapes(self):
+        codebase = openacc_app.generate(n_files=1, loops_per_file=4, adversarial=True, seed=0)
+        semantic, textual = robustness_openacc(codebase)
+        assert semantic.correct
+        assert textual.broken > 0
+
+    def test_robustness_unroll_ablation(self):
+        codebase = unrolled.generate(n_files=1, unrolled_per_file=3, impostors_per_file=2,
+                                     plain_per_file=1, seed=1)
+        rows = {r.tool: r for r in robustness_unroll(codebase)}
+        assert rows["semantic-patch (checked)"].correct
+        assert not rows["sed-reroll"].correct
+        assert rows["semantic-patch (p0)"].spurious >= 1
+        assert rows["semantic-patch (p1r1)"].spurious == 0
+
+    def test_scaling_sweep_monotone_loc(self):
+        rows = scaling_sweep(
+            instrumentation.likwid_patch,
+            lambda size: openmp_kernels.generate(n_files=size, kernels_per_file=2,
+                                                 regions_per_file=2, seed=0),
+            sizes=[1, 2])
+        assert rows[0].workload_loc < rows[1].workload_loc
+        assert all(r.seconds > 0 for r in rows)
+        assert rows[1].matches > rows[0].matches
+
+    def test_table_rendering(self):
+        codebase = unrolled.generate(n_files=1, unrolled_per_file=2, seed=0)
+        rows = robustness_unroll(codebase, strategies=("checked",))
+        text = format_table(rows)
+        assert "tool" in text and "semantic-patch (checked)" in text
+        block = render_experiment("Q2", "AST beats text", rows)
+        assert block.startswith("== Q2 ==")
+
+
+class TestCli:
+    def test_diff_output(self, tmp_path, capsys):
+        target = tmp_path / "omp.c"
+        target.write_text("#include <omp.h>\nvoid f(void) {\n#pragma omp parallel\n{ x(); }\n}\n")
+        cocci = tmp_path / "mark.cocci"
+        cocci.write_text(instrumentation.paper_listing())
+        rc = spatch_main(["--sp-file", str(cocci), str(target), "--report"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "+#include <likwid-marker.h>" in captured.out
+        assert target.read_text().count("LIKWID") == 0  # not in place
+
+    def test_in_place_rewrite(self, tmp_path, capsys):
+        target = tmp_path / "code.c"
+        target.write_text("void f(void) { old(); }\n")
+        cocci = tmp_path / "r.cocci"
+        cocci.write_text("@r@ @@\n- old();\n+ new_call();\n")
+        rc = spatch_main(["--sp-file", str(cocci), "--in-place", str(target)])
+        assert rc == 0
+        assert "new_call();" in target.read_text()
+
+    def test_cookbook_listing_and_application(self, tmp_path, capsys):
+        rc = spatch_main(["--list-cookbook"])
+        names = capsys.readouterr().out.split()
+        assert rc == 0 and "cuda_to_hip" in names
+        target = tmp_path / "a.cu"
+        target.write_text("void f(cudaStream_t s) { cudaFree(0); }\n")
+        rc = spatch_main(["--cookbook", "cuda_to_hip", str(target)])
+        out = capsys.readouterr().out
+        assert rc == 0 and "hipFree" in out
+
+    def test_missing_patch_argument_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            spatch_main([str(tmp_path)])
+
+    def test_unknown_target_errors(self, tmp_path):
+        cocci = tmp_path / "r.cocci"
+        cocci.write_text("@r@ @@\n- x();\n")
+        with pytest.raises(SystemExit):
+            spatch_main(["--sp-file", str(cocci), str(tmp_path / "missing.c")])

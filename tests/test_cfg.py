@@ -1,0 +1,130 @@
+"""Tests for the control-flow graph builder."""
+
+import pytest
+
+from repro.lang import ast_nodes as A
+from repro.lang.cfg import build_cfg
+from repro.lang.parser import parse_source
+
+
+def cfg_of(code: str, index: int = 0):
+    tree = parse_source(code, "t.c")
+    fns = [d for d in tree.unit.decls if isinstance(d, A.FunctionDef)]
+    return build_cfg(fns[index]), tree
+
+
+class TestStraightLine:
+    def test_linear_chain(self):
+        cfg, _ = cfg_of("void f(void) { a = 1; b = 2; c = 3; }")
+        # entry -> 3 stmts -> exit
+        assert len(list(cfg.statement_nodes())) == 3
+        assert cfg.exit.index in cfg.reachable_from(cfg.entry.index)
+
+    def test_empty_body(self):
+        cfg, _ = cfg_of("void f(void) { }")
+        assert cfg.exit.index in cfg.successors(cfg.entry.index)
+
+
+class TestBranches:
+    def test_if_creates_two_paths(self):
+        cfg, _ = cfg_of("void f(int a) { if (a) { x = 1; } else { x = 2; } y = 3; }")
+        cond = [n for n in cfg.nodes if n.kind == "cond"][0]
+        assert len(cond.succs) == 2
+
+    def test_if_without_else_falls_through(self):
+        cfg, _ = cfg_of("void f(int a) { if (a) { x = 1; } y = 3; }")
+        cond = [n for n in cfg.nodes if n.kind == "cond"][0]
+        join = [n for n in cfg.nodes if n.label == "endif"][0]
+        assert join.index in cond.succs
+
+    def test_return_connects_to_exit(self):
+        cfg, _ = cfg_of("int f(int a) { if (a) { return 1; } return 0; }")
+        returns = [n for n in cfg.nodes if n.label == "return"]
+        assert all(cfg.exit.index in n.succs for n in returns)
+
+
+class TestLoops:
+    def test_loop_back_edge(self):
+        cfg, _ = cfg_of("void f(int n) { for (int i = 0; i < n; ++i) { s += i; } }")
+        assert cfg.back_edges(), "a for loop must produce a back edge"
+
+    def test_natural_loop_body(self):
+        cfg, tree = cfg_of("void f(int n) { for (int i = 0; i < n; ++i) { s += i; } done = 1; }")
+        loops = cfg.natural_loops()
+        assert len(loops) == 1
+        assert isinstance(loops[0].stmt, A.ForStmt)
+
+    def test_nested_loops(self):
+        cfg, _ = cfg_of("""
+void f(int n) {
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            g(i, j);
+        }
+    }
+}
+""")
+        assert len(cfg.natural_loops()) == 2
+
+    def test_while_and_break(self):
+        cfg, _ = cfg_of("void f(int n) { while (n) { if (n == 1) break; n--; } done = 1; }")
+        brk = [n for n in cfg.nodes if n.label == "break"][0]
+        after = [n for n in cfg.nodes if n.label == "after-loop"][0]
+        assert after.index in brk.succs
+
+    def test_continue_targets_loop_head(self):
+        cfg, _ = cfg_of("void f(int n) { for (int i=0;i<n;++i) { if (i) continue; g(i); } }")
+        cont = [n for n in cfg.nodes if n.label == "continue"][0]
+        head = [n for n in cfg.nodes if n.kind == "loop-head"][0]
+        assert head.index in cont.succs
+
+    def test_do_while(self):
+        cfg, _ = cfg_of("void f(int n) { do { n--; } while (n > 0); }")
+        assert cfg.back_edges()
+
+
+class TestAnalyses:
+    def test_dominators_entry_dominates_all(self):
+        cfg, _ = cfg_of("void f(int a) { if (a) { x = 1; } y = 2; }")
+        dom = cfg.dominators()
+        for node in range(len(cfg)):
+            assert cfg.entry.index in dom[node]
+
+    def test_on_every_path_between(self):
+        cfg, _ = cfg_of("void f(void) { a = 1; b = 2; c = 3; }")
+        stmts = list(cfg.statement_nodes())
+        assert cfg.on_every_path_between(cfg.entry.index, cfg.exit.index, stmts[1].index)
+
+    def test_not_on_every_path_with_branch(self):
+        cfg, _ = cfg_of("void f(int a) { if (a) { x = 1; } y = 2; }")
+        x_node = [n for n in cfg.statement_nodes() if n.label == "ExprStmt"][0]
+        assert not cfg.on_every_path_between(cfg.entry.index, cfg.exit.index, x_node.index)
+
+    def test_node_for_statement(self):
+        cfg, tree = cfg_of("void f(void) { a = 1; }")
+        fn = tree.unit.decls[0]
+        stmt = fn.body.stmts[0]
+        assert cfg.node_for_statement(stmt) is not None
+
+    def test_networkx_export(self):
+        cfg, _ = cfg_of("void f(int n) { for (int i=0;i<n;++i) { s += i; } }")
+        graph = cfg.to_networkx()
+        assert graph.number_of_nodes() == len(cfg)
+        assert graph.number_of_edges() >= len(cfg) - 1
+
+    def test_instrumented_region_encloses_loop(self):
+        """CFG-level validation used by E1: the marker start dominates the
+        loop head and the loop reaches the marker stop."""
+        code = """
+void f(int n) {
+    LIKWID_MARKER_START(__func__);
+    for (int i = 0; i < n; ++i) { s += i; }
+    LIKWID_MARKER_STOP(__func__);
+}
+"""
+        cfg, tree = cfg_of(code)
+        dom = cfg.dominators()
+        start = [n for n in cfg.statement_nodes()
+                 if n.stmt is not None and "START" in tree.node_text(n.stmt)][0]
+        head = [n for n in cfg.nodes if n.kind == "loop-head"][0]
+        assert start.index in dom[head.index]

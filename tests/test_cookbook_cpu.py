@@ -1,0 +1,240 @@
+"""Cookbook tests: CPU-oriented use cases (instrumentation, variants,
+multiversioning, bloat removal, unrolling, mdspan, STL, workaround, AoS→SoA)."""
+
+import re
+
+import pytest
+
+from repro import CodeBase
+from repro.cookbook import (
+    aos_soa, bloat_removal, compiler_workaround, declare_variant,
+    instrumentation, mdspan, multiversioning, stl_modernize, unrolling,
+)
+from repro.workloads import (
+    gadget, librsb_like, multiversion_app, openmp_kernels, rawloops, unrolled,
+)
+
+
+class TestInstrumentation:
+    def test_braced_regions_instrumented(self, omp_region_code):
+        result = instrumentation.likwid_patch().apply_to_source(omp_region_code)
+        assert "#include <likwid-marker.h>" in result.text
+        assert result.text.count("LIKWID_MARKER_START(__func__);") == 1
+        assert result.text.count("LIKWID_MARKER_STOP(__func__);") == 1
+        # the unbraced '#pragma omp parallel for' loop must not be touched
+        assert "scale" in result.text
+
+    def test_marker_api_selection(self, omp_region_code):
+        result = instrumentation.marker_patch(api="caliper").apply_to_source(omp_region_code)
+        assert "#include <caliper/cali.h>" in result.text
+        assert "CALI_MARK_BEGIN(__func__);" in result.text
+
+    def test_unknown_api_rejected(self):
+        with pytest.raises(ValueError):
+            instrumentation.marker_patch(api="nonexistent")
+
+    def test_workload_coverage_matches_ground_truth(self):
+        codebase = openmp_kernels.generate(n_files=2, kernels_per_file=2,
+                                           regions_per_file=3, seed=7)
+        expected = openmp_kernels.braced_region_count(codebase)
+        result = instrumentation.likwid_patch().apply(codebase)
+        started = sum(f.text.count("LIKWID_MARKER_START") for f in result)
+        assert started == expected > 0
+
+    def test_removal_round_trip(self, omp_region_code):
+        instrumented = instrumentation.likwid_patch().apply_to_source(omp_region_code).text
+        restored = instrumentation.removal_patch().apply_to_source(instrumented).text
+        assert "LIKWID" not in restored
+        assert "likwid-marker.h" not in restored
+
+
+class TestDeclareVariant:
+    def test_clones_and_pragmas_inserted(self):
+        code = "double norm_kernel(const double *x, int n) {\n    return x[0] * n;\n}\n"
+        result = declare_variant.declare_variant_patch().apply_to_source(code)
+        assert "avx512_norm_kernel" in result.text
+        assert "avx10_norm_kernel" in result.text
+        assert result.text.count("#pragma omp declare variant") == 2
+        # base function untouched and still last
+        assert result.text.rstrip().endswith("}")
+
+    def test_only_matching_functions_cloned(self):
+        codebase = openmp_kernels.generate(n_files=1, kernels_per_file=3,
+                                           regions_per_file=1, seed=2)
+        result = declare_variant.declare_variant_patch().apply(codebase)
+        text = "\n".join(f.text for f in result)
+        assert "avx512_relax_region" not in text
+        assert "avx512_axpy_kernel_0" in text or "avx512_stencil_kernel_1" in text
+
+    def test_custom_variants(self):
+        spec = (declare_variant.VariantSpec(prefix="sve_", isa="arm-sve"),)
+        result = declare_variant.declare_variant_patch(variants=spec).apply_to_source(
+            "int my_kernel(int x) { return x; }\n")
+        assert "sve_my_kernel" in result.text
+        assert 'isa("arm-sve")' in result.text
+
+
+class TestMultiversioningAndBloat:
+    def test_target_clones_attribute_added(self):
+        result = multiversioning.target_clones_patch().apply_to_source(
+            "double dot_kernel(const double *a, int n) { return a[0] * n; }\n")
+        assert '__attribute__((target_clones("default","avx2","avx512")))' in result.text
+
+    def test_clone_with_target_attributes(self):
+        result = multiversioning.clone_with_target_attributes().apply_to_source(
+            "double dot_kernel(const double *a, int n) { return a[0] * n; }\n")
+        assert result.text.count("__attribute__((target(") == 3  # avx2, avx512, default
+
+    def test_match_architecture_specific(self):
+        code = ('__attribute__((target("avx512")))\nint f(int x) {\n    return x;\n}\n')
+        result = multiversioning.match_architecture_specific().apply_to_source(code)
+        assert "avx512-specific code only" in result.text
+
+    def test_bloat_removal_on_workload(self):
+        codebase = multiversion_app.generate(n_files=2, clone_sets_per_file=3, seed=4)
+        before_clones = multiversion_app.clone_count(codebase)
+        before_defaults = multiversion_app.default_attr_count(codebase)
+        transformed = bloat_removal.remove_obsolete_clones().transform(codebase)
+        assert multiversion_app.clone_count(transformed) == 0
+        assert before_clones > 0
+        # the default attribute survives only on functions that had no clones
+        assert multiversion_app.default_attr_count(transformed) == before_defaults - 6
+
+    def test_remove_pragma_guarded_code(self):
+        code = "void f(void) {\n#pragma oldtool trace(on)\n    work();\n}\n"
+        result = bloat_removal.remove_pragma_guarded_code("oldtool").apply_to_source(code)
+        assert "oldtool" not in result.text
+        assert "work();" in result.text
+
+
+class TestUnrolling:
+    def test_p0_rerolls_and_inserts_pragma(self, unrolled_code):
+        result = unrolling.reroll_patch_p0().apply_to_source(unrolled_code)
+        assert "#pragma omp unroll partial(4)" in result.text
+        assert "idx+1" not in result.text
+        assert "++idx" in result.text and "idx < n" in result.text
+
+    def test_p1_r1_equivalent_result_on_true_unroll(self, unrolled_code):
+        p0 = unrolling.reroll_patch_p0().apply_to_source(unrolled_code).text
+        p1r1 = unrolling.reroll_patch_p1_r1().apply_to_source(unrolled_code).text
+        assert p0.split() == p1r1.split()
+
+    def test_checked_strategy_leaves_impostors_alone(self):
+        codebase = unrolled.generate(n_files=1, unrolled_per_file=2, impostors_per_file=2,
+                                     plain_per_file=1, seed=9)
+        transformed = unrolling.reroll_patch(strategy="checked").transform(codebase)
+        text = "\n".join(transformed.files.values())
+        # genuine unrolls rerolled ...
+        assert text.count("#pragma omp unroll partial(4)") == 2
+        # ... impostors byte-identical
+        for name, original in codebase.items():
+            for chunk in original.split("void ")[1:]:
+                if chunk.startswith("tail_fixup_"):
+                    assert "void " + chunk in transformed[name]
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            unrolling.reroll_patch(strategy="yolo")
+
+    def test_other_factor(self):
+        code = ("void f(double *y, const double *x, int n) {\n"
+                "    for (int i=0; i+2-1 < n; i+=2)\n    {\n"
+                "        y[i+0] = x[i+0];\n        y[i+1] = x[i+1];\n    }\n}\n")
+        result = unrolling.reroll_patch_p0(factor=2).apply_to_source(code)
+        assert "#pragma omp unroll partial(2)" in result.text
+        assert "y[i+1]" not in result.text
+
+
+class TestMdspan:
+    def test_paper_rule_only_touches_named_array(self):
+        code = ("void f(int n) { b[i][j][k] = a[i][j][k] + a[i+1][j][k]; }\n")
+        result = mdspan.multiindex_patch().apply_to_source(code, "m.cpp")
+        assert "a[i, j, k]" in result.text and "a[i+1, j, k]" in result.text
+        assert "b[i][j][k]" in result.text  # not named in the rule
+
+    def test_derived_from_codebase(self):
+        codebase = gadget.generate(n_files=1, loops_per_file=1, grid_kernels_per_file=2, seed=0)
+        arrays = mdspan.arrays_of_rank(codebase, min_rank=3)
+        assert set(arrays) == {"rho", "phi"}
+        transformed = mdspan.multiindex_patch_from_codebase(codebase).transform(codebase)
+        assert gadget.chained_3d_subscript_count(transformed) == 0
+
+    def test_fallback_when_no_arrays(self):
+        empty = CodeBase.from_files({"x.c": "int f(void) { return 0; }\n"})
+        patch = mdspan.multiindex_patch_from_codebase(empty)
+        assert patch.rule_names  # falls back to the paper's literal rule
+
+
+class TestStlAndWorkaround:
+    def test_raw_loop_rewritten(self):
+        codebase = rawloops.generate(n_files=1, searches_per_file=4, counters_per_file=2, seed=3)
+        expected = rawloops.raw_search_count(codebase)
+        transformed = stl_modernize.raw_loop_to_find_patch().transform(codebase)
+        text = "\n".join(transformed.files.values())
+        assert text.count("find(begin(") == expected
+        assert "#include <algorithm>" in text
+        # counting loops (no break) must be preserved
+        assert text.count("count = count + 1") == rawloops.preserved_loop_count(codebase)
+
+    def test_qualified_std_variant(self):
+        code = ("#include <iostream>\n#include <vector>\n"
+                "bool has(std::vector<int> &v) {\n    bool found = false;\n"
+                "    for ( int &e : v )\n      if ( e == 7 )\n      {\n"
+                "        found = true;\n        break;\n      }\n    return found;\n}\n")
+        result = stl_modernize.raw_loop_to_find_patch(qualify_std=True).apply_to_source(
+            code, "q.cpp")
+        assert "std::find(std::begin(v),std::end(v),7)" in result.text
+
+    def test_workaround_targets_only_affected_kernels(self):
+        codebase = librsb_like.generate(n_files=2)
+        affected = librsb_like.affected_kernel_count(codebase)
+        total = librsb_like.total_kernel_count(codebase)
+        assert 0 < affected < total
+        result = compiler_workaround.gcc_workaround_patch().apply(codebase)
+        text = "\n".join(f.text for f in result)
+        assert text.count("#pragma GCC push_options") == affected
+        assert text.count("#pragma GCC pop_options") == affected
+
+    def test_workaround_paper_numbers(self):
+        """The paper says the patch impacts 'a dozen functions among a few
+        hundred'; the synthetic kernel family reproduces those proportions."""
+        codebase = librsb_like.generate(n_files=2)
+        assert librsb_like.affected_kernel_count(codebase) == 12
+        assert librsb_like.total_kernel_count(codebase) == 288
+
+
+class TestAosSoa:
+    def test_spec_derivation(self):
+        codebase = gadget.generate(n_files=1, loops_per_file=2, seed=1)
+        spec = aos_soa.derive_spec(codebase, struct_name="particle")
+        assert spec.array_name == "P"
+        names = {f.name for f in spec.fields}
+        assert {"pos", "vel", "mass"} <= names
+        assert [f.inner_dim for f in spec.fields if f.name == "pos"] == [3]
+
+    def test_all_accesses_rewritten(self):
+        codebase = gadget.generate(n_files=2, loops_per_file=4, seed=1)
+        before = gadget.aos_access_count(codebase)
+        patch = aos_soa.aos_to_soa_patch_from_codebase(codebase, struct_name="particle")
+        transformed = patch.transform(codebase)
+        assert before > 20
+        assert gadget.aos_access_count(transformed) == 0
+        assert "double P_mass[NPART];" in transformed["globals.c"]
+        assert "extern double P_mass[NPART];" in transformed["particles.h"]
+
+    def test_keep_fields_stay_aos(self):
+        codebase = gadget.generate(n_files=1, loops_per_file=3, seed=6)
+        spec = aos_soa.derive_spec(codebase, struct_name="particle", keep_fields=("type",))
+        transformed = aos_soa.aos_to_soa_patch(spec).transform(codebase)
+        text = "\n".join(transformed.files.values())
+        assert "P_type" not in text
+        assert "struct particle P[NPART];" in transformed["globals.c"]
+
+    def test_reverse_patch_round_trips_accesses(self):
+        codebase = gadget.generate(n_files=1, loops_per_file=3, seed=2)
+        spec = aos_soa.derive_spec(codebase, struct_name="particle")
+        forward = aos_soa.aos_to_soa_patch(spec)
+        backward = aos_soa.reverse_patch(spec)
+        soa = forward.transform(codebase)
+        back = backward.transform(soa)
+        assert gadget.aos_access_count(back) == gadget.aos_access_count(codebase)

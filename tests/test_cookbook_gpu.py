@@ -1,0 +1,111 @@
+"""Cookbook tests: GPU-oriented use cases (CUDA→HIP, Kokkos, OpenACC)."""
+
+import pytest
+
+from repro import CodeBase
+from repro.cookbook import cuda_hip, kokkos_lambda, openacc_openmp
+from repro.workloads import cuda_app, kokkos_exercise, openacc_app
+
+
+class TestCudaToHip:
+    def test_function_dictionary_rename(self):
+        code = ("double sample(curandState *st) {\n"
+                "    double r = curand_uniform_double(st);\n"
+                "    return fabs(r);\n}\n")
+        result = cuda_hip.function_rename_patch().apply_to_source(code, "s.cu")
+        assert "rocrand_uniform_double(st)" in result.text
+        assert "fabs(r)" in result.text
+
+    def test_type_dictionary_rename(self):
+        code = "void f(void) {\n    __half h;\n    cudaStream_t s;\n    double keep;\n}\n"
+        result = cuda_hip.type_rename_patch().apply_to_source(code, "t.cu")
+        assert "rocblas_half h;" in result.text
+        assert "hipStream_t s;" in result.text
+        assert "double keep;" in result.text
+
+    def test_chevron_translation(self):
+        code = "void run(int n, cudaStream_t s) { k<<<n/256, 256, 0, s>>>(a, b, n); }\n"
+        result = cuda_hip.kernel_launch_patch().apply_to_source(code, "k.cu")
+        assert "hipLaunchKernelGGL(k," in result.text
+        assert "<<<" not in result.text
+
+    def test_header_translation(self):
+        code = "#include <cuda_runtime.h>\n#include <stdio.h>\n"
+        result = cuda_hip.header_rename_patch().apply_to_source(code, "h.cu")
+        assert "#include <hip/hip_runtime.h>" in result.text
+        assert "#include <stdio.h>" in result.text
+
+    def test_full_pipeline_on_workload(self):
+        codebase = cuda_app.generate(n_files=1, drivers_per_file=2, adversarial=True, seed=5)
+        patch = cuda_hip.cuda_to_hip_patch()
+        transformed = patch.transform(codebase)
+        text = "\n".join(transformed.files.values())
+        assert "<<<" not in text
+        assert "cudaMalloc(" not in text
+        assert "hipMalloc(" in text
+        # strings and comments stay untouched (AST-level matching)
+        assert 'printf("cudaMemcpy or kernel launch failed' in text
+        assert "cudaMalloc is discussed in this comment" in text
+
+    def test_custom_dictionary(self):
+        patch = cuda_hip.function_rename_patch({"myCudaThing": "myHipThing"})
+        result = patch.apply_to_source("void f(void) { myCudaThing(1); cudaFree(p); }\n")
+        assert "myHipThing(1)" in result.text
+        assert "cudaFree(p)" in result.text  # not in the custom map
+
+
+class TestOpenAcc:
+    def test_paper_skeleton_hardcoded_clause(self):
+        code = "void f(int n) {\n#pragma acc parallel loop\nfor (int i=0;i<n;++i) a[i]=0;\n}\n"
+        result = openacc_openmp.hardcoded_paper_patch().apply_to_source(code)
+        assert "#pragma omp kernels copy(a)" in result.text
+
+    def test_real_translator_clauses(self):
+        code = ("void f(int n, float *x, float *y) {\n"
+                "    #pragma acc parallel loop copy(y[0:n]) copyin(x[0:n])\n"
+                "    for (int i = 0; i < n; ++i) y[i] += x[i];\n}\n")
+        result = openacc_openmp.acc_to_omp_patch().apply_to_source(code)
+        assert "#pragma omp target teams distribute parallel for" in result.text
+        assert "map(tofrom: y[0:n])" in result.text
+        assert "map(to: x[0:n])" in result.text
+        assert "#pragma acc" not in result.text
+
+    def test_continuation_lines_translated(self):
+        codebase = openacc_app.generate(n_files=1, loops_per_file=4, adversarial=True, seed=1)
+        assert openacc_app.continued_directive_count(codebase) > 0
+        transformed = openacc_openmp.acc_to_omp_patch().transform(codebase)
+        text = "\n".join(transformed.files.values())
+        assert "#pragma acc" not in text
+
+    def test_reduction_clause_preserved(self):
+        code = ("double s(int n, const double *v) {\n    double total = 0.0;\n"
+                "    #pragma acc parallel loop reduction(+:total)\n"
+                "    for (int i = 0; i < n; ++i) total += v[i];\n    return total;\n}\n")
+        result = openacc_openmp.acc_to_omp_patch().apply_to_source(code)
+        assert "reduction(+:total)" in result.text
+
+
+class TestKokkos:
+    def test_paper_patch_on_exercise(self):
+        codebase = kokkos_exercise.generate(n_files=1)
+        result = kokkos_lambda.paper_patch().apply(codebase)
+        text = result.changed_files[0].text
+        assert "#include <Kokkos_Core.hpp>" in text
+        assert "parallel_reduce(" in text
+        assert "parallel_for(" in text
+        assert "KOKKOS_LAMBDA" in text
+
+    def test_generalised_patch_uses_bound_loop_variables(self):
+        codebase = kokkos_exercise.generate(n_files=1, n=2048, m=512)
+        result = kokkos_lambda.kokkos_patch().apply(codebase)
+        text = result.changed_files[0].text
+        # the RangePolicy bound comes from the matched loop, not a hard-coded n
+        assert "Kokkos::RangePolicy<Kokkos::DefaultHostExecutionSpace>(0, N)" in text
+        assert "Kokkos::parallel_reduce(" in text
+        assert "result);" in text  # reduction target appended
+
+    def test_untargeted_loops_preserved(self):
+        codebase = kokkos_exercise.generate(n_files=1)
+        result = kokkos_lambda.kokkos_patch().apply(codebase)
+        text = result.changed_files[0].text
+        assert "for (int repeat = 0; repeat < nrepeat; repeat++)" in text

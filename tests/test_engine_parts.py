@@ -1,0 +1,165 @@
+"""Tests for engine building blocks: environments, edits, isomorphisms."""
+
+import pytest
+
+from repro.engine.bindings import BoundValue, Env, Position, EMPTY_ENV
+from repro.engine.edits import EditSet, PLACE_INLINE, PLACE_NEWLINE_AFTER, PLACE_NEWLINE_BEFORE
+from repro.errors import EditConflictError
+from repro.lang.source import SourceFile
+from repro.smpl.isomorphisms import (
+    DEFAULT_ISOS, IsoConfig, commutative_swap, increment_variants,
+    plus_zero_operand, strip_parens,
+)
+from repro.lang.parser import parse_source
+from repro.lang import ast_nodes as A
+
+
+class TestEnv:
+    def test_bind_and_get(self):
+        env = EMPTY_ENV.bind("x", BoundValue.for_name("identifier", "foo"))
+        assert env is not None and env.get("x").text == "foo"
+        assert "x" in env and len(env) == 1
+
+    def test_conflicting_rebind_fails(self):
+        env = EMPTY_ENV.bind("x", BoundValue.for_name("identifier", "foo"))
+        assert env.bind("x", BoundValue.for_name("identifier", "bar")) is None
+
+    def test_consistent_rebind_succeeds(self):
+        env = EMPTY_ENV.bind("x", BoundValue.for_name("identifier", "foo"))
+        assert env.bind("x", BoundValue.for_name("identifier", "foo")) is env
+
+    def test_immutability(self):
+        env = EMPTY_ENV.bind("x", BoundValue.for_name("identifier", "foo"))
+        env.bind("y", BoundValue.for_name("identifier", "bar"))
+        assert "y" not in env
+
+    def test_position_equality(self):
+        p1 = BoundValue.for_position(Position("f.c", 3, 4, 10))
+        p2 = BoundValue.for_position(Position("f.c", 3, 4, 10))
+        p3 = BoundValue.for_position(Position("f.c", 5, 0, 40))
+        assert p1.equivalent(p2) and not p1.equivalent(p3)
+
+    def test_exported_keys(self):
+        env = EMPTY_ENV.bind("f", BoundValue.for_name("identifier", "foo"))
+        exported = env.exported("cfe", ["f"])
+        assert exported.get("cfe.f").text == "foo"
+        assert exported.get("f").text == "foo"
+
+    def test_locals_from_inherited(self):
+        env = EMPTY_ENV.bind("cfe.fn", BoundValue.for_name("identifier", "curand"))
+        seeded = env.locals_from_inherited({"fn": ("cfe", "fn")})
+        assert seeded.get("fn").text == "curand"
+        assert env.locals_from_inherited({"x": ("nope", "x")}) is None
+
+    def test_bind_all_and_merge(self):
+        env = EMPTY_ENV.bind_all({"a": BoundValue.for_name("identifier", "1"),
+                                  "b": BoundValue.for_name("identifier", "2")})
+        other = EMPTY_ENV.bind("c", BoundValue.for_name("identifier", "3"))
+        merged = env.merged(other)
+        assert set(merged) == {"a", "b", "c"}
+
+
+class TestEditSet:
+    def _edits(self, text):
+        return EditSet(source=SourceFile(name="x.c", text=text))
+
+    def test_simple_deletion(self):
+        edits = self._edits("alpha beta gamma")
+        edits.delete(6, 11)
+        assert edits.apply() == "alpha gamma"
+
+    def test_full_line_deletion_removes_line(self):
+        edits = self._edits("keep1;\ndelete_me;\nkeep2;\n")
+        edits.delete(7, 17)  # 'delete_me;'
+        assert edits.apply() == "keep1;\nkeep2;\n"
+
+    def test_partial_line_deletion_keeps_line(self):
+        edits = self._edits("a = b + c;\n")
+        edits.delete(4, 9)  # 'b + c'
+        assert edits.apply() == "a = ;\n"
+
+    def test_adjacent_deletions_merge(self):
+        edits = self._edits("x = i+4-1 < n;\n")
+        edits.delete(5, 6)   # '+'
+        edits.delete(6, 7)   # '4'
+        edits.delete(7, 8)   # '-'
+        edits.delete(8, 9)   # '1'
+        assert edits.apply() == "x = i < n;\n"
+
+    def test_inline_insertion(self):
+        edits = self._edits("f(a);\n")
+        edits.delete(0, 1)
+        edits.insert(1, ["g"], placement=PLACE_INLINE)
+        assert edits.apply() == "g(a);\n"
+
+    def test_newline_after_insertion(self):
+        edits = self._edits("#include <omp.h>\nint a;\n")
+        edits.insert(16, ["#include <likwid.h>"], placement=PLACE_NEWLINE_AFTER, indent="")
+        assert edits.apply().splitlines()[1] == "#include <likwid.h>"
+
+    def test_newline_before_insertion(self):
+        edits = self._edits("    double f(void) { return 0; }\n")
+        edits.insert(4, ["__attribute__((target))"],
+                     placement=PLACE_NEWLINE_BEFORE, indent="    ")
+        out = edits.apply()
+        assert out.splitlines()[0].strip() == "__attribute__((target))"
+        assert out.splitlines()[1].startswith("    double f")
+
+    def test_insert_inside_deleted_region_is_relocated(self):
+        edits = self._edits("    #pragma acc kernels\n    for (;;) x();\n")
+        edits.delete(4, 23)
+        edits.insert(23, ["#pragma omp target"], placement=PLACE_NEWLINE_AFTER, indent="    ")
+        out = edits.apply()
+        assert "#pragma acc" not in out
+        assert out.splitlines()[0].strip() == "#pragma omp target"
+
+    def test_duplicate_insertions_deduplicated(self):
+        edits = self._edits("int a;\n")
+        for _ in range(3):
+            edits.insert(6, ["// note"], placement=PLACE_NEWLINE_AFTER)
+        assert edits.apply().count("// note") == 1
+
+    def test_summary_counts(self):
+        edits = self._edits("abc def\n")
+        edits.delete(0, 3)
+        edits.insert(3, ["xyz"])
+        summary = edits.summary()
+        assert summary["deletions"] == 1 and summary["insertions"] == 1
+        assert not edits.is_empty and len(edits) == 2
+
+    def test_empty_editset_is_identity(self):
+        text = "int unchanged;\n"
+        assert self._edits(text).apply() == text
+
+
+class TestIsomorphisms:
+    def _expr(self, text):
+        tree = parse_source(f"int f(void) {{ return {text}; }}", "t.c")
+        ret = tree.unit.decls[0].body.stmts[0]
+        return ret.value
+
+    def test_strip_parens(self):
+        node = self._expr("((a))")
+        assert isinstance(strip_parens(node), A.Ident)
+        assert isinstance(strip_parens(node, IsoConfig.all_disabled()), A.Paren)
+
+    def test_plus_zero(self):
+        node = self._expr("i + 0")
+        base = plus_zero_operand(node)
+        assert isinstance(base, A.Ident) and base.name == "i"
+        assert plus_zero_operand(self._expr("i + 1")) is None
+        assert plus_zero_operand(node, IsoConfig.all_disabled()) is None
+
+    def test_commutative_swap(self):
+        node = self._expr("k == elem")
+        swapped = commutative_swap(node)
+        assert swapped.left.name == "elem"
+        assert commutative_swap(self._expr("a - b")) is None
+
+    def test_increment_variants(self):
+        plusplus = self._expr("i++")
+        variants = increment_variants(plusplus)
+        assert any(isinstance(v, A.Assignment) and v.op == "+=" for v in variants)
+        pluseq = self._expr("i += 1")
+        assert any(isinstance(v, A.UnaryOp) for v in increment_variants(pluseq))
+        assert increment_variants(self._expr("i += 4")) == []

@@ -1,0 +1,169 @@
+"""Integration tests: every Section-3 listing of the paper applied end-to-end
+to a code fragment of the shape the paper describes."""
+
+import pytest
+
+from repro import SemanticPatch, SpatchOptions
+from repro.cookbook import (
+    bloat_removal, compiler_workaround, cuda_hip, declare_variant,
+    instrumentation, kokkos_lambda, mdspan, multiversioning, openacc_openmp,
+    stl_modernize, unrolling,
+)
+from repro.workloads import kokkos_exercise
+
+
+def apply(listing: str, code: str, cxx: int | None = None, filename="paper.c"):
+    options = SpatchOptions(cxx=cxx) if cxx else None
+    return SemanticPatch.from_string(listing, options=options) \
+        .apply_to_source(code, filename)
+
+
+class TestSection3Listings:
+    def test_likwid_instrumentation(self, omp_region_code):
+        result = apply(instrumentation.paper_listing(), omp_region_code)
+        assert "#include <likwid-marker.h>" in result.text
+        start = result.text.index("LIKWID_MARKER_START(__func__);")
+        stop = result.text.index("LIKWID_MARKER_STOP(__func__);")
+        assert start < stop
+
+    def test_declare_variant(self):
+        code = ("#include <math.h>\n\n"
+                "double norm_kernel(const double *x, int n) {\n"
+                "    double s = 0.0;\n"
+                "    for (int i = 0; i < n; ++i) s += x[i] * x[i];\n"
+                "    return sqrt(s);\n}\n\n"
+                "void helper(double *x) { x[0] = 1.0; }\n")
+        result = apply(declare_variant.PAPER_LISTING, code)
+        assert "double avx512_norm_kernel (const double *x, int n)" in result.text
+        assert "double avx10_norm_kernel" in result.text
+        assert result.text.count("#pragma omp declare variant") == 2
+        assert "avx512_helper" not in result.text
+
+    def test_multiversioning_attribute_match(self):
+        code = ('__attribute__((target("avx512")))\n'
+                "double dotp(const double *a, const double *b, int n)\n{\n"
+                "    double s = 0.0;\n    return s;\n}\n")
+        result = apply(multiversioning.PAPER_LISTING_MATCH_AVX512, code)
+        assert "avx512-specific code only" in result.text
+
+    def test_bloat_removal(self):
+        signature = "double dotp(const double *a, const double *b, int n)"
+        body = "{\n    double s = 0.0;\n    return s;\n}\n"
+        code = "\n".join([
+            f'__attribute__((target("default")))\n{signature}\n{body}',
+            f'__attribute__((target("avx2")))\n{signature}\n{body}',
+            f'__attribute__((target("avx512")))\n{signature}\n{body}',
+            f'__attribute__((target("default")))\ndouble other(const double *a, int n)\n'
+            "{\n    return a[0];\n}\n",
+        ])
+        result = apply(bloat_removal.PAPER_LISTING, code)
+        assert "avx2" not in result.text and "avx512" not in result.text
+        assert result.text.count("dotp") == 1
+        # 'other' had no obsolete clones, so its default attribute stays
+        assert result.text.count('target("default")') == 1
+
+    def test_unroll_p0(self, unrolled_code):
+        result = apply(unrolling.PAPER_LISTING_P0, unrolled_code)
+        assert "#pragma omp unroll partial(4)" in result.text
+        assert "idx+3" not in result.text
+        assert "idx+=4" not in result.text and "++idx" in result.text
+
+    def test_unroll_p1_r1(self, unrolled_code):
+        result = apply(unrolling.PAPER_LISTING_P1_R1, unrolled_code)
+        assert result.text.count("y[idx+0] = a * x[idx+0];") == 1
+        assert "idx+1" not in result.text
+
+    def test_mdspan(self):
+        code = "void f(int n) { c = a[x0][y0][z0] + a[x0+1][y0][z0]; d = b[x0][y0][z0]; }\n"
+        result = apply(mdspan.PAPER_LISTING, code, filename="grid.cpp")
+        assert "a[x0, y0, z0]" in result.text
+        assert "a[x0+1, y0, z0]" in result.text
+        assert "b[x0][y0][z0]" in result.text  # rule names only array 'a'
+
+    def test_cuda_function_dictionary(self):
+        code = ("double sample(curandState *st) {\n"
+                "    double r = curand_uniform_double(st);\n"
+                "    double q = cos(r);\n    return q;\n}\n")
+        result = apply(cuda_hip.PAPER_LISTING_FUNCTIONS, code)
+        assert "rocrand_uniform_double(st)" in result.text
+        assert "cos(r)" in result.text
+
+    def test_cuda_type_dictionary(self):
+        code = "void f(void) {\n    __half h;\n    double keep;\n}\n"
+        result = apply(cuda_hip.PAPER_LISTING_TYPES, code)
+        assert "rocblas_half h;" in result.text
+        assert "double keep;" in result.text
+
+    def test_cuda_chevron(self):
+        code = "void run(double *a, double *b, int n, cudaStream_t s) {\n" \
+               "    saxpy_kernel<<<n/256, 256, 0, s>>>(a, b, n);\n}\n"
+        result = apply(cuda_hip.PAPER_LISTING_CHEVRON, code)
+        assert "hipLaunchKernelGGL(saxpy_kernel,n/256,256,0,s,a, b, n);" in result.text
+
+    def test_openacc_skeleton(self):
+        code = ("void saxpy(int n, float a, float *x, float *y) {\n"
+                "    #pragma acc parallel loop copyin(x[0:n])\n"
+                "    for (int i = 0; i < n; ++i) y[i] = a * x[i] + y[i];\n}\n")
+        result = apply(openacc_openmp.PAPER_LISTING, code)
+        assert "#pragma omp kernels copy(a)" in result.text
+        assert "#pragma acc" not in result.text
+
+    def test_stl_find(self):
+        code = ("#include <iostream>\n#include <vector>\n\n"
+                "bool has_magic(std::vector<int> &values) {\n"
+                "    bool found = false;\n"
+                "    int checked = 0;\n"
+                "    for ( int &v : values )\n"
+                "      if ( v == 42 )\n      {\n"
+                '        std::cout << "hit" << std::endl;\n'
+                "        found = true;\n        break;\n      }\n"
+                "    return found;\n}\n")
+        result = apply(stl_modernize.PAPER_LISTING, code, filename="search.cpp")
+        assert "find(begin(values),end(values),42)" in result.text
+        assert "#include <algorithm>" in result.text
+        assert "std::cout" not in result.text  # diagnostics removed by '...'
+        assert "int checked = 0;" in result.text  # untouched context survives
+
+    def test_kokkos_lambda(self):
+        codebase = kokkos_exercise.generate(n_files=1)
+        result = SemanticPatch.from_string(kokkos_lambda.PAPER_LISTING).apply(codebase)
+        text = result.changed_files[0].text
+        assert "#include <Kokkos_Core.hpp>" in text
+        # three initialisation loops become parallel_for, the dot-product
+        # accumulation becomes parallel_reduce
+        assert text.count("parallel_for(") == 3
+        assert text.count("parallel_reduce(") == 1
+        assert "KOKKOS_LAMBDA(const int i)" in text
+
+    def test_compiler_workaround(self):
+        code = ("static int rsb__BCSR_spmv_sasa_double_complex_C__tN_r1_c1_uu_sH_dE_uG"
+                "(const double *VA, double *y)\n{\n    int k;\n"
+                "    for (k = 0; k < 4; ++k) y[k] += VA[k];\n    return 0;\n}\n\n"
+                "static int rsb__BCSR_spmv_uaua_double(const double *VA, double *y)\n"
+                "{\n    return 0;\n}\n")
+        result = apply(compiler_workaround.PAPER_LISTING, code)
+        assert result.text.count("#pragma GCC push_options") == 1
+        assert result.text.count("#pragma GCC pop_options") == 1
+        # the pragmas enclose only the affected kernel
+        before, after = result.text.split("rsb__BCSR_spmv_uaua_double", 1)
+        assert "pop_options" in before and "push_options" not in after
+
+
+class TestReplayability:
+    def test_patched_output_is_reproducible(self, omp_region_code):
+        """Applying the same patch twice to the pristine code gives identical
+        output — the 'replayable refactoring' workflow of Section 4."""
+        patch = SemanticPatch.from_string(instrumentation.paper_listing())
+        first = patch.apply_to_source(omp_region_code).text
+        second = patch.apply_to_source(omp_region_code).text
+        assert first == second
+
+    def test_patch_is_terser_than_its_effect(self):
+        from repro.workloads import openmp_kernels
+
+        codebase = openmp_kernels.generate(n_files=4, kernels_per_file=4,
+                                           regions_per_file=3, seed=0)
+        patch = instrumentation.likwid_patch()
+        result = patch.apply(codebase)
+        changed = result.lines_added() + result.lines_removed()
+        assert changed > patch.loc()

@@ -1,0 +1,203 @@
+"""Tests for the mini C interpreter and the equivalence harness."""
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.eval import Interpreter, compare_aos_soa, compare_function, run_function
+from repro.options import SpatchOptions
+
+
+class TestBasics:
+    def test_arithmetic_and_return(self):
+        code = "double f(double a, double b) { return (a + b) * 2.0 - 1.0; }"
+        assert run_function(code, "f", 1.5, 2.5) == pytest.approx(7.0)
+
+    def test_integer_division_truncates(self):
+        code = "int f(int a, int b) { return a / b + a % b; }"
+        assert run_function(code, "f", 7, 2) == 4
+
+    def test_for_loop_and_compound_assign(self):
+        code = "double s(int n) { double acc = 0.0; for (int i = 0; i < n; ++i) acc += i; return acc; }"
+        assert run_function(code, "s", 5) == 10
+
+    def test_while_break_continue(self):
+        code = """
+int f(int n) {
+    int count = 0;
+    int i = 0;
+    while (1) {
+        i++;
+        if (i > n) break;
+        if (i % 2 == 0) continue;
+        count += i;
+    }
+    return count;
+}
+"""
+        assert run_function(code, "f", 6) == 9
+
+    def test_arrays_passed_by_reference(self):
+        code = "void scale(double *x, int n, double a) { for (int i=0;i<n;++i) x[i] = a * x[i]; }"
+        buf = [1.0, 2.0, 3.0]
+        run_function(code, "scale", buf, 3, 2.0)
+        assert buf == [2.0, 4.0, 6.0]
+
+    def test_ternary_and_builtins(self):
+        code = "double f(double x) { return x > 0.0 ? sqrt(x) : fabs(x); }"
+        assert run_function(code, "f", 9.0) == 3.0
+        assert run_function(code, "f", -2.5) == 2.5
+
+    def test_function_calls_user_defined(self):
+        code = "double sq(double x) { return x * x; }\ndouble f(double x) { return sq(x) + sq(2.0); }"
+        assert run_function(code, "f", 3.0) == 13.0
+
+    def test_out_of_bounds_raises(self):
+        code = "double f(void) { double a[2]; return a[5]; }"
+        with pytest.raises(InterpreterError):
+            run_function(code, "f")
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(InterpreterError):
+            run_function("int f(void) { return 0; }", "missing")
+
+    def test_step_limit(self):
+        code = "int f(void) { while (1) { } return 0; }"
+        interp = Interpreter(code, max_steps=1000)
+        with pytest.raises(InterpreterError):
+            interp.call("f")
+
+
+class TestGlobalsStructsDefines:
+    CODE = """
+#define NP 4
+struct particle { double pos[3]; double mass; };
+struct particle P[NP];
+double grid[2][3];
+
+double total_mass(int n) {
+    double total = 0.0;
+    for (int i = 0; i < n; i++) total += P[i].mass;
+    return total;
+}
+
+void fill(int n) {
+    for (int i = 0; i < n; i++) {
+        P[i].mass = 1.0 + i;
+        P[i].pos[0] = 2.0 * i;
+    }
+    grid[1][2] = 42.0;
+}
+"""
+
+    def test_define_constant_used_for_sizing(self):
+        interp = Interpreter(self.CODE)
+        assert len(interp.get_global("P")) == 4
+
+    def test_struct_fields_and_nested_arrays(self):
+        interp = Interpreter(self.CODE)
+        interp.call("fill", 4)
+        assert interp.call("total_mass", 4) == pytest.approx(1 + 2 + 3 + 4)
+        assert interp.get_global("P")[2].fields["pos"][0] == 4.0
+        assert interp.get_global("grid")[1][2] == 42.0
+
+    def test_set_global(self):
+        interp = Interpreter(self.CODE)
+        particles = interp.get_global("P")
+        particles[0].fields["mass"] = 10.0
+        assert interp.call("total_mass", 1) == 10.0
+
+    def test_printf_and_markers_recorded(self):
+        code = """
+double f(int n) {
+    LIKWID_MARKER_START(__func__);
+    printf("n=%d\\n", n);
+    LIKWID_MARKER_STOP(__func__);
+    return 1.0;
+}
+"""
+        interp = Interpreter(code)
+        assert interp.call("f", 3) == 1.0
+        assert interp.output == ["n=3\n"]
+        assert [c.name for c in interp.marker_calls] == ["LIKWID_MARKER_START",
+                                                         "LIKWID_MARKER_STOP"]
+
+    def test_pragmas_ignored(self):
+        code = """
+double s(int n, const double *x) {
+    double acc = 0.0;
+    #pragma omp parallel for reduction(+:acc)
+    for (int i = 0; i < n; i++) acc += x[i];
+    return acc;
+}
+"""
+        assert run_function(code, "s", 3, [1.0, 2.0, 3.0]) == 6.0
+
+    def test_workload_functions_run(self):
+        from repro.workloads import gadget
+
+        codebase = gadget.generate(n_files=1, loops_per_file=3, seed=4)
+        interp = Interpreter(codebase)
+        totals = [f for f in interp.function_names() if f.startswith("total_")]
+        updates = [f for f in interp.function_names() if f.startswith("update_")]
+        assert totals and updates
+        assert interp.call(totals[0], 8) == 0.0  # zero-initialised particles
+        interp.call(updates[0], 8, 0.1)          # must simply not raise
+
+
+class TestEquivalenceHarness:
+    def test_equivalent_functions_report_equivalent(self):
+        original = {"a.c": "double f(double *x, int n) { double s=0.0; for (int i=0;i<n;++i) s += x[i]; return s; }"}
+        transformed = {"a.c": "double f(double *x, int n) { double s=0.0; int i = 0; while (i < n) { s += x[i]; ++i; } return s; }"}
+        from repro import CodeBase
+        report = compare_function(CodeBase.from_files(original), CodeBase.from_files(transformed),
+                                  "f", lambda: ([1.0, 2.0, 3.5], 3), observed_args=(0,))
+        assert report.all_equivalent
+
+    def test_behaviour_change_detected(self):
+        from repro import CodeBase
+        original = CodeBase.from_files({"a.c": "int f(int x) { return x + 1; }"})
+        broken = CodeBase.from_files({"a.c": "int f(int x) { return x + 2; }"})
+        report = compare_function(original, broken, "f", lambda: (3,))
+        assert not report.all_equivalent and report.mismatches
+
+    def test_unroll_removal_preserves_behaviour(self, unrolled_code):
+        from repro import CodeBase
+        from repro.cookbook import unrolling
+
+        original = CodeBase.from_files({"u.c": unrolled_code})
+        transformed = unrolling.reroll_patch_p1_r1().transform(original)
+
+        def args():
+            # trip counts that are a multiple of the unroll factor: the
+            # contract under which manually unrolled code is generated
+            return ([0.0] * 12, [float(i) for i in range(12)], 2.0, 12)
+
+        report = compare_function(original, transformed, "scale4", args, observed_args=(0,))
+        assert report.all_equivalent
+
+    def test_unroll_removal_fixes_remainder_handling(self, unrolled_code):
+        """For trip counts that are NOT a multiple of the factor, the manually
+        unrolled loop skips the tail while the rerolled loop processes it —
+        the equivalence harness must detect that observable difference."""
+        from repro import CodeBase
+        from repro.cookbook import unrolling
+
+        original = CodeBase.from_files({"u.c": unrolled_code})
+        transformed = unrolling.reroll_patch_p1_r1().transform(original)
+        report = compare_function(original, transformed, "scale4",
+                                  lambda: ([0.0] * 10, [1.0] * 10, 2.0, 10),
+                                  observed_args=(0,))
+        assert not report.all_equivalent
+
+    def test_aos_soa_preserves_reductions(self):
+        from repro.cookbook import aos_soa
+        from repro.workloads import gadget
+
+        codebase = gadget.generate(n_files=1, loops_per_file=3, seed=8)
+        patch = aos_soa.aos_to_soa_patch_from_codebase(codebase, struct_name="particle")
+        soa = patch.transform(codebase)
+        totals = [f for f in Interpreter(codebase).function_names()
+                  if f.startswith("total_")]
+        report = compare_aos_soa(codebase, soa, totals, count=16)
+        assert report.checked == len(totals) > 0
+        assert report.all_equivalent, report.mismatches + report.errors

@@ -1,0 +1,140 @@
+"""Tests for the C/SmPL tokenizer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import Lexer, TokenKind, tokenize, tokenize_pragma_text
+from repro.lang.source import SourceFile
+
+
+def kinds(text, **kw):
+    return [t.kind for t in tokenize(text, **kw) if t.kind is not TokenKind.EOF]
+
+
+def values(text, **kw):
+    return [t.value for t in tokenize(text, **kw) if t.kind is not TokenKind.EOF]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_numbers(self):
+        assert values("alpha x_1 _tmp 42 3.14 1e-3 0x1F 10UL") == \
+            ["alpha", "x_1", "_tmp", "42", "3.14", "1e-3", "0x1F", "10UL"]
+
+    def test_kinds(self):
+        assert kinds("a 1 \"s\" 'c' +") == [TokenKind.IDENT, TokenKind.NUMBER,
+                                            TokenKind.STRING, TokenKind.CHAR,
+                                            TokenKind.PUNCT]
+
+    def test_float_without_leading_digit(self):
+        assert values(".5 + x")[0] == ".5"
+
+    def test_string_with_escapes(self):
+        assert values(r'"a\"b\n"') == [r'"a\"b\n"']
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("int a; ` b;")
+
+
+class TestOperators:
+    def test_multichar_operators(self):
+        assert values("a += b == c && d <<= e -> f :: g ## h") == \
+            ["a", "+=", "b", "==", "c", "&&", "d", "<<=", "e", "->", "f", "::",
+             "g", "##", "h"]
+
+    def test_chevrons(self):
+        toks = values("k<<<grid, block>>>(x)")
+        assert "<<<" in toks and ">>>" in toks
+
+    def test_shift_still_works(self):
+        assert values("a << b >> c") == ["a", "<<", "b", ">>", "c"]
+
+    def test_ellipsis_is_dots_kind(self):
+        toks = tokenize("f(int a, ...)")
+        dots = [t for t in toks if t.kind is TokenKind.DOTS]
+        assert len(dots) == 1 and dots[0].value == "..."
+
+
+class TestCommentsAndTrivia:
+    def test_line_comment_skipped(self):
+        assert values("int a; // comment with * tokens\nint b;") == \
+            ["int", "a", ";", "int", "b", ";"]
+
+    def test_block_comment_skipped(self):
+        assert values("int /* hi */ a;") == ["int", "a", ";"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("int a; /* oops")
+
+    def test_comment_offsets_recorded(self):
+        src = SourceFile(name="x.c", text="int a; /* c */ int b;")
+        lexer = Lexer(src)
+        lexer.tokenize()
+        assert lexer.comments and src.text[slice(*lexer.comments[0])] == "/* c */"
+
+
+class TestDirectives:
+    def test_include_directive_single_token(self):
+        toks = tokenize('#include <omp.h>\nint a;')
+        assert toks[0].kind is TokenKind.DIRECTIVE
+        assert toks[0].value == "#include <omp.h>"
+
+    def test_pragma_with_continuation_merged(self):
+        text = "#pragma acc parallel loop \\\n    copyin(x[0:n])\nint a;"
+        toks = tokenize(text)
+        assert toks[0].kind is TokenKind.DIRECTIVE
+        assert "copyin(x[0:n])" in toks[0].value
+        assert "\\" not in toks[0].value
+        # the raw extent still covers both physical lines
+        assert text[toks[0].offset:toks[0].end].count("\n") == 1
+
+    def test_hash_mid_line_not_a_directive(self):
+        # '#' not at start of line: stays an ordinary punct (e.g. in macros)
+        toks = tokenize("a # b")
+        assert [t.value for t in toks[:3]] == ["a", "#", "b"]
+
+    def test_directives_disabled(self):
+        toks = tokenize("#pragma omp for", directives_as_tokens=False)
+        assert toks[0].value == "#"
+
+    def test_offsets_and_positions(self):
+        toks = tokenize("int a;\n  double b;")
+        b_tok = [t for t in toks if t.value == "b"][0]
+        assert (b_tok.line, b_tok.col) == (2, 9)
+
+
+class TestSmplMode:
+    def test_escaped_disjunction_tokens(self):
+        toks = tokenize(r"\( a \| b \& c \)", smpl_mode=True)
+        assert [t.kind for t in toks[:1]] == [TokenKind.DISJ_OPEN]
+        kinds_present = {t.kind for t in toks}
+        assert TokenKind.DISJ_OR in kinds_present
+        assert TokenKind.CONJ_AND in kinds_present
+        assert TokenKind.DISJ_CLOSE in kinds_present
+
+    def test_escapes_not_recognised_outside_smpl_mode(self):
+        with pytest.raises(LexError):
+            tokenize(r"\( a \)")
+
+    def test_at_and_regex_operators(self):
+        assert values("fn@p =~", smpl_mode=True) == ["fn", "@", "p", "=~"]
+
+    def test_annotation_defaults(self):
+        tok = tokenize("x", smpl_mode=True)[0]
+        assert tok.annot is None and tok.pline == -1
+        annotated = tok.with_annotation("-", 3)
+        assert annotated.annot == "-" and annotated.pline == 3
+
+
+class TestPragmaTextTokenizer:
+    def test_words_and_punct(self):
+        assert tokenize_pragma_text("omp parallel for reduction(+:acc)") == \
+            ["omp", "parallel", "for", "reduction", "(", "+", ":", "acc", ")"]
+
+    def test_empty(self):
+        assert tokenize_pragma_text("") == []

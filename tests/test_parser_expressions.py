@@ -1,0 +1,169 @@
+"""Tests for expression parsing."""
+
+import pytest
+
+from repro.errors import CParseError
+from repro.lang import ast_nodes as A
+from repro.lang.lexer import Lexer
+from repro.lang.parser import CParser, parse_source
+from repro.lang.source import SourceFile
+from repro.options import SpatchOptions
+
+
+def parse_expr(text: str, cxx: bool = False, metavars=None):
+    src = SourceFile(name="<expr>", text=text)
+    tokens = Lexer(src, smpl_mode=metavars is not None).tokenize()
+    options = SpatchOptions(cxx=17) if cxx else SpatchOptions()
+    parser = CParser(tokens, src, options=options, metavars=metavars, tolerant=False)
+    return parser.parse_single_expression(), parser
+
+
+class TestPrecedence:
+    def test_multiplication_binds_tighter(self):
+        expr, _ = parse_expr("a + b * c")
+        assert isinstance(expr, A.BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, A.BinaryOp) and expr.right.op == "*"
+
+    def test_relational_vs_additive(self):
+        expr, _ = parse_expr("i + k - 1 < n")
+        assert expr.op == "<"
+        assert isinstance(expr.left, A.BinaryOp) and expr.left.op == "-"
+
+    def test_logical_operators(self):
+        expr, _ = parse_expr("a && b || c")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_parentheses(self):
+        expr, _ = parse_expr("(a + b) * c")
+        assert expr.op == "*"
+        assert isinstance(expr.left, A.Paren)
+
+    def test_assignment_right_associative(self):
+        expr, _ = parse_expr("a = b = c")
+        assert isinstance(expr, A.Assignment)
+        assert isinstance(expr.value, A.Assignment)
+
+    def test_compound_assignment(self):
+        expr, _ = parse_expr("x += y * 2")
+        assert isinstance(expr, A.Assignment) and expr.op == "+="
+
+    def test_ternary(self):
+        expr, _ = parse_expr("a ? b : c")
+        assert isinstance(expr, A.Ternary)
+
+
+class TestPostfix:
+    def test_call_with_args(self):
+        expr, _ = parse_expr("f(a, b + 1, g(c))")
+        assert isinstance(expr, A.Call) and len(expr.args) == 3
+        assert isinstance(expr.args[2], A.Call)
+
+    def test_nested_subscripts(self):
+        expr, _ = parse_expr("a[i][j][k]")
+        assert isinstance(expr, A.Subscript)
+        assert isinstance(expr.base, A.Subscript)
+        assert isinstance(expr.base.base, A.Subscript)
+
+    def test_multi_index_subscript(self):
+        expr, _ = parse_expr("a[i, j, k]", cxx=True)
+        assert isinstance(expr, A.Subscript) and len(expr.indices) == 3
+
+    def test_member_access(self):
+        expr, _ = parse_expr("p[i].pos[0]")
+        assert isinstance(expr, A.Subscript)
+        assert isinstance(expr.base, A.Member)
+        assert expr.base.name == "pos"
+
+    def test_arrow_access(self):
+        expr, _ = parse_expr("node->next->value")
+        assert isinstance(expr, A.Member) and expr.op == "->"
+
+    def test_postfix_increment(self):
+        expr, _ = parse_expr("i++")
+        assert isinstance(expr, A.UnaryOp) and not expr.prefix
+
+    def test_kernel_launch(self):
+        expr, _ = parse_expr("saxpy<<<grid, block, 0, s>>>(a, b, n)")
+        assert isinstance(expr, A.KernelLaunch)
+        assert len(expr.config) == 4 and len(expr.args) == 3
+
+    def test_qualified_identifier(self):
+        expr, _ = parse_expr("std::find(a, b, k)", cxx=True)
+        assert isinstance(expr, A.Call)
+        assert expr.func.name == "std::find"
+
+
+class TestUnaryAndCasts:
+    def test_prefix_operators(self):
+        expr, _ = parse_expr("-x")
+        assert isinstance(expr, A.UnaryOp) and expr.op == "-" and expr.prefix
+
+    def test_address_and_deref(self):
+        expr, _ = parse_expr("*&x")
+        assert expr.op == "*" and expr.operand.op == "&"
+
+    def test_cast(self):
+        expr, _ = parse_expr("(double)n")
+        assert isinstance(expr, A.Cast) and expr.type.text == "double"
+
+    def test_cast_with_pointer(self):
+        expr, _ = parse_expr("(struct particle *)buf")
+        assert isinstance(expr, A.Cast)
+
+    def test_sizeof_type(self):
+        expr, _ = parse_expr("sizeof(double)")
+        assert isinstance(expr, A.SizeofExpr) and isinstance(expr.arg, A.TypeName)
+
+    def test_sizeof_expression(self):
+        expr, _ = parse_expr("sizeof x")
+        assert isinstance(expr, A.SizeofExpr) and isinstance(expr.arg, A.Ident)
+
+    def test_parenthesised_arithmetic_not_a_cast(self):
+        expr, _ = parse_expr("(a) + b")
+        assert isinstance(expr, A.BinaryOp)
+
+
+class TestLiterals:
+    @pytest.mark.parametrize("text,category", [
+        ("42", "int"), ("3.5", "float"), ("1e-7", "float"), ('"hi"', "string"),
+        ("'c'", "char"), ("true", "bool"), ("NULL", "null"),
+    ])
+    def test_literal_categories(self, text, category):
+        expr, _ = parse_expr(text)
+        assert isinstance(expr, A.Literal) and expr.category == category
+
+
+class TestExtents:
+    def test_node_text_round_trip(self):
+        tree = parse_source("int f(void) { return a[i] + g(b, c); }", "t.c")
+        subs = [n for n in A.walk(tree.unit) if isinstance(n, A.Subscript)]
+        assert tree.node_text(subs[0]) == "a[i]"
+        calls = [n for n in A.walk(tree.unit) if isinstance(n, A.Call)]
+        assert tree.node_text(calls[0]) == "g(b, c)"
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(CParseError):
+            parse_expr("a + b extra")
+
+
+class TestPatternModeExpressions:
+    def test_dots_in_argument_list(self):
+        expr, _ = parse_expr("f(...)", metavars={"f": "identifier"})
+        assert isinstance(expr.args[0], A.DotsExpr)
+
+    def test_expression_list_metavar(self):
+        expr, _ = parse_expr("fn(el)", metavars={"fn": "identifier",
+                                                 "el": "expression list"})
+        assert isinstance(expr.args[0], A.MetaExprList)
+
+    def test_position_annotation(self):
+        expr, _ = parse_expr("fn@p(el)", metavars={"fn": "identifier", "p": "position",
+                                                   "el": "expression list"})
+        assert isinstance(expr, A.Call)
+        assert expr.func.pos_metavars == ("p",)
+
+    def test_inline_disjunction(self):
+        expr, _ = parse_expr(r"\( a == k \| k == a \)",
+                             metavars={"k": "constant", "a": "identifier"})
+        assert isinstance(expr, A.Disjunction) and len(expr.branches) == 2

@@ -1,0 +1,171 @@
+"""Tests for statement parsing."""
+
+import pytest
+
+from repro.errors import CParseError
+from repro.lang import ast_nodes as A
+from repro.lang.lexer import Lexer
+from repro.lang.parser import CParser
+from repro.lang.source import SourceFile
+from repro.options import SpatchOptions
+
+
+def parse_stmts(text: str, cxx: bool = False, metavars=None, tolerant=False):
+    src = SourceFile(name="<stmts>", text=text)
+    tokens = Lexer(src, smpl_mode=metavars is not None).tokenize()
+    options = SpatchOptions(cxx=17) if cxx else SpatchOptions()
+    parser = CParser(tokens, src, options=options, metavars=metavars, tolerant=tolerant)
+    return parser.parse_statement_list()
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        (stmt,) = parse_stmts("if (a > b) x = a; else x = b;")
+        assert isinstance(stmt, A.IfStmt)
+        assert stmt.orelse is not None
+
+    def test_nested_if(self):
+        (stmt,) = parse_stmts("if (a) if (b) c = 1;")
+        assert isinstance(stmt.then, A.IfStmt)
+
+    def test_classic_for(self):
+        (stmt,) = parse_stmts("for (int i = 0; i < n; ++i) { s += a[i]; }")
+        assert isinstance(stmt, A.ForStmt)
+        assert isinstance(stmt.init, A.DeclStmt)
+        assert isinstance(stmt.body, A.CompoundStmt)
+
+    def test_for_with_expression_init(self):
+        (stmt,) = parse_stmts("for (i = 0; i < n; i += 4) total += a[i];")
+        assert isinstance(stmt.init, A.ExprStmt)
+        assert isinstance(stmt.step, A.Assignment)
+
+    def test_for_empty_clauses(self):
+        (stmt,) = parse_stmts("for (;;) break;")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_for_comma_step(self):
+        (stmt,) = parse_stmts("for (i = 0; i < n; i++, j--) x = i;")
+        assert isinstance(stmt.step, A.CommaExpr)
+
+    def test_while_and_do(self):
+        stmts = parse_stmts("while (n > 0) n--; do { n++; } while (n < 10);")
+        assert isinstance(stmts[0], A.WhileStmt)
+        assert isinstance(stmts[1], A.DoWhileStmt)
+
+    def test_range_for_cxx(self):
+        (stmt,) = parse_stmts("for (int &v : values) v = 0;", cxx=True)
+        assert isinstance(stmt, A.RangeForStmt)
+        assert stmt.reference and stmt.var == "v"
+
+    def test_return_break_continue(self):
+        stmts = parse_stmts("return a + b; break; continue; return;")
+        assert isinstance(stmts[0], A.ReturnStmt) and stmts[0].value is not None
+        assert isinstance(stmts[1], A.BreakStmt)
+        assert isinstance(stmts[2], A.ContinueStmt)
+        assert stmts[3].value is None
+
+
+class TestDeclarations:
+    def test_simple_declaration(self):
+        (stmt,) = parse_stmts("double acc = 0.0;")
+        assert isinstance(stmt, A.DeclStmt)
+        decl = stmt.decl
+        assert decl.type.text == "double"
+        assert decl.declarators[0].name == "acc"
+        assert isinstance(decl.declarators[0].init, A.Literal)
+
+    def test_multiple_declarators(self):
+        (stmt,) = parse_stmts("int i = 0, j = 1, k;")
+        assert [d.name for d in stmt.decl.declarators] == ["i", "j", "k"]
+
+    def test_pointer_declarator(self):
+        (stmt,) = parse_stmts("double *p = x;")
+        assert stmt.decl.declarators[0].pointer == "*"
+
+    def test_array_declarator(self):
+        (stmt,) = parse_stmts("double buf[128];")
+        assert len(stmt.decl.declarators[0].arrays) == 1
+
+    def test_unknown_type_ident_ident(self):
+        (stmt,) = parse_stmts("curandState st;")
+        assert isinstance(stmt, A.DeclStmt)
+        assert stmt.decl.type.text == "curandState"
+
+    def test_underscore_t_suffix_recognised_as_type(self):
+        (stmt,) = parse_stmts("cudaStream_t stream;")
+        assert isinstance(stmt, A.DeclStmt)
+
+    def test_init_list(self):
+        (stmt,) = parse_stmts("double v[3] = {1.0, 2.0, 3.0};")
+        assert isinstance(stmt.decl.declarators[0].init, A.InitList)
+
+    def test_constructor_style_initialisation_cxx(self):
+        (stmt,) = parse_stmts("dim3 grid(n / 256);", cxx=True)
+        assert isinstance(stmt, A.DeclStmt)
+
+
+class TestPragmasAndMisc:
+    def test_pragma_statement(self):
+        stmts = parse_stmts("#pragma omp parallel for\nfor (i = 0; i < n; i++) x = i;")
+        assert isinstance(stmts[0], A.PragmaDirective)
+        assert stmts[0].text.startswith("omp parallel for")
+
+    def test_empty_statement(self):
+        (stmt,) = parse_stmts(";")
+        assert isinstance(stmt, A.EmptyStmt)
+
+    def test_expression_statement_requires_semicolon(self):
+        with pytest.raises(CParseError):
+            parse_stmts("a + b")
+
+    def test_tolerant_recovery_produces_raw_stmt(self):
+        src = SourceFile(name="<t>", text="void f() { switch (x) { case 1: break; } y = 1; }")
+        tokens = Lexer(src).tokenize()
+        parser = CParser(tokens, src, tolerant=True)
+        tree = parser.parse_translation_unit()
+        fn = tree.unit.decls[0]
+        kinds = [type(s).__name__ for s in fn.body.stmts]
+        assert "RawStmt" in kinds
+        assert kinds[-1] == "ExprStmt"  # parsing resumes after recovery
+
+
+class TestPatternModeStatements:
+    MVS = {"A": "statement", "SL": "statement list", "i": "identifier",
+           "T": "type", "fc": "statement", "p": "position", "n": "expression",
+           "c": "identifier"}
+
+    def test_statement_metavariable(self):
+        (stmt,) = parse_stmts("A", metavars=self.MVS)
+        assert isinstance(stmt, A.MetaStmt) and stmt.name == "A"
+
+    def test_statement_list_in_braces(self):
+        (stmt,) = parse_stmts("{ SL }", metavars=self.MVS)
+        assert isinstance(stmt.stmts[0], A.MetaStmtList)
+
+    def test_dots_statement(self):
+        stmts = parse_stmts("{ ... }", metavars=self.MVS)
+        assert isinstance(stmts[0].stmts[0], A.DotsStmt)
+
+    def test_for_with_dots_clauses(self):
+        (stmt,) = parse_stmts("for (...;c<n;...) fc", metavars=self.MVS)
+        assert isinstance(stmt, A.ForStmt)
+        assert isinstance(stmt.init, A.DotsExpr)
+        assert isinstance(stmt.step, A.DotsExpr)
+        assert isinstance(stmt.body, A.MetaStmt)
+
+    def test_statement_conjunction_with_position(self):
+        text = "(\nfc@p\n&\nfor (...;c<n;...) A\n)"
+        src = SourceFile(name="<p>", text=text)
+        from repro.lang.lexer import TokenKind
+        tokens = Lexer(src, smpl_mode=True).tokenize()
+        marker = {"(": TokenKind.DISJ_OPEN, "&": TokenKind.CONJ_AND, ")": TokenKind.DISJ_CLOSE}
+        lines = text.split("\n")
+        for t in tokens:
+            if t.kind is TokenKind.PUNCT and lines[t.line - 1].strip() == t.value \
+                    and t.value in marker:
+                t.kind = marker[t.value]
+        parser = CParser(tokens, src, metavars=self.MVS, tolerant=False)
+        (stmt,) = parser.parse_statement_list()
+        assert isinstance(stmt, A.Conjunction)
+        assert isinstance(stmt.branches[0], A.MetaStmt)
+        assert stmt.branches[0].pos_metavars == ("p",)

@@ -1,0 +1,147 @@
+"""Tests for top-level (translation unit) parsing."""
+
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse_source
+from repro.options import SpatchOptions
+
+
+class TestDirectives:
+    def test_includes(self, simple_tree):
+        includes = [d for d in simple_tree.unit.decls if isinstance(d, A.IncludeDirective)]
+        assert [i.target for i in includes] == ["omp.h", "util.h"]
+        assert includes[0].system and not includes[1].system
+        assert includes[0].header_text == "<omp.h>"
+
+    def test_define(self, simple_tree):
+        defines = [d for d in simple_tree.unit.decls if isinstance(d, A.DefineDirective)]
+        assert len(defines) == 1 and "N 1024" in defines[0].raw
+
+    def test_pragma_inside_function(self, simple_tree):
+        pragmas = [n for n in A.walk(simple_tree.unit) if isinstance(n, A.PragmaDirective)]
+        assert pragmas and pragmas[0].words[:2] == ["omp", "parallel"]
+
+
+class TestStructsAndGlobals:
+    def test_struct_definition(self, simple_tree):
+        structs = [d for d in simple_tree.unit.decls if isinstance(d, A.StructDef)]
+        assert structs[0].name == "particle"
+        field_names = [decl.declarators[0].name for decl in structs[0].members]
+        assert field_names == ["pos", "mass"]
+
+    def test_typedef_struct(self):
+        tree = parse_source("typedef struct { double x, y; } point_t;\npoint_t origin;", "t.c")
+        struct = tree.unit.decls[0]
+        assert isinstance(struct, A.StructDef) and struct.typedef_name == "point_t"
+        decl = tree.unit.decls[1]
+        assert isinstance(decl, A.Declaration) and decl.type.text == "point_t"
+
+    def test_enum(self):
+        tree = parse_source("enum color { RED, GREEN = 3, BLUE };", "t.c")
+        enum = tree.unit.decls[0]
+        assert enum.keyword == "enum" and enum.enumerators == ["RED", "GREEN", "BLUE"]
+
+    def test_global_array(self, simple_tree):
+        globals_ = [d for d in simple_tree.unit.decls if isinstance(d, A.Declaration)]
+        assert globals_[0].declarators[0].name == "P"
+        assert len(globals_[0].declarators[0].arrays) == 1
+
+    def test_typedef_plain(self):
+        tree = parse_source("typedef unsigned long long ticks;\nticks t0;", "t.c")
+        assert "ticks" in tree.known_types
+        assert isinstance(tree.unit.decls[1], A.Declaration)
+
+
+class TestFunctions:
+    def test_function_names(self, simple_tree):
+        fns = [d for d in simple_tree.unit.decls if isinstance(d, A.FunctionDef)]
+        assert [f.name for f in fns] == ["kernel_density", "find_flag"]
+
+    def test_specifiers_and_types(self, simple_tree):
+        fn = [d for d in simple_tree.unit.decls if isinstance(d, A.FunctionDef)][0]
+        assert "static" in fn.specifiers
+        assert fn.return_type.text == "double"
+
+    def test_parameters(self, simple_tree):
+        fn = [d for d in simple_tree.unit.decls if isinstance(d, A.FunctionDef)][0]
+        params = fn.params.params
+        assert params[0].type.text == "const struct particle"
+        assert params[0].pointer == "*"
+        assert params[1].name == "n"
+
+    def test_prototype(self):
+        tree = parse_source("double norm(const double *x, int n);", "t.c")
+        fn = tree.unit.decls[0]
+        assert isinstance(fn, A.FunctionDef) and fn.is_prototype and fn.body is None
+
+    def test_attributes(self):
+        code = '__attribute__((target("avx512")))\nstatic int f(int x) { return x; }'
+        tree = parse_source(code, "t.c")
+        fn = tree.unit.decls[0]
+        assert fn.attributes[0].name == "target"
+        assert tree.node_text(fn.attributes[0].args[0]) == '"avx512"'
+
+    def test_pointer_return(self):
+        tree = parse_source("double *alloc_buffer(int n) { return 0; }", "t.c")
+        fn = tree.unit.decls[0]
+        assert fn.pointer == "*" and fn.name == "alloc_buffer"
+
+    def test_varargs(self):
+        tree = parse_source("int log_msg(const char *fmt, ...) { return 0; }", "t.c")
+        fn = tree.unit.decls[0]
+        assert isinstance(fn.params.params[-1], A.DotsParam)
+
+    def test_cuda_global_specifier(self):
+        code = "__global__ void k(double *x, int n) { x[0] = n; }"
+        tree = parse_source(code, "t.cu")
+        fn = tree.unit.decls[0]
+        assert "__global__" in fn.specifiers
+
+
+class TestErrorTolerance:
+    def test_unknown_construct_becomes_raw_decl(self):
+        code = "template <typename T> T max3(T a, T b) { return a; }\nint ok;"
+        tree = parse_source(code, "t.cpp")
+        kinds = [type(d).__name__ for d in tree.unit.decls]
+        assert "RawDecl" in kinds
+        assert kinds[-1] == "Declaration"
+
+    def test_namespace_passthrough(self):
+        code = "namespace impl {\nint hidden;\n}\ndouble visible;"
+        tree = parse_source(code, "t.cpp", options=SpatchOptions(cxx=17))
+        kinds = [type(d).__name__ for d in tree.unit.decls]
+        assert kinds[0] == "RawDecl" and kinds[-1] == "Declaration"
+
+    def test_raw_decl_preserves_text(self):
+        code = "@!garbage!@;\nint ok;"
+        tree = parse_source(code, "t.c")
+        raw = [d for d in tree.unit.decls if isinstance(d, A.RawDecl)]
+        assert raw and "garbage" in raw[0].text
+
+    def test_whole_workload_files_have_no_raw_nodes(self):
+        from repro.workloads import gadget, openmp_kernels
+
+        for codebase in (gadget.generate(n_files=1, loops_per_file=2, seed=0),
+                         openmp_kernels.generate(n_files=1, seed=0)):
+            for name, text in codebase.items():
+                tree = parse_source(text, name)
+                raws = [n for n in A.walk(tree.unit)
+                        if isinstance(n, (A.RawDecl, A.RawStmt))]
+                assert raws == [], f"unparsed constructs in {name}"
+
+
+class TestOwnTokens:
+    def test_own_token_indices_cover_fixed_syntax(self, simple_tree):
+        fn = [d for d in simple_tree.unit.decls if isinstance(d, A.FunctionDef)][1]
+        own_values = [simple_tree.tokens[i].value for i in simple_tree.own_token_indices(fn)]
+        # the name is a plain string field (not a child node), so it is an
+        # own token of the function; parentheses belong to the parameter list
+        assert own_values == ["find_flag"]
+        param_own = [simple_tree.tokens[i].value
+                     for i in simple_tree.own_token_indices(fn.params)]
+        assert "(" in param_own and ")" in param_own
+
+    def test_children_not_in_own_tokens(self, simple_tree):
+        fn = [d for d in simple_tree.unit.decls if isinstance(d, A.FunctionDef)][1]
+        own = set(simple_tree.own_token_indices(fn))
+        body_tokens = set(range(fn.body.start, fn.body.end))
+        assert not (own & body_tokens)

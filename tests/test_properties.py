@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro import CodeBase, apply_patch
+from repro.engine.edits import EditSet, PLACE_NEWLINE_AFTER
+from repro.eval import Interpreter
+from repro.lang import ast_nodes as A
+from repro.lang.lexer import TokenKind, tokenize
+from repro.lang.parser import parse_source
+from repro.lang.printer import to_source
+from repro.lang.source import SourceFile
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s not in {"if", "else", "for", "while", "do", "int", "return",
+                        "break", "continue", "double", "void", "const", "bool"})
+
+numbers = st.integers(min_value=0, max_value=999).map(str)
+
+
+@st.composite
+def arith_exprs(draw, depth=2):
+    if depth == 0:
+        return draw(st.one_of(identifiers, numbers))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(arith_exprs(depth=depth - 1))
+    right = draw(arith_exprs(depth=depth - 1))
+    if draw(st.booleans()):
+        return f"({left} {op} {right})"
+    return f"{left} {op} {right}"
+
+
+@st.composite
+def simple_functions(draw):
+    """A tiny numeric function: declarations, a loop, arithmetic."""
+    fname = draw(identifiers)
+    var = draw(identifiers.filter(lambda s: s != fname))
+    bound = draw(st.integers(min_value=1, max_value=8))
+    coeff = draw(st.integers(min_value=1, max_value=9))
+    op = draw(st.sampled_from(["+", "*"]))
+    return (f"double {fname}(double seed) {{\n"
+            f"    double acc = seed;\n"
+            f"    for (int {var} = 0; {var} < {bound}; ++{var}) {{\n"
+            f"        acc = acc {op} {coeff} + {var};\n"
+            f"    }}\n"
+            f"    return acc;\n"
+            f"}}\n"), fname
+
+
+# ---------------------------------------------------------------------------
+# lexer / parser / printer invariants
+# ---------------------------------------------------------------------------
+
+class TestFrontEndProperties:
+    @given(arith_exprs())
+    @settings(max_examples=60, deadline=None)
+    def test_lexer_concatenation_of_token_extents_is_lossless(self, expr):
+        text = f"int f(void) {{ return {expr}; }}"
+        toks = tokenize(text)
+        rebuilt = "".join(text[t.offset:t.end] for t in toks if t.kind is not TokenKind.EOF)
+        assert rebuilt.replace(" ", "") == text.replace(" ", "")
+
+    @given(arith_exprs())
+    @settings(max_examples=60, deadline=None)
+    def test_parse_extents_cover_expression(self, expr):
+        text = f"int f(void) {{ return {expr}; }}"
+        tree = parse_source(text, "p.c")
+        ret = tree.unit.decls[0].body.stmts[0]
+        assert tree.node_text(ret.value).replace(" ", "") == expr.replace(" ", "")
+
+    @given(simple_functions())
+    @settings(max_examples=30, deadline=None)
+    def test_print_reparse_fixpoint(self, fn_and_name):
+        code, _ = fn_and_name
+        tree = parse_source(code, "p.c")
+        printed = to_source(tree.unit)
+        reparsed = parse_source(printed, "p2.c")
+        assert [type(n).__name__ for n in A.walk(tree.unit)] == \
+            [type(n).__name__ for n in A.walk(reparsed.unit)]
+
+    @given(simple_functions(), st.floats(min_value=-5, max_value=5,
+                                         allow_nan=False, allow_infinity=False))
+    @settings(max_examples=30, deadline=None)
+    def test_printer_preserves_interpreted_behaviour(self, fn_and_name, seed):
+        code, fname = fn_and_name
+        printed = to_source(parse_source(code, "p.c").unit)
+        assert Interpreter(code).call(fname, seed) == \
+            Interpreter(printed).call(fname, seed)
+
+
+# ---------------------------------------------------------------------------
+# edit-set invariants
+# ---------------------------------------------------------------------------
+
+class TestEditProperties:
+    @given(st.text(alphabet="abc d;\n", min_size=5, max_size=60),
+           st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_disjoint_deletions_remove_exactly_their_bytes(self, text, data):
+        n = len(text)
+        start1 = data.draw(st.integers(min_value=0, max_value=n - 1))
+        end1 = data.draw(st.integers(min_value=start1 + 1, max_value=n))
+        edits = EditSet(source=SourceFile(name="x", text=text))
+        edits.delete(start1, end1)
+        result = edits.apply()
+        # everything outside the deleted range (modulo whole-line cleanup of
+        # the emptied lines) is preserved in order
+        survivors = [c for c in (text[:start1] + text[end1:]) if not c.isspace()]
+        kept = [c for c in result if not c.isspace()]
+        assert kept == survivors
+
+    @given(st.lists(st.text(alphabet="xyz", min_size=1, max_size=5), min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_insertions_appear_in_output(self, lines):
+        text = "int a;\nint b;\n"
+        edits = EditSet(source=SourceFile(name="x", text=text))
+        edits.insert(6, lines, placement=PLACE_NEWLINE_AFTER)
+        out = edits.apply()
+        for line in lines:
+            assert line in out
+        assert out.startswith("int a;") and out.endswith("int b;\n")
+
+
+# ---------------------------------------------------------------------------
+# engine invariants
+# ---------------------------------------------------------------------------
+
+class TestEngineProperties:
+    @given(st.lists(identifiers, min_size=1, max_size=4, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_pure_match_patch_never_edits(self, names):
+        code = "void f(void) { " + " ".join(f"{n}(1);" for n in names) + " }\n"
+        patch = "@r@\nidentifier g;\nexpression list el;\n@@\ng(el)\n"
+        result = apply_patch(patch, code)
+        assert result.text == code
+
+    @given(identifiers, identifiers)
+    @settings(max_examples=30, deadline=None)
+    def test_rename_patch_renames_all_and_only_call_sites(self, old, new):
+        if old == new:
+            return
+        code = (f"void caller(void) {{ {old}(1); other_{old}(2); {old}(3); }}\n"
+                f'void strings(void) {{ log("{old}()"); }}\n')
+        patch = (f"@r@\nexpression list el;\n@@\n- {old}(el)\n+ {new}(el)\n")
+        result = apply_patch(patch, code)
+        assert f"{new}(1)" in result.text and f"{new}(3)" in result.text
+        assert f"other_{old}(2)" in result.text          # longer identifier untouched
+        assert f'log("{old}()")' in result.text           # string literal untouched
+        assert not re.search(rf"\b{old}\(1\)", result.text)
+
+    @given(st.integers(min_value=2, max_value=5), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=15, deadline=None)
+    def test_unroll_removal_equivalence_random_kernels(self, factor, seed):
+        from repro.cookbook import unrolling
+        from repro.eval import compare_function
+        from repro.workloads import unrolled
+
+        codebase = unrolled.generate(n_files=1, unrolled_per_file=1, impostors_per_file=0,
+                                     plain_per_file=0, factor=factor, seed=seed)
+        transformed = unrolling.reroll_patch_p1_r1(factor=factor).transform(codebase)
+        name = [f for f in Interpreter(codebase).function_names()
+                if f.startswith("unrolled_op_")][0]
+        n = 4 * factor
+
+        def args():
+            return ([0.0] * n, [float(i) for i in range(n)], 1.5, 0.5, n)
+
+        report = compare_function(codebase, transformed, name, args, observed_args=(0,))
+        assert report.all_equivalent, (report.mismatches, report.errors)

@@ -1,0 +1,111 @@
+"""Tests for metavariable declaration parsing."""
+
+import pytest
+
+from repro.errors import MetavarError
+from repro.smpl.metavars import (
+    MetavarDecl, parse_metavar_declarations, parse_script_header,
+)
+
+
+class TestKinds:
+    def test_basic_kinds(self):
+        table = parse_metavar_declarations(
+            "type T;\nidentifier f;\nexpression x, y;\nstatement S;\nconstant k;")
+        assert table.kind_of("T") == "type"
+        assert table.kind_of("f") == "identifier"
+        assert table.kind_of("x") == table.kind_of("y") == "expression"
+        assert table.kind_of("S") == "statement"
+        assert table.kind_of("k") == "constant"
+
+    def test_multiword_kinds(self):
+        table = parse_metavar_declarations(
+            "parameter list PL;\nstatement list SL;\nexpression list el;\npragmainfo pi;")
+        assert table.kind_of("PL") == "parameter list"
+        assert table.kind_of("SL") == "statement list"
+        assert table.kind_of("el") == "expression list"
+        assert table.kind_of("pi") == "pragmainfo"
+
+    def test_kinds_for_parser(self):
+        table = parse_metavar_declarations("type T;\nidentifier i, l;")
+        assert table.kinds_for_parser() == {"T": "type", "i": "identifier", "l": "identifier"}
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(MetavarError):
+            parse_metavar_declarations("wibble x;")
+
+    def test_duplicate_name_raises(self):
+        with pytest.raises(MetavarError):
+            parse_metavar_declarations("identifier f;\ntype f;")
+
+
+class TestConstraints:
+    def test_regex_constraint(self):
+        table = parse_metavar_declarations('identifier f =~ "kernel";')
+        decl = table["f"]
+        assert decl.regex == "kernel"
+        assert decl.check_name_constraint("my_kernel_3")
+        assert not decl.check_name_constraint("helper")
+
+    def test_value_set_constant(self):
+        table = parse_metavar_declarations("constant k={4};")
+        assert table["k"].values == ("4",)
+        assert table["k"].check_constant_constraint("4")
+        assert not table["k"].check_constant_constraint("8")
+
+    def test_identifier_value_set(self):
+        table = parse_metavar_declarations("identifier c = {i,j};")
+        assert table["c"].values == ("i", "j")
+        assert table["c"].check_name_constraint("j")
+        assert not table["c"].check_name_constraint("kk")
+
+    def test_regex_with_character_class(self):
+        table = parse_metavar_declarations(
+            'identifier i =~ "rsb__BCSR_spmv_sasa_double_complex_[CH]__t[NTC]";')
+        assert table["i"].check_name_constraint(
+            "rsb__BCSR_spmv_sasa_double_complex_C__tN_r1")
+
+
+class TestInheritance:
+    def test_inherited_declaration(self):
+        table = parse_metavar_declarations("type c.T;\nfunction c.f;\nparameter list c.PL;")
+        assert table["T"].is_inherited and table["T"].source_rule == "c"
+        assert table["f"].kind == "function"
+        assert table["PL"].source_name == "PL"
+        assert len(table.inherited()) == 3
+
+    def test_describe(self):
+        decl = MetavarDecl(kind="identifier", name="f", regex="kernel")
+        assert "kernel" in decl.describe()
+
+
+class TestFresh:
+    def test_fresh_identifier(self):
+        table = parse_metavar_declarations('fresh identifier f512 = "avx512_" ## f;')
+        decl = table["f512"]
+        assert decl.is_fresh
+        assert [(p.kind, p.value) for p in decl.fresh_parts] == [("str", "avx512_"), ("mv", "f")]
+
+    def test_fresh_requires_seed(self):
+        with pytest.raises(MetavarError):
+            parse_metavar_declarations("fresh identifier f512;")
+
+    def test_fresh_listed_separately(self):
+        table = parse_metavar_declarations(
+            'identifier f;\nfresh identifier g = "pre_" ## f;')
+        assert [d.name for d in table.fresh()] == ["g"]
+
+
+class TestScriptHeaders:
+    def test_imports_and_outputs(self):
+        imports, outputs = parse_script_header("fn << cfe.fn;\nnf;\n")
+        assert imports == [("fn", "cfe", "fn")]
+        assert outputs == ["nf"]
+
+    def test_multiple_imports(self):
+        imports, outputs = parse_script_header("fb << r1.fb;\nn << r1.n;\nlb;\nrp;")
+        assert len(imports) == 2 and outputs == ["lb", "rp"]
+
+    def test_import_requires_rule_qualification(self):
+        with pytest.raises(MetavarError):
+            parse_script_header("fn << fn;")

@@ -1,0 +1,152 @@
+"""Tests for the semantic patch (SmPL) parser."""
+
+import pytest
+
+from repro.errors import SmplParseError
+from repro.lang import ast_nodes as A
+from repro.smpl.ast import KIND_EXPRESSION, KIND_STATEMENTS, KIND_TOPLEVEL
+from repro.smpl.parser import parse_semantic_patch
+from repro.cookbook import (
+    bloat_removal, compiler_workaround, cuda_hip, declare_variant,
+    instrumentation, kokkos_lambda, mdspan, multiversioning, openacc_openmp,
+    stl_modernize, unrolling,
+)
+
+
+class TestRuleSplitting:
+    def test_anonymous_rules_get_names(self):
+        patch = parse_semantic_patch(instrumentation.paper_listing())
+        assert patch.rule_names == ["rule_0", "rule_1"]
+        assert all(r.is_anonymous for r in patch.patch_rules())
+
+    def test_named_rule_and_dependencies(self):
+        patch = parse_semantic_patch(stl_modernize.PAPER_LISTING)
+        assert patch.rule_names == ["rl", "ah"]
+        ah = patch.rule_named("ah")
+        assert ah.dependencies.required == ("rl",)
+        assert not ah.dependencies.is_satisfied(set())
+        assert ah.dependencies.is_satisfied({"rl"})
+
+    def test_spatch_option_line(self):
+        patch = parse_semantic_patch(mdspan.PAPER_LISTING)
+        assert patch.options.cxx == 23
+
+    def test_script_rules_recognised(self):
+        patch = parse_semantic_patch(cuda_hip.PAPER_LISTING_FUNCTIONS)
+        kinds = [(r.when if r.is_script else "patch") for r in patch.rules]
+        assert kinds == ["initialize", "patch", "script", "patch"]
+        script = patch.rules[2]
+        assert script.imports == [("fn", "cfe", "fn")]
+        assert script.outputs == ["nf"]
+
+    def test_garbage_outside_rule_raises(self):
+        with pytest.raises(SmplParseError):
+            parse_semantic_patch("this is not smpl\n@@ @@\nx\n")
+
+    def test_missing_terminator_raises(self):
+        with pytest.raises(SmplParseError):
+            parse_semantic_patch("@r@\ntype T;\n")
+
+    def test_loc_counts_nonblank_lines(self):
+        patch = parse_semantic_patch(instrumentation.paper_listing())
+        assert patch.loc() == len([l for l in instrumentation.paper_listing().splitlines()
+                                   if l.strip()])
+
+
+class TestPatternLinesAndPlusBlocks:
+    def test_annotations(self):
+        patch = parse_semantic_patch(mdspan.PAPER_LISTING)
+        rule = patch.patch_rules()[0]
+        annots = [pl.annot for pl in rule.pattern_lines]
+        assert annots == ["-", "+"]
+
+    def test_plus_block_after_anchor(self):
+        patch = parse_semantic_patch(mdspan.PAPER_LISTING)
+        block = patch.patch_rules()[0].plus_blocks[0]
+        assert block.anchor == "after" and block.anchor_slice_line == 1
+        assert block.lines == ["a[x, y, z]"]
+
+    def test_plus_block_before_anchor(self):
+        patch = parse_semantic_patch(declare_variant.PAPER_LISTING)
+        block = patch.patch_rules()[0].plus_blocks[0]
+        assert block.anchor == "before"
+        assert len(block.lines) == 4
+
+    def test_plus_block_skips_dots_anchor(self):
+        patch = parse_semantic_patch(instrumentation.paper_listing())
+        rule = patch.rules[1]
+        # first block attaches after '{', second before '}' because the
+        # preceding line is a lone '...'
+        assert [b.anchor for b in rule.plus_blocks] == ["after", "before"]
+
+    def test_pure_match_rule_flag(self):
+        patch = parse_semantic_patch(cuda_hip.PAPER_LISTING_FUNCTIONS)
+        cfe = patch.rule_named("cfe")
+        hfe = patch.rule_named("hfe")
+        assert cfe.is_pure_match and not hfe.is_pure_match
+
+    def test_minus_annotated_tokens(self):
+        patch = parse_semantic_patch(mdspan.PAPER_LISTING)
+        rule = patch.patch_rules()[0]
+        from repro.lang.lexer import ANNOT_MINUS, TokenKind
+        minus = [t.value for t in rule.slice_tokens
+                 if t.kind is not TokenKind.EOF and t.annot == ANNOT_MINUS]
+        assert minus == ["a", "[", "x", "]", "[", "y", "]", "[", "z", "]"]
+
+
+class TestClassification:
+    def test_expression_pattern(self):
+        patch = parse_semantic_patch(mdspan.PAPER_LISTING)
+        rule = patch.patch_rules()[0]
+        assert rule.pattern_kind == KIND_EXPRESSION
+        assert isinstance(rule.pattern_nodes[0], A.Subscript)
+
+    def test_statement_pattern(self):
+        patch = parse_semantic_patch(instrumentation.paper_listing())
+        assert patch.rules[1].pattern_kind == KIND_STATEMENTS
+
+    def test_toplevel_pattern(self):
+        patch = parse_semantic_patch(declare_variant.PAPER_LISTING)
+        rule = patch.patch_rules()[0]
+        assert rule.pattern_kind == KIND_TOPLEVEL
+        assert isinstance(rule.pattern_nodes[0], A.FunctionDef)
+
+    def test_column_zero_disjunction_markers(self):
+        patch = parse_semantic_patch(bloat_removal.PAPER_LISTING)
+        rule_c = patch.rule_named("c")
+        fn = rule_c.pattern_nodes[0]
+        disj = [n for n in A.walk(fn) if isinstance(n, A.Disjunction)]
+        assert disj and len(disj[0].branches) == 2
+
+    def test_closing_paren_of_for_header_not_a_marker(self):
+        patch = parse_semantic_patch(unrolling.PAPER_LISTING_P0)
+        rule = patch.rule_named("p0")
+        assert rule.pattern_kind == KIND_STATEMENTS
+        assert isinstance(rule.pattern_nodes[0], A.ForStmt)
+
+    def test_unparsable_pattern_raises(self):
+        bad = "@broken@\ntype T;\n@@\nfor (T i=0 i < n; ++i) { }\n"
+        with pytest.raises(SmplParseError):
+            parse_semantic_patch(bad)
+
+
+class TestAllCookbookListingsParse:
+    @pytest.mark.parametrize("text", [
+        instrumentation.paper_listing(),
+        declare_variant.PAPER_LISTING,
+        multiversioning.PAPER_LISTING_MATCH_AVX512,
+        bloat_removal.PAPER_LISTING,
+        unrolling.PAPER_LISTING_P0,
+        unrolling.PAPER_LISTING_P1_R1,
+        mdspan.PAPER_LISTING,
+        cuda_hip.PAPER_LISTING_FUNCTIONS,
+        cuda_hip.PAPER_LISTING_TYPES,
+        cuda_hip.PAPER_LISTING_CHEVRON,
+        openacc_openmp.PAPER_LISTING,
+        stl_modernize.PAPER_LISTING,
+        kokkos_lambda.PAPER_LISTING,
+        compiler_workaround.PAPER_LISTING,
+    ], ids=lambda t: t.strip().splitlines()[0][:20])
+    def test_parses(self, text):
+        patch = parse_semantic_patch(text)
+        assert patch.rules

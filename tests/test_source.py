@@ -1,0 +1,81 @@
+"""Tests for repro.lang.source (SourceFile, Location)."""
+
+import pytest
+
+from repro.lang.source import Location, SourceFile
+
+
+@pytest.fixture
+def src() -> SourceFile:
+    return SourceFile(name="demo.c", text="int a;\n  double b = 1.0;\n\n// c\nint d;\n")
+
+
+class TestLineQueries:
+    def test_num_lines(self, src):
+        assert src.num_lines == 5
+
+    def test_line_text(self, src):
+        assert src.line_text(1) == "int a;"
+        assert src.line_text(2) == "  double b = 1.0;"
+        assert src.line_text(3) == ""
+        assert src.line_text(5) == "int d;"
+
+    def test_lines_iterator(self, src):
+        assert list(src.lines()) == ["int a;", "  double b = 1.0;", "", "// c", "int d;"]
+
+    def test_line_start_end(self, src):
+        assert src.line_start(1) == 0
+        assert src.line_end(1) == 6
+        assert src.text[src.line_start(2):src.line_end(2)] == "  double b = 1.0;"
+
+    def test_empty_file(self):
+        empty = SourceFile(name="e.c", text="")
+        assert empty.num_lines == 0
+        assert empty.count_loc() == 0
+
+
+class TestLocations:
+    def test_location_round_trip(self, src):
+        loc = src.location(9)
+        assert loc.line == 2
+        assert loc.col == 2
+        assert src.offset(loc.line, loc.col) == 9
+
+    def test_location_at_start(self, src):
+        loc = src.location(0)
+        assert (loc.line, loc.col) == (1, 0)
+
+    def test_location_clamped(self, src):
+        loc = src.location(10_000)
+        assert loc.offset == len(src.text)
+
+    def test_location_ordering(self):
+        a = Location(line=1, col=3, offset=3, filename="x.c")
+        b = Location(line=2, col=0, offset=10, filename="x.c")
+        assert a < b
+
+    def test_str(self, src):
+        assert str(src.location(0)) == "demo.c:1:0"
+
+
+class TestIndentation:
+    def test_indentation_of_line(self, src):
+        assert src.indentation_of_line(2) == "  "
+        assert src.indentation_of_line(1) == ""
+
+    def test_indentation_at_offset(self, src):
+        offset = src.offset(2, 5)
+        assert src.indentation_at(offset) == "  "
+
+
+class TestLoc:
+    def test_count_loc_skips_blank_and_comments(self, src):
+        assert src.count_loc() == 3
+
+    def test_count_loc_block_comments(self):
+        text = "/* a\n b\n c */\nint x;\nint y; /* trailing */\n"
+        assert SourceFile(name="b.c", text=text).count_loc() == 2
+
+    def test_slice(self, src):
+        assert src.slice(0, 3) == "int"
+        assert src.slice(-5, 3) == "int"

@@ -1,0 +1,99 @@
+"""Tests for the symbol table builder."""
+
+from repro.lang.parser import parse_source
+from repro.lang.symbols import build_symbol_table
+
+
+CODE = """\
+#define NP 256
+
+struct particle { double pos[3]; double mass; int type; };
+typedef struct { double re, im; } cplx;
+typedef double real8;
+
+struct particle P[NP];
+double rho[16][16][16];
+static int counter = 0;
+cplx spectrum[64];
+
+double kernel_sum(const struct particle *p, int n);
+
+double kernel_sum(const struct particle *p, int n) {
+    double acc = 0.0;
+    int idx = 0;
+    for (idx = 0; idx < n; idx++) acc += p[idx].mass;
+    return acc;
+}
+
+__attribute__((target("avx2")))
+double kernel_sum_avx2(const struct particle *p, int n) {
+    return 0.0;
+}
+"""
+
+
+def table():
+    return build_symbol_table(parse_source(CODE, "sym.c"))
+
+
+class TestStructs:
+    def test_struct_fields(self):
+        info = table().structs["particle"]
+        assert info.field_names() == ["pos", "mass", "type"]
+        assert info.field_type("mass") == "double"
+        assert info.field_dims("pos") == 1
+        assert info.field_extents["pos"] == ["3"]
+
+    def test_typedef_struct_registered(self):
+        t = table()
+        assert t.typedefs["cplx"] == "cplx"
+        assert "cplx" in t.structs
+
+    def test_plain_typedef(self):
+        assert table().typedefs["real8"] == "double"
+
+
+class TestGlobals:
+    def test_global_arrays(self):
+        t = table()
+        assert t.globals["P"].is_array
+        assert t.globals["P"].element_struct == "particle"
+        assert len(t.globals["rho"].array_dims) == 3
+
+    def test_scalar_global(self):
+        assert not table().globals["counter"].is_array
+
+    def test_arrays_of_struct(self):
+        arrays = table().arrays_of_struct("particle")
+        assert [a.name for a in arrays] == ["P"]
+
+    def test_struct_for_type_through_typedef(self):
+        t = table()
+        assert t.struct_for_type("cplx") is t.structs["cplx"]
+        assert t.struct_for_type("struct particle").name == "particle"
+        assert t.struct_for_type("double") is None
+
+
+class TestFunctions:
+    def test_definition_wins_over_prototype(self):
+        info = table().functions["kernel_sum"]
+        assert info.has_body
+        assert info.params[0][1] == "p"
+
+    def test_attributes_recorded(self):
+        info = table().functions["kernel_sum_avx2"]
+        assert info.attributes == ["target"]
+
+    def test_functions_matching_regex(self):
+        matches = table().functions_matching("kernel")
+        assert {f.name for f in matches} == {"kernel_sum", "kernel_sum_avx2"}
+
+    def test_locals(self):
+        t = table()
+        local_names = [v.name for v in t.locals["kernel_sum"]]
+        assert "acc" in local_names and "idx" in local_names
+        assert all(not v.is_global for v in t.locals["kernel_sum"])
+
+    def test_all_variables_iterates_globals_and_locals(self):
+        names = [v.name for v in table().all_variables()]
+        assert "P" in names and "acc" in names

@@ -1,0 +1,128 @@
+"""Tests for the synthetic workload generators and the textual baselines."""
+
+import pytest
+
+from repro.baselines import AccToOmpTextual, HipifyTextual, SedReroll
+from repro.errors import WorkloadError
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse_source
+from repro.options import SpatchOptions
+from repro.workloads import (
+    cuda_app, gadget, kokkos_exercise, librsb_like, multiversion_app,
+    openacc_app, openmp_kernels, rawloops, unrolled,
+)
+
+
+ALL_GENERATORS = [
+    ("gadget", lambda seed: gadget.generate(n_files=1, loops_per_file=2, seed=seed), False),
+    ("openmp", lambda seed: openmp_kernels.generate(n_files=1, kernels_per_file=2,
+                                                    regions_per_file=1, seed=seed), False),
+    ("multiversion", lambda seed: multiversion_app.generate(n_files=1, clone_sets_per_file=2,
+                                                            seed=seed), False),
+    ("unrolled", lambda seed: unrolled.generate(n_files=1, unrolled_per_file=2, seed=seed), False),
+    ("cuda", lambda seed: cuda_app.generate(n_files=1, drivers_per_file=1, seed=seed), True),
+    ("openacc", lambda seed: openacc_app.generate(n_files=1, loops_per_file=2, seed=seed), False),
+    ("rawloops", lambda seed: rawloops.generate(n_files=1, searches_per_file=2,
+                                                counters_per_file=1, seed=seed), True),
+    ("kokkos", lambda seed: kokkos_exercise.generate(n_files=1, seed=seed), True),
+    ("librsb", lambda seed: librsb_like.generate(n_files=1, combos_per_file=40, seed=seed), False),
+]
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name,factory,needs_cxx", ALL_GENERATORS,
+                             ids=[g[0] for g in ALL_GENERATORS])
+    def test_deterministic_for_seed(self, name, factory, needs_cxx):
+        assert factory(3).files == factory(3).files
+
+    @pytest.mark.parametrize("name,factory,needs_cxx", ALL_GENERATORS,
+                             ids=[g[0] for g in ALL_GENERATORS])
+    def test_every_file_parses_without_raw_nodes(self, name, factory, needs_cxx):
+        options = SpatchOptions(cxx=17) if needs_cxx else SpatchOptions()
+        for fname, text in factory(1).items():
+            tree = parse_source(text, fname, options=options)
+            raw = [n for n in A.walk(tree.unit) if isinstance(n, (A.RawDecl, A.RawStmt))]
+            assert raw == [], f"{name}:{fname} has unparsed constructs"
+
+    def test_seed_changes_content(self):
+        a = gadget.generate(n_files=1, loops_per_file=3, seed=1)
+        b = gadget.generate(n_files=1, loops_per_file=3, seed=2)
+        assert a.files != b.files
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(WorkloadError):
+            gadget.generate(n_files=0)
+        with pytest.raises(WorkloadError):
+            unrolled.generate(factor=1)
+
+    def test_ground_truth_counters(self):
+        omp = openmp_kernels.generate(n_files=2, kernels_per_file=3, regions_per_file=2, seed=0)
+        assert openmp_kernels.braced_region_count(omp) == 4
+        assert openmp_kernels.kernel_function_count(omp) == 6
+        un = unrolled.generate(n_files=2, unrolled_per_file=3, impostors_per_file=1, seed=0)
+        assert unrolled.unrolled_loop_count(un) == 6
+        assert unrolled.impostor_count(un) == 2
+        cu = cuda_app.generate(n_files=1, drivers_per_file=3, adversarial=False, seed=0)
+        assert cuda_app.kernel_launch_count(cu) == 3
+        assert cuda_app.cuda_call_count(cu) > 0
+        acc = openacc_app.generate(n_files=1, loops_per_file=4, adversarial=True, seed=0)
+        assert openacc_app.acc_directive_count(acc) == 6
+        assert openacc_app.continued_directive_count(acc) == 2
+        kk = kokkos_exercise.generate(n_files=2)
+        assert kokkos_exercise.transformable_loop_count(kk) == 8
+
+    def test_gadget_scales_with_parameters(self):
+        small = gadget.generate(n_files=1, loops_per_file=2, seed=0)
+        large = gadget.generate(n_files=3, loops_per_file=8, seed=0)
+        assert large.loc() > 2 * small.loc()
+        assert gadget.aos_access_count(large) > gadget.aos_access_count(small)
+
+
+class TestHipifyTextual:
+    def test_single_line_launch_converted(self):
+        code = "void f(void) { k<<<g, b>>>(x, y); cudaFree(p); }\n"
+        result = HipifyTextual().run(__import__("repro").CodeBase.from_files({"a.cu": code}))
+        out = result.text("a.cu")
+        assert "hipLaunchKernelGGL(k, g, b, x, y)" in out
+        assert "hipFree(p)" in out
+
+    def test_misses_multiline_launch_and_edits_strings(self):
+        codebase = cuda_app.generate(n_files=1, drivers_per_file=2, adversarial=True, seed=0)
+        out = HipifyTextual().run(codebase).codebase
+        text = "\n".join(out.files.values())
+        assert "<<<" in text  # the split launch was not converted
+        assert 'printf("hipMemcpy' in text  # string literal rewritten (mis-fire)
+
+    def test_replacement_count_positive(self):
+        codebase = cuda_app.generate(n_files=1, drivers_per_file=1, seed=0)
+        assert HipifyTextual().run(codebase).replacements > 5
+
+
+class TestAccTextual:
+    def test_simple_directive_translated(self):
+        code = "void f(void) {\n#pragma acc parallel loop copyin(x[0:n])\nfor (;;) g();\n}\n"
+        out = AccToOmpTextual().run(__import__("repro").CodeBase.from_files({"a.c": code}))
+        assert "#pragma omp target teams distribute parallel for map(to: x[0:n])" \
+            in out.text("a.c")
+
+    def test_breaks_on_continuation(self):
+        codebase = openacc_app.generate(n_files=1, loops_per_file=4, adversarial=True, seed=1)
+        out = AccToOmpTextual().run(codebase).codebase
+        text = "\n".join(out.files.values())
+        # the clause tail on the continuation line was never translated
+        assert "copyin(" in text or "copy(" in text
+
+
+class TestSedReroll:
+    def test_rerolls_true_unroll(self, unrolled_code):
+        out = SedReroll().run(__import__("repro").CodeBase.from_files({"u.c": unrolled_code}))
+        text = out.text("u.c")
+        assert "++idx" in text and "idx+1" not in text
+
+    def test_mangles_impostors(self):
+        codebase = unrolled.generate(n_files=1, unrolled_per_file=1, impostors_per_file=1,
+                                     plain_per_file=0, seed=0)
+        out = SedReroll().run(codebase).codebase
+        text = "\n".join(out.files.values())
+        # statements that were NOT copies have been deleted anyway
+        assert "q[i+2]" not in text and "tail_fixup_" in text
