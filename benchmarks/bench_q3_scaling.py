@@ -1,8 +1,22 @@
-"""Q3 — engine runtime vs workload size (code-base-wide application)."""
+"""Q3 — engine runtime vs workload size (code-base-wide application).
 
+Besides the original runtime-vs-size sweeps, this file measures the two
+driver-level optimisations: the required-token prefilter (files that cannot
+match are answered without parsing) and parallel application (``jobs=N``),
+compared against the seed serial path (``Engine.apply_to_files``: no
+prefilter, no parallelism).
+"""
+
+import time
+from dataclasses import dataclass
+
+from repro import CodeBase
 from repro.analysis import scaling_sweep
-from repro.cookbook import instrumentation, mdspan
-from repro.workloads import gadget, openmp_kernels
+from repro.cookbook import cuda_hip, instrumentation, mdspan
+from repro.engine import Engine
+from repro.engine.cache import DEFAULT_TREE_CACHE
+from repro.workloads import (cuda_app, gadget, openacc_app, openmp_kernels,
+                             rawloops)
 from conftest import emit
 
 
@@ -41,3 +55,128 @@ def test_q3_scaling_mdspan(benchmark):
          "expression-level rules also scale with the code base",
          rows, columns=["size_label", "files", "workload_loc", "matches", "seconds",
                         "loc_per_second"])
+
+
+# ---------------------------------------------------------------------------
+# Q3c/Q3d — driver: prefilter skip-rate and parallel speedup
+# ---------------------------------------------------------------------------
+
+def mixed_workload(scale: int = 1) -> CodeBase:
+    """A mixed HPC tree: a handful of CUDA drivers buried in a majority of
+    unrelated OpenMP/GADGET/raw-loop/OpenACC sources (44 files at scale 1)."""
+    files: dict[str, str] = {}
+    parts = [
+        ("cuda", cuda_app.generate(n_files=6 * scale, seed=1)),
+        ("omp", openmp_kernels.generate(n_files=12 * scale, kernels_per_file=4,
+                                        regions_per_file=3, seed=2)),
+        ("gadget", gadget.generate(n_files=10 * scale, loops_per_file=4,
+                                   grid_kernels_per_file=2, seed=3)),
+        ("raw", rawloops.generate(n_files=8 * scale, seed=4)),
+        ("acc", openacc_app.generate(n_files=6 * scale, seed=5)),
+    ]
+    for prefix, codebase in parts:
+        for name, text in codebase.items():
+            files[f"{prefix}/{name}"] = text
+    return CodeBase.from_files(files)
+
+
+@dataclass
+class DriverRow:
+    path: str
+    files: int
+    skipped: int
+    matches: int
+    seconds: float
+    speedup_vs_seed: float
+
+
+def _texts(result) -> dict[str, str]:
+    return {name: fr.text for name, fr in result.files.items()}
+
+
+def _seed_serial(patch, codebase):
+    """The seed code path: serial engine, no prefilter, no shared cache."""
+    engine = Engine(patch.ast, options=patch.options)
+    started = time.perf_counter()
+    result = engine.apply_to_files(codebase.files)
+    return result, time.perf_counter() - started
+
+
+def _driver_run(patch, codebase, *, jobs, prefilter):
+    DEFAULT_TREE_CACHE.clear()  # no warm-cache advantage over the seed path
+    started = time.perf_counter()
+    result = patch.apply(codebase, jobs=jobs, prefilter=prefilter)
+    return result, time.perf_counter() - started
+
+
+def test_q3_prefilter_parallel_speedup(benchmark):
+    """Acceptance: >= 2x wall clock vs the seed serial path when applying a
+    single-target cookbook patch (the CUDA->HIP kernel-launch rewrite) to a
+    40+ file mixed workload with jobs=4 + prefilter, identical outputs."""
+    codebase = mixed_workload(scale=1)
+    assert len(codebase) >= 40
+    patch = cuda_hip.kernel_launch_patch()
+
+    def compare():
+        seed_result, seed_seconds = _seed_serial(patch, codebase)
+        fast_result, fast_seconds = _driver_run(patch, codebase,
+                                                jobs=4, prefilter=True)
+        return seed_result, seed_seconds, fast_result, fast_seconds
+
+    seed_result, seed_seconds, fast_result, fast_seconds = \
+        benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    assert _texts(fast_result) == _texts(seed_result)  # byte-identical
+    assert fast_result.total_matches == seed_result.total_matches > 0
+    speedup = seed_seconds / fast_seconds
+    assert speedup >= 2.0, f"expected >= 2x, measured {speedup:.2f}x"
+    stats = fast_result.stats
+    assert stats.files_skipped >= len(codebase) // 2  # prefilter pulls weight
+
+    rows = [
+        DriverRow("seed serial", len(codebase), 0,
+                  seed_result.total_matches, seed_seconds, 1.0),
+        DriverRow("jobs=4 + prefilter", len(codebase), stats.files_skipped,
+                  fast_result.total_matches, fast_seconds, speedup),
+    ]
+    emit("Q3c driver speedup (CUDA kernel-launch patch over a mixed tree)",
+         "prefilter + parallel jobs beat the seed serial engine >= 2x "
+         "with byte-identical output",
+         rows, columns=["path", "files", "skipped", "matches", "seconds",
+                        "speedup_vs_seed"])
+
+
+def test_q3_prefilter_skip_rate(benchmark):
+    """Skip-rate of the prefilter across representative cookbook patches on
+    the same mixed tree (how much of the code base is never parsed)."""
+    codebase = mixed_workload(scale=1)
+    patches = {
+        "cuda kernel-launch": cuda_hip.kernel_launch_patch(),
+        "likwid instrumentation": instrumentation.likwid_patch(),
+        "cuda_to_hip (full)": cuda_hip.cuda_to_hip_patch(),
+    }
+
+    def measure():
+        rows = []
+        for label, patch in patches.items():
+            seed_result, seed_seconds = _seed_serial(patch, codebase)
+            fast_result, fast_seconds = _driver_run(patch, codebase,
+                                                    jobs=1, prefilter=True)
+            assert _texts(fast_result) == _texts(seed_result)
+            rows.append(DriverRow(label, len(codebase),
+                                  fast_result.stats.files_skipped,
+                                  fast_result.total_matches, fast_seconds,
+                                  seed_seconds / fast_seconds))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    by_label = {row.path: row for row in rows}
+    # single-target patches skip most of the tree; the full CUDA->HIP chain
+    # contains an unfilterable match-any-call rule, so it cannot skip files
+    assert by_label["cuda kernel-launch"].skipped >= len(codebase) // 2
+    assert by_label["likwid instrumentation"].skipped > 0
+    assert by_label["cuda_to_hip (full)"].skipped == 0
+    emit("Q3d prefilter skip-rate (mixed tree, 44 files)",
+         "files answered without parsing, per patch; outputs stay identical",
+         rows, columns=["path", "files", "skipped", "matches", "seconds",
+                        "speedup_vs_seed"])

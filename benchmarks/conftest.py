@@ -26,6 +26,18 @@ from repro.analysis import format_table, render_experiment, terseness  # noqa: E
 SIZES = {"files": 3, "loops": 6}
 
 
+@pytest.fixture(autouse=True)
+def _cold_parse_cache():
+    """Start every experiment with a cold process-wide parse-tree cache so
+    one benchmark's parses never subsidise another's timings.  (Warm rounds
+    *within* one pytest-benchmark measurement are steady-state behaviour and
+    intentionally kept.)"""
+    from repro.engine.cache import DEFAULT_TREE_CACHE
+
+    DEFAULT_TREE_CACHE.clear()
+    yield
+
+
 def emit(title: str, claim: str, rows, columns=None) -> None:
     """Print one experiment block (captured by ``--benchmark-only -s``)."""
     print()

@@ -42,7 +42,7 @@ from .errors import (
 )
 from .engine.report import FileResult, PatchResult, RuleReport
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CodeBase", "SemanticPatch", "apply_patch",

@@ -238,11 +238,18 @@ class ScalingRow:
 def scaling_sweep(patch_factory: Callable[[], SemanticPatch],
                   workload_factory: Callable[[int], CodeBase],
                   sizes: Sequence[int]) -> list[ScalingRow]:
-    """Apply a patch to workloads of increasing size and record runtimes."""
+    """Apply a patch to workloads of increasing size and record runtimes.
+
+    Each size point starts with a cold parse cache: generated workloads
+    share files across sizes, and warm hits would understate the larger
+    points, bending the measured scaling curve."""
+    from ..engine.cache import DEFAULT_TREE_CACHE
+
     rows: list[ScalingRow] = []
     for size in sizes:
         codebase = workload_factory(size)
         patch = patch_factory()
+        DEFAULT_TREE_CACHE.clear()
         start = time.perf_counter()
         result = patch.apply(codebase)
         elapsed = time.perf_counter() - start

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
 from .engine.engine import Engine
+from .engine.prefilter import TokenIndex
 from .engine.report import FileResult, PatchResult
 from .lang.parser import ParseTree, parse_source
 from .lang.source import SourceFile
@@ -46,6 +47,9 @@ class CodeBase:
     """An in-memory collection of source files."""
 
     files: dict[str, str] = field(default_factory=dict)
+    #: lazily built prefilter token index (see :meth:`token_index`)
+    _token_index: Optional[TokenIndex] = field(default=None, init=False,
+                                               repr=False, compare=False)
 
     # -- construction ------------------------------------------------------------
 
@@ -59,7 +63,12 @@ class CodeBase:
         files: dict[str, str] = {}
         for entry in sorted(root.rglob("*")):
             if entry.is_file() and entry.suffix in suffixes:
-                files[str(entry.relative_to(root))] = entry.read_text()
+                # real HPC trees mix encodings (Latin-1 comments in decades-old
+                # sources); never let one stray byte abort a whole-tree load.
+                # surrogateescape (rather than replace) keeps the raw bytes
+                # recoverable, so write_to round-trips them unchanged
+                files[str(entry.relative_to(root))] = entry.read_text(
+                    encoding="utf-8", errors="surrogateescape")
         return cls(files=files)
 
     def write_to(self, path) -> None:
@@ -67,7 +76,7 @@ class CodeBase:
         for name, text in self.files.items():
             target = root / name
             target.parent.mkdir(parents=True, exist_ok=True)
-            target.write_text(text)
+            target.write_text(text, encoding="utf-8", errors="surrogateescape")
 
     # -- dict-like access -----------------------------------------------------------
 
@@ -76,6 +85,8 @@ class CodeBase:
 
     def __setitem__(self, name: str, text: str) -> None:
         self.files[name] = text
+        if self._token_index is not None:
+            self._token_index.add(name, text)  # per-file update, keep the rest
 
     def __contains__(self, name: str) -> bool:
         return name in self.files
@@ -107,6 +118,14 @@ class CodeBase:
         return {name: parse_source(text, name=name, options=options)
                 for name, text in self.files.items()}
 
+    def token_index(self) -> TokenIndex:
+        """The per-file token index the prefilter consults, built lazily and
+        cached until the code base is mutated.  Repeated ``apply`` calls over
+        the same code base then share one scan."""
+        if self._token_index is None:
+            self._token_index = TokenIndex(self.files)
+        return self._token_index
+
     def with_file(self, name: str, text: str) -> "CodeBase":
         files = dict(self.files)
         files[name] = text
@@ -133,7 +152,8 @@ class SemanticPatch:
     @classmethod
     def from_path(cls, path, options: Optional[SpatchOptions] = None) -> "SemanticPatch":
         p = pathlib.Path(path)
-        return cls.from_string(p.read_text(), options=options, name=p.name)
+        return cls.from_string(p.read_text(encoding="utf-8", errors="replace"),
+                               options=options, name=p.name)
 
     # -- introspection -----------------------------------------------------------------
 
@@ -161,10 +181,26 @@ class SemanticPatch:
         """Apply the patch to a single file's contents."""
         return self.engine().apply_to_file(filename, text)
 
-    def apply(self, codebase: "CodeBase | dict[str, str]") -> PatchResult:
-        """Apply the patch to a whole code base; returns per-file results."""
-        files = codebase.files if isinstance(codebase, CodeBase) else dict(codebase)
-        return self.engine().apply_to_files(files)
+    def apply(self, codebase: "CodeBase | dict[str, str]", *,
+              jobs: "int | str" = 1, prefilter: bool = True) -> PatchResult:
+        """Apply the patch to a whole code base; returns per-file results.
+
+        ``jobs`` applies files in that many worker processes (``"auto"`` =
+        one per CPU); ``prefilter`` skips files the required-token analysis
+        proves cannot match (behaviour-preserving, on by default).  The
+        returned result carries the driver's timing breakdown in ``.stats``.
+        """
+        from .engine.driver import Driver
+
+        if isinstance(codebase, CodeBase):
+            files = codebase.files
+            index = codebase.token_index() if prefilter else None
+        else:
+            files = dict(codebase)
+            index = None
+        driver = Driver(self.ast, options=self.options, jobs=jobs,
+                        prefilter=prefilter)
+        return driver.run(files, token_index=index)
 
     def transform(self, codebase: "CodeBase") -> "CodeBase":
         """Apply the patch and return the transformed code base (the

@@ -5,11 +5,15 @@ Usage examples::
     repro-spatch --sp-file instrument.cocci src/              # print a diff
     repro-spatch --sp-file translate.cocci --in-place src/    # rewrite files
     repro-spatch --sp-file rules.cocci --c++=17 file.cpp
-    repro-spatch --cookbook cuda_to_hip src/cuda/             # built-in patch
+    repro-spatch --cookbook cuda_to_hip --jobs 4 src/cuda/    # built-in patch
     repro-spatch --list-cookbook
 
-Mirrors the spatch options the paper's listings mention (``--c++[=N]``) plus
-a few conveniences (``--report``, ``--in-place``, built-in cookbook patches).
+Mirrors the spatch options the paper's listings mention (``--c++[=N]``,
+``--jobs``) plus a few conveniences (``--report``, ``--in-place``,
+``--profile``, built-in cookbook patches).
+
+Exit status follows spatch conventions: 0 when the patch matched at least
+one site, 1 when it matched nothing, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ import argparse
 import pathlib
 import sys
 
+from .. import __version__
 from ..api import CodeBase, SemanticPatch
 from ..options import SpatchOptions
 
@@ -45,6 +50,19 @@ def _cookbook_builders():
     }
 
 
+def _parse_jobs(value: str):
+    if value == "auto":
+        return "auto"
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--jobs expects a positive integer or 'auto', got {value!r}")
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("--jobs must be >= 1")
+    return jobs
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-spatch",
@@ -65,6 +83,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="print per-rule match statistics")
     parser.add_argument("--no-isos", action="store_true",
                         help="disable the built-in isomorphisms")
+    parser.add_argument("--jobs", "-j", type=_parse_jobs, default=1, metavar="N",
+                        help="apply files in N parallel worker processes "
+                             "('auto' = one per CPU)")
+    parser.add_argument("--no-prefilter", action="store_true",
+                        help="disable the required-token prefilter and parse "
+                             "every file")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a timing/skip-rate breakdown to stderr")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     parser.add_argument("--verbose", action="store_true")
     return parser
 
@@ -81,10 +109,15 @@ def _load_codebase(targets: list[str]) -> tuple[CodeBase, dict[str, pathlib.Path
                 files[key] = text
                 paths[key] = path / name
         elif path.is_file():
-            files[str(path)] = path.read_text()
+            # tolerate Latin-1 comments and other stray bytes in HPC trees;
+            # surrogateescape lets --in-place write the original bytes back
+            files[str(path)] = path.read_text(encoding="utf-8",
+                                              errors="surrogateescape")
             paths[str(path)] = path
         else:
-            raise SystemExit(f"repro-spatch: no such file or directory: {target}")
+            print(f"repro-spatch: no such file or directory: {target}",
+                  file=sys.stderr)
+            raise SystemExit(2)
     return CodeBase.from_files(files), paths
 
 
@@ -120,7 +153,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     codebase, paths = _load_codebase(args.targets)
-    result = patch.apply(codebase)
+    result = patch.apply(codebase, jobs=args.jobs,
+                         prefilter=not args.no_prefilter)
 
     if args.report or args.verbose:
         summary = result.summary()
@@ -132,17 +166,27 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"#   {file_result.filename}: rule {rule_report.rule} -> "
                       f"{rule_report.matches} match(es)", file=sys.stderr)
 
+    if args.profile and result.stats is not None:
+        print("# --- profile ---", file=sys.stderr)
+        for line in result.stats.describe().splitlines():
+            print(f"# {line}", file=sys.stderr)
+
+    matched = result.total_matches > 0
+
     if args.in_place:
         for name, file_result in result.files.items():
             if file_result.changed and name in paths:
-                paths[name].write_text(file_result.text)
+                paths[name].write_text(file_result.text, encoding="utf-8",
+                                       errors="surrogateescape")
                 print(f"rewrote {name}", file=sys.stderr)
-        return 0
+        return 0 if matched else 1
 
     diff = result.diff()
     if diff:
-        sys.stdout.write(diff)
-    return 0
+        # escaped bytes from surrogateescape reads are not printable; show
+        # them as replacement characters without touching the real files
+        sys.stdout.write(diff.encode("utf-8", "replace").decode("utf-8"))
+    return 0 if matched else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,4 +1,11 @@
-"""Matching and transformation engine for semantic patches."""
+"""Matching and transformation engine for semantic patches.
+
+Layered as driver → prefilter → cache → session → matcher/transform: the
+:class:`Driver` orchestrates whole code bases (prefilter skipping, parse
+caching, optional parallel workers), each :class:`FileSession` applies the
+rule sequence to one file, and :class:`Engine` is the stable per-patch entry
+point wrapping both.
+"""
 
 from .bindings import BoundValue, Env, Position, EMPTY_ENV
 from .edits import Deletion, EditSet, Insertion
@@ -6,7 +13,11 @@ from .matcher import Correspondence, Matcher, MatchInstance, MState
 from .transform import Transformer, FreshNameRegistry
 from .scripting import CocciHelpers, ScriptRunner, TaggedValue
 from .report import FileResult, PatchResult, RuleReport
+from .cache import DEFAULT_TREE_CACHE, TreeCache
+from .session import FileSession
+from .prefilter import PatchPrefilter, TokenIndex, required_tokens, scan_token_set
 from .engine import Engine
+from .driver import Driver, DriverStats, resolve_jobs
 
 __all__ = [
     "BoundValue", "Env", "Position", "EMPTY_ENV",
@@ -15,5 +26,9 @@ __all__ = [
     "Transformer", "FreshNameRegistry",
     "CocciHelpers", "ScriptRunner", "TaggedValue",
     "FileResult", "PatchResult", "RuleReport",
+    "DEFAULT_TREE_CACHE", "TreeCache",
+    "FileSession",
+    "PatchPrefilter", "TokenIndex", "required_tokens", "scan_token_set",
     "Engine",
+    "Driver", "DriverStats", "resolve_jobs",
 ]

@@ -1,0 +1,76 @@
+"""Content-hash-keyed :class:`~repro.lang.parser.ParseTree` cache.
+
+Parsing dominates the cost of applying a semantic patch to a code base, and
+the same file contents are parsed over and over across benchmark sweeps,
+differential runs (prefilter on/off) and repeated ``apply`` calls.  Trees are
+immutable once built — matching and transformation only read them, and edits
+always produce *new* text which re-parses under a new key — so they can be
+shared safely between sessions and between patches that use the same parser
+options.
+
+The cache key is ``(filename, sha1(text), options)``: the filename matters
+because diagnostics embedded in the tree carry it, and the (frozen, hashable)
+options matter because they change how the front end disambiguates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from ..lang.parser import ParseTree, parse_source
+from ..options import SpatchOptions
+
+
+class TreeCache:
+    """A bounded, thread-safe LRU cache of parse trees."""
+
+    def __init__(self, max_entries: int = 512):
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple, ParseTree]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(text: str, name: str, options: SpatchOptions) -> tuple:
+        digest = hashlib.sha1(text.encode("utf-8", "surrogatepass")).hexdigest()
+        return (name, digest, options)
+
+    def get_or_parse(self, text: str, name: str,
+                     options: SpatchOptions) -> ParseTree:
+        """Return the cached tree for ``text`` or parse (tolerantly) and cache it."""
+        key = self._key(text, name, options)
+        with self._lock:
+            tree = self._entries.get(key)
+            if tree is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return tree
+            self.misses += 1
+        tree = parse_source(text, name=name, options=options, tolerant=True)
+        with self._lock:
+            self._entries[key] = tree
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return tree
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> tuple[int, int]:
+        """``(hits, misses)`` counters since construction/clear."""
+        return self.hits, self.misses
+
+
+#: process-wide cache shared by drivers unless a caller supplies its own
+DEFAULT_TREE_CACHE = TreeCache()

@@ -1,0 +1,277 @@
+"""Driver: orchestrate a semantic patch across many files.
+
+The driver is the code-base-level layer on top of
+:class:`~repro.engine.session.FileSession`:
+
+* it consults the :class:`~repro.engine.prefilter.PatchPrefilter` so files
+  that cannot possibly match any rule are answered without parsing (and
+  without even creating a session when no script rule could run either);
+* it parses through a content-hash-keyed :class:`~repro.engine.cache.TreeCache`
+  so repeated applications over unchanged sources never re-parse;
+* it can fan the per-file work out over ``jobs`` worker processes
+  (Coccinelle's ``--jobs``), re-assembling results in the input file order so
+  the outcome is deterministic regardless of scheduling.
+
+Script-rule semantics
+---------------------
+``initialize:python`` rules run once before any file and ``finalize:python``
+rules run once after all files, exactly as in the serial engine.  With
+``jobs > 1`` each worker process runs the initialize rules itself so that
+``script:python`` rules see the dictionaries they set up; this is identical
+to serial application as long as script rules do not *mutate* state shared
+across files (true of every cookbook patch — their scripts only read the
+translation tables).  Because a finalize rule may legitimately read state
+accumulated by per-file scripts, the driver falls back to serial execution
+when a patch contains both kinds of rule, rather than silently changing
+their meaning.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from ..options import SpatchOptions
+from ..smpl.ast import ScriptRule, SemanticPatchAST
+from .cache import DEFAULT_TREE_CACHE, TreeCache
+from .prefilter import PatchPrefilter, TokenIndex
+from .report import FileResult, PatchResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .engine import Engine
+
+
+@dataclass
+class DriverStats:
+    """Timing/coverage breakdown of one driver run (``--profile``)."""
+
+    files_total: int = 0
+    #: files answered without a session (no rule could run there)
+    files_skipped: int = 0
+    #: (file, rule) pairs the prefilter gated inside surviving sessions
+    rules_gated: int = 0
+    prefilter: bool = True
+    #: the raw request ("auto" / N), before resolution and fallbacks
+    jobs_requested: "int | str" = 1
+    jobs_used: int = 1
+    scan_seconds: float = 0.0
+    apply_seconds: float = 0.0
+    total_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def skip_rate(self) -> float:
+        return self.files_skipped / self.files_total if self.files_total else 0.0
+
+    def describe(self) -> str:
+        lines = [
+            f"files: {self.files_total}  skipped without parsing: "
+            f"{self.files_skipped} ({self.skip_rate:.0%})",
+            f"rule applications gated by prefilter: {self.rules_gated}",
+            f"jobs: {self.jobs_used} (requested {self.jobs_requested})  "
+            f"prefilter: {'on' if self.prefilter else 'off'}",
+            f"token scan: {self.scan_seconds:.3f}s  apply: "
+            f"{self.apply_seconds:.3f}s  total: {self.total_seconds:.3f}s",
+            "parse cache: per-worker, not aggregated" if self.jobs_used > 1
+            else f"parse cache: {self.cache_hits} hit(s), "
+                 f"{self.cache_misses} miss(es)",
+        ]
+        return "\n".join(lines)
+
+
+def resolve_jobs(jobs) -> int:
+    """Normalise a ``jobs`` argument: ``"auto"``/``0``/``None`` mean one
+    worker per CPU."""
+    if jobs in (None, 0, "auto"):
+        return os.cpu_count() or 1
+    count = int(jobs)
+    if count < 1:
+        raise ValueError(f"jobs must be >= 1 or 'auto', got {jobs!r}")
+    return count
+
+
+# ---------------------------------------------------------------------------
+# worker-process plumbing (module level so it pickles)
+# ---------------------------------------------------------------------------
+
+_WORKER_ENGINE: dict = {}
+
+
+def _worker_init(payload, options: Optional[SpatchOptions],
+                 cache_max_entries: int) -> None:
+    from ..smpl.parser import parse_semantic_patch
+    from .engine import Engine
+
+    kind, data = payload
+    if kind == "text":
+        ast = parse_semantic_patch(data, options=options)
+    else:
+        ast = data
+    # caches are per-process (a TreeCache's lock cannot cross exec/pickle),
+    # so each worker gets a fresh one honouring the parent cache's bound
+    engine = Engine(ast, options=options,
+                    tree_cache=TreeCache(max_entries=cache_max_entries))
+    if any(isinstance(r, ScriptRule) and r.when == "script" for r in ast.rules):
+        # script rules read the globals initialize rules set up; patches
+        # without per-file scripts get their single initialize in the parent
+        engine._run_initialize_rules()
+    _WORKER_ENGINE["engine"] = engine
+
+
+def _worker_apply(batch: list[tuple[str, str, Optional[frozenset[str]]]]
+                  ) -> list[FileResult]:
+    engine: "Engine" = _WORKER_ENGINE["engine"]
+    return [engine.session_for(filename, text, allowed_rules=allowed).run()
+            for filename, text, allowed in batch]
+
+
+class Driver:
+    """Applies one semantic patch to a whole code base."""
+
+    def __init__(self, patch: SemanticPatchAST,
+                 options: Optional[SpatchOptions] = None, *,
+                 jobs: "int | str" = 1, prefilter: bool = True,
+                 engine: "Optional[Engine]" = None,
+                 tree_cache: Optional[TreeCache] = None):
+        from .engine import Engine
+
+        self.patch = patch
+        self.options = options or patch.options
+        self.jobs = resolve_jobs(jobs)
+        self.jobs_requested = jobs
+        self.prefilter_enabled = prefilter
+        self.tree_cache = tree_cache if tree_cache is not None else DEFAULT_TREE_CACHE
+        self.engine = engine or Engine(patch, options=self.options,
+                                       tree_cache=self.tree_cache)
+        self.prefilter = PatchPrefilter(patch) if prefilter else None
+        self.stats = DriverStats()
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, files: dict[str, str],
+            token_index: Optional[TokenIndex] = None) -> PatchResult:
+        """Apply the patch to ``{filename: text}``; results keep the input
+        file order whatever the prefilter skipped or the workers reordered."""
+        started = time.perf_counter()
+        stats = self.stats = DriverStats(
+            files_total=len(files), prefilter=self.prefilter_enabled,
+            jobs_requested=self.jobs_requested)
+        # count parse-cache traffic on the cache the sessions actually use
+        # (an engine handed in by Engine.apply_to_files may have none)
+        session_cache = self.engine.tree_cache
+        cache_hits0, cache_misses0 = session_cache.stats() \
+            if session_cache is not None else (0, 0)
+
+        # ---- plan: which rules survive per file, which files need a session
+        session_files: list[tuple[str, str, Optional[frozenset[str]]]] = []
+        skipped: dict[str, FileResult] = {}
+        scan_started = time.perf_counter()
+        n_patch_rules = len(self.patch.patch_rules())
+        for name, text in files.items():
+            if self.prefilter is None:
+                session_files.append((name, text, None))
+                continue
+            tokens = token_index.tokens_of(name, text) if token_index is not None \
+                else None
+            plan = self.prefilter.plan_for(tokens) if tokens is not None \
+                else self.prefilter.plan_for_text(text)
+            if not plan.needs_session:
+                skipped[name] = FileResult(filename=name, original_text=text,
+                                           text=text)
+                stats.files_skipped += 1
+                stats.rules_gated += n_patch_rules
+            else:
+                stats.rules_gated += n_patch_rules - len(plan.allowed_rules)
+                session_files.append((name, text, plan.allowed_rules))
+        stats.scan_seconds = time.perf_counter() - scan_started
+
+        jobs_used = self._effective_jobs(len(session_files))
+        stats.jobs_used = jobs_used
+
+        # ---- initialize rules run exactly once as soon as any file is
+        # processed, mirroring the serial engine (which triggers them from
+        # the first apply_to_file call, whether or not that file matches).
+        # In parallel runs of a script-bearing patch, the *workers* run them
+        # instead (their scripts need the initialized globals) and the
+        # parent skips, keeping the total at one-per-process.
+        if files and (jobs_used == 1 or not self._has_per_file_scripts()):
+            self.engine._run_initialize_rules()
+
+        # ---- apply
+        apply_started = time.perf_counter()
+        if jobs_used > 1:
+            results = self._run_parallel(session_files, jobs_used)
+        else:
+            results = {name: self.engine.session_for(name, text,
+                                                     allowed_rules=allowed).run()
+                       for name, text, allowed in session_files}
+        stats.apply_seconds = time.perf_counter() - apply_started
+
+        # ---- assemble in input order, then finalize
+        result = PatchResult()
+        for name in files:
+            result.files[name] = skipped[name] if name in skipped else results[name]
+        self.engine._run_finalize_rules(result)
+
+        if session_cache is not None and jobs_used == 1:
+            cache_hits1, cache_misses1 = session_cache.stats()
+            stats.cache_hits = cache_hits1 - cache_hits0
+            stats.cache_misses = cache_misses1 - cache_misses0
+        stats.total_seconds = time.perf_counter() - started
+        result.stats = stats
+        return result
+
+    # -- parallel execution ---------------------------------------------------
+
+    def _effective_jobs(self, n_files: int) -> int:
+        if self.jobs <= 1 or n_files <= 1:
+            return 1
+        if not self._parallel_preserves_semantics():
+            return 1
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return 1  # spawn would not inherit sys.path in source checkouts
+        return min(self.jobs, n_files)
+
+    def _has_per_file_scripts(self) -> bool:
+        return any(isinstance(r, ScriptRule) and r.when == "script"
+                   for r in self.patch.rules)
+
+    def _parallel_preserves_semantics(self) -> bool:
+        """Parallel workers re-run initialize themselves but the parent runs
+        finalize; a patch combining per-file scripts with a finalize rule may
+        aggregate across files, which only serial application preserves."""
+        if not self.options.python_scripting:
+            return True
+        script_rules = [r for r in self.patch.rules if isinstance(r, ScriptRule)]
+        has_per_file = any(r.when == "script" for r in script_rules)
+        has_finalize = any(r.when == "finalize" for r in script_rules)
+        return not (has_per_file and has_finalize)
+
+    def _payload(self):
+        if self.patch.source_text:
+            return ("text", self.patch.source_text)
+        return ("ast", self.patch)
+
+    def _run_parallel(self, session_files, jobs: int) -> dict[str, FileResult]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        ctx = multiprocessing.get_context("fork")
+        # a few batches per worker so an expensive file does not serialise
+        # the tail, while keeping per-task pickling overhead low
+        batch_size = max(1, math.ceil(len(session_files) / (jobs * 4)))
+        batches = [session_files[i:i + batch_size]
+                   for i in range(0, len(session_files), batch_size)]
+        results: dict[str, FileResult] = {}
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx,
+                                 initializer=_worker_init,
+                                 initargs=(self._payload(), self.options,
+                                           self.tree_cache.max_entries)) as pool:
+            for batch_results in pool.map(_worker_apply, batches):
+                for file_result in batch_results:
+                    results[file_result.filename] = file_result
+        return results

@@ -1,82 +1,71 @@
 """Rule orchestration: apply a whole semantic patch to files.
 
-The engine applies rules in the order they appear in the patch.  After a rule
-produced edits they are applied to the text and the file is re-parsed before
-the next rule runs, so later rules see the already-transformed program — this
-is what lets the paper's unrolling rule ``r1`` match the statements that rule
-``p1`` just made identical, or rule ``d`` see which clones rule ``c`` removed.
+The heavy lifting lives in three cooperating layers:
 
-Metavariable bindings are threaded between rules as *environment chains*:
-every match (or script execution) extends the environment it inherited, and a
-later rule that inherits ``other.mv`` is attempted once per exported
-environment of the latest rule in its inheritance chain.
+* :class:`~repro.engine.session.FileSession` — per-file rule sequencing,
+  environment chains and re-parse-after-edit;
+* :class:`~repro.engine.prefilter.PatchPrefilter` — required-token analysis
+  that skips files a rule cannot possibly match, without parsing them;
+* :class:`~repro.engine.driver.Driver` — code-base-level orchestration with
+  a content-hash parse cache and optional parallel workers.
+
+:class:`Engine` remains the stable entry point the public API and older
+callers use: ``apply_to_file`` runs one session, ``apply_to_files`` is a
+thin wrapper over a serial, prefilter-less driver run — i.e. exactly the
+historical semantics.  Initialize rules run once per engine before the
+first file; finalize rules run once after a whole-code-base application.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
-from ..errors import Diagnostic
-from ..lang.parser import ParseTree, parse_source
-from ..options import SpatchOptions, DEFAULT_OPTIONS
-from ..smpl.ast import PatchRule, ScriptRule, SemanticPatchAST
-from .bindings import BoundValue, Env, EMPTY_ENV
-from .edits import EditSet
-from .matcher import Matcher, MatchInstance
-from .report import FileResult, PatchResult, RuleReport
+from ..options import SpatchOptions
+from ..smpl.ast import ScriptRule, SemanticPatchAST
+from .cache import TreeCache
+from .report import FileResult, PatchResult
 from .scripting import ScriptRunner
-from .transform import FreshNameRegistry, Transformer
-
-
-@dataclass
-class _FileState:
-    """Mutable per-file state while rules are applied in sequence."""
-
-    filename: str
-    text: str
-    tree: Optional[ParseTree] = None
-    applied_rules: set[str] = field(default_factory=set)
-    exported: dict[str, list[Env]] = field(default_factory=dict)
-    reports: list[RuleReport] = field(default_factory=list)
-    diagnostics: list[Diagnostic] = field(default_factory=list)
+from .session import FileSession
 
 
 class Engine:
     """Applies one parsed semantic patch to source files."""
 
     def __init__(self, patch: SemanticPatchAST,
-                 options: Optional[SpatchOptions] = None):
+                 options: Optional[SpatchOptions] = None,
+                 tree_cache: Optional[TreeCache] = None):
         self.patch = patch
         self.options = options or patch.options
         self.runner = ScriptRunner(enabled=self.options.python_scripting)
+        self.tree_cache = tree_cache
         self._initialize_done = False
 
     # -- public API -----------------------------------------------------------
 
+    def session_for(self, filename: str, text: str,
+                    allowed_rules: Optional[frozenset[str]] = None) -> FileSession:
+        """A session applying this engine's patch to one file (sharing the
+        engine's script namespace and parse cache)."""
+        return FileSession(self.patch, self.options, self.runner,
+                           filename, text, allowed_rules=allowed_rules,
+                           tree_cache=self.tree_cache)
+
     def apply_to_file(self, filename: str, text: str) -> FileResult:
         """Apply the whole patch to one file's contents."""
         self._run_initialize_rules()
-        state = _FileState(filename=filename, text=text)
-
-        for rule in self.patch.rules:
-            if isinstance(rule, ScriptRule):
-                self._apply_script_rule(rule, state)
-            else:
-                self._apply_patch_rule(rule, state)
-
-        return FileResult(filename=filename, original_text=text, text=state.text,
-                          rule_reports=state.reports, diagnostics=state.diagnostics)
+        return self.session_for(filename, text).run()
 
     def apply_to_files(self, files: dict[str, str]) -> PatchResult:
-        """Apply the patch to a mapping ``{filename: text}``."""
-        result = PatchResult()
-        for filename, text in files.items():
-            result.files[filename] = self.apply_to_file(filename, text)
-        self._run_finalize_rules(result)
-        return result
+        """Apply the patch to a mapping ``{filename: text}`` (serial, no
+        prefilter — the driver's compatibility path)."""
+        from .driver import Driver
 
-    # -- initialize / finalize ----------------------------------------------------
+        driver = Driver(self.patch, options=self.options, jobs=1,
+                        prefilter=False, engine=self,
+                        tree_cache=self.tree_cache)
+        return driver.run(files)
+
+    # -- initialize / finalize ------------------------------------------------
 
     def _run_initialize_rules(self) -> None:
         if self._initialize_done:
@@ -90,121 +79,3 @@ class Engine:
         for rule in self.patch.rules:
             if isinstance(rule, ScriptRule) and rule.when == "finalize":
                 result.diagnostics.extend(self.runner.run_finalize(rule))
-
-    # -- environment chains ----------------------------------------------------------
-
-    @staticmethod
-    def _source_rules_of(rule) -> list[str]:
-        if isinstance(rule, ScriptRule):
-            return [src for _local, src, _name in rule.imports]
-        return [d.source_rule for d in rule.metavars.inherited() if d.source_rule]
-
-    def _base_environments(self, rule, state: _FileState) -> list[Env]:
-        """Environments a rule is attempted under: the exports of the latest
-        rule in its inheritance chain, or a single empty environment when it
-        inherits nothing.
-
-        Rules this one ``depends on`` also count as chain candidates when they
-        exported environments: a script rule that filtered the environments of
-        an earlier matching rule (``cocci.include_match(False)``) then
-        correctly restricts the rules downstream of it.
-        """
-        sources = self._source_rules_of(rule)
-        dep_candidates = [d for d in rule.dependencies.required if d in state.exported]
-        if not sources and not dep_candidates:
-            return [EMPTY_ENV]
-        order = {name: idx for idx, name in enumerate(self.patch.rule_names)}
-        available = [s for s in sources if s in state.exported]
-        if set(sources) - set(available):
-            return []
-        candidates = set(available) | set(dep_candidates)
-        if not candidates:
-            return [EMPTY_ENV]
-        latest = max(candidates, key=lambda s: order.get(s, -1))
-        return state.exported[latest]
-
-    # -- script rules --------------------------------------------------------------------
-
-    def _apply_script_rule(self, rule: ScriptRule, state: _FileState) -> None:
-        if rule.when in ("initialize", "finalize"):
-            return
-        if not rule.dependencies.is_satisfied(state.applied_rules):
-            return
-        base_envs = self._base_environments(rule, state)
-        if not base_envs:
-            return
-        outcome = self.runner.run_script(rule, base_envs)
-        state.diagnostics.extend(outcome.diagnostics)
-        if outcome.environments:
-            state.applied_rules.add(rule.name)
-            state.exported[rule.name] = outcome.environments
-
-    # -- patch rules ----------------------------------------------------------------------
-
-    def _current_tree(self, state: _FileState) -> ParseTree:
-        if state.tree is None:
-            state.tree = parse_source(state.text, name=state.filename,
-                                      options=self.options, tolerant=True)
-        return state.tree
-
-    def _apply_patch_rule(self, rule: PatchRule, state: _FileState) -> None:
-        if not rule.dependencies.is_satisfied(state.applied_rules):
-            return
-        base_envs = self._base_environments(rule, state)
-        if not base_envs:
-            return
-
-        tree = self._current_tree(state)
-        inherited = {d.name: (d.source_rule, d.source_name)
-                     for d in rule.metavars.inherited()}
-
-        instances: list[MatchInstance] = []
-        seen_signatures: set = set()
-        for base_env in base_envs:
-            seeded = base_env.locals_from_inherited(inherited)
-            if seeded is None:
-                continue
-            matcher = Matcher(rule, tree, options=self.options)
-            for inst in matcher.match_all(seeded):
-                sig = inst.signature()
-                if sig in seen_signatures:
-                    continue
-                seen_signatures.add(sig)
-                instances.append(inst)
-
-        if not instances:
-            return
-
-        state.applied_rules.add(rule.name)
-
-        edit_set = EditSet(source=tree.source)
-        transformer = Transformer(rule, tree, options=self.options,
-                                  fresh_registry=FreshNameRegistry.for_tree(tree))
-        exported_envs: list[Env] = []
-        local_names = rule.exported_metavars
-        for inst in instances:
-            fresh = transformer.apply_instance(inst, edit_set)
-            env = inst.env
-            for name, value in fresh.items():
-                bound = env.bind(name, value)
-                if bound is not None:
-                    env = bound
-            exported_envs.append(env.exported(rule.name, local_names))
-        state.diagnostics.extend(transformer.diagnostics)
-        state.exported[rule.name] = exported_envs
-
-        summary = edit_set.summary()
-        state.reports.append(RuleReport(rule=rule.name, matches=len(instances),
-                                        deletions=summary["deletions"],
-                                        insertions=summary["insertions"]))
-
-        if not edit_set.is_empty:
-            state.text = edit_set.apply()
-            state.tree = None  # force a re-parse for the next rule
-        if self.options.verbose:
-            state.diagnostics.append(Diagnostic(
-                severity="info",
-                message=(f"rule {rule.name}: {len(instances)} match(es), "
-                         f"{summary['deletions']} deletion(s), "
-                         f"{summary['insertions']} insertion(s)"),
-                filename=state.filename))

@@ -1,0 +1,250 @@
+"""Prefilter: decide *where a rule could possibly match* without parsing.
+
+Real Coccinelle only scales to whole-code-base application because it is
+backed by a glimpse/grep-style pre-index: a file whose token stream cannot
+contain a rule's fixed tokens is never parsed.  This module reproduces that
+layer.
+
+For every :class:`~repro.smpl.ast.PatchRule` we extract its **required
+tokens**: literal identifiers (and directive words) that appear in the
+rule's minus slice — i.e. in context or ``-`` material — outside any
+disjunction, and that are not metavariable names.  A file whose raw text
+does not contain one of those words cannot match the rule, whatever the
+bindings, so the rule can be skipped for that file without parsing.  The
+extraction is deliberately *under*-approximate (fewer required tokens than
+strictly possible) so that gating is always sound:
+
+* tokens inside ``\\(...\\|...\\)`` disjunctions/conjunctions are ignored — a
+  disjunction only requires one branch, so none of its tokens is individually
+  required;
+* metavariable names (including inherited and ``symbol`` declarations) are
+  never required — they bind to arbitrary program elements;
+* punctuation and numeric literals are never required, because the built-in
+  isomorphisms can match them against different spellings (``a < b`` vs
+  ``b > a``, ``E`` vs ``E + 0``, ``E += 1`` vs ``E++``) — with the single
+  exception of the CUDA kernel-launch chevrons ``<<<``/``>>>``, which no
+  isomorphism rewrites and which are extremely selective;
+* directive (``#include``/``#pragma``) patterns contribute the literal words
+  before their first ``...`` or metavariable, since pragma matching is
+  prefix-based;
+* rules run in sequence over evolving text, so a rule's requirement is
+  reduced by the tokens earlier rules' ``+`` material could have inserted —
+  and once an earlier rule can insert *unbounded* text (a metavariable in a
+  ``+`` line, whose binding may come from a script rule or a fresh
+  identifier), all later rules become unfilterable.
+
+The file side is a *token over-approximation*: a fast regex scan for
+identifier-like words over the raw text (strings and comments included).
+Required ⊆ real pattern tokens and scanned ⊇ real file tokens, so
+``required ⊆ scanned`` is a necessary condition for a match and gating on
+its failure is behaviour-preserving — not just "same output text" but the
+same reports, exports and diagnostics, which is what lets the driver enable
+it by default.
+
+A whole file can additionally be skipped *without creating a session* when
+no rule of the patch could run in it: no surviving patch rule, and no
+``script:python`` rule whose imports/dependencies could be satisfied without
+one (a script rule with neither imports nor required dependencies runs
+unconditionally in every file, so its presence keeps sessions alive).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+from ..lang.lexer import ANNOT_PLUS, TokenKind, scan_word_tokens
+from ..smpl.ast import PatchRule, ScriptRule, SemanticPatchAST
+
+#: punctuators that are selective enough to gate on and that no isomorphism
+#: can rewrite into another spelling
+_SAFE_PUNCT = ("<<<", ">>>")
+
+
+def scan_token_set(text: str) -> frozenset[str]:
+    """Over-approximate the token set of a source file: every identifier-like
+    word (comments and strings included) plus the chevron punctuators."""
+    tokens = scan_word_tokens(text)
+    for punct in _SAFE_PUNCT:
+        if punct in text:
+            tokens.add(punct)
+    return frozenset(tokens)
+
+
+def required_tokens(rule: PatchRule) -> frozenset[str]:
+    """Tokens that must appear in a file for ``rule`` to possibly match.
+
+    An empty set means the rule cannot be prefiltered (it could match
+    anywhere, e.g. ``fn(el)`` with every name a metavariable).
+    """
+    metavars = set(rule.metavars.decls)
+    required: set[str] = set()
+    disj_depth = 0
+    for tok in rule.slice_tokens:
+        if tok.kind is TokenKind.DISJ_OPEN:
+            disj_depth += 1
+            continue
+        if tok.kind is TokenKind.DISJ_CLOSE:
+            disj_depth = max(0, disj_depth - 1)
+            continue
+        if tok.kind in (TokenKind.DISJ_OR, TokenKind.CONJ_AND):
+            continue
+        if disj_depth or tok.annot == ANNOT_PLUS:
+            continue
+        if tok.kind is TokenKind.IDENT:
+            if tok.value not in metavars:
+                required.add(tok.value)
+        elif tok.kind is TokenKind.DIRECTIVE:
+            required.update(_directive_required_words(tok.value, metavars))
+        elif tok.kind is TokenKind.PUNCT and tok.value in _SAFE_PUNCT:
+            required.add(tok.value)
+    return frozenset(required)
+
+
+_DIRECTIVE_PART_RE = re.compile(r"\.\.\.|[A-Za-z_$][A-Za-z0-9_$]*")
+
+
+def _directive_required_words(value: str, metavars: set[str]) -> set[str]:
+    """Literal words of a ``#pragma``/``#include`` pattern that a matching
+    code directive must contain.  Directive matching is prefix-based, so only
+    the words *before* the first ``...`` or metavariable count: a pragmainfo
+    metavariable absorbs the rest of the line, making later literal words
+    optional."""
+    words: set[str] = set()
+    for part in _DIRECTIVE_PART_RE.findall(value):
+        if part == "..." or part in metavars:
+            break
+        words.add(part)
+    return words
+
+
+@dataclass(frozen=True)
+class FilePlan:
+    """What the prefilter decided for one file."""
+
+    #: names of patch rules that could match the file
+    allowed_rules: frozenset[str]
+    #: False when the file can be skipped without creating a session at all
+    needs_session: bool
+
+
+def addable_tokens(rule: PatchRule) -> "tuple[frozenset[str], bool]":
+    """Over-approximate the tokens ``rule`` can *introduce* into a file: the
+    words of its ``+`` blocks.  A later rule in the chain may legitimately
+    require a token that only exists because an earlier rule inserted it, so
+    such tokens must not gate the later rule.
+
+    Returns ``(tokens, wildcard)``.  ``wildcard`` is True when the inserted
+    text is not statically bounded: a ``+`` line mentioning any metavariable
+    splices in bound text, which can come from a script rule (arbitrary
+    strings) or a ``fresh identifier`` (newly concatenated words) — after
+    such a rule, no later requirement is trustworthy."""
+    added: set[str] = set()
+    metavars = set(rule.metavars.decls)
+    wildcard = False
+    for block in rule.plus_blocks:
+        for line in block.lines:
+            words = scan_word_tokens(line)
+            if words & metavars:
+                wildcard = True
+            added |= words
+            for punct in _SAFE_PUNCT:
+                if punct in line:
+                    added.add(punct)
+    return frozenset(added), wildcard
+
+
+class PatchPrefilter:
+    """Required-token table for one semantic patch, queried per file.
+
+    Each rule's requirement is reduced by the tokens earlier rules could
+    have inserted (their ``+`` material), so chains like
+    ``- foo() + bar()`` followed by ``- bar() + baz()`` stay sound on files
+    that only contain ``foo``; once an earlier rule can insert unbounded
+    text (metavariables in ``+`` lines), later rules are not filtered at
+    all.
+    """
+
+    def __init__(self, patch: SemanticPatchAST):
+        self.patch = patch
+        self.requirements: dict[str, frozenset[str]] = {}
+        addable_so_far: frozenset[str] = frozenset()
+        unbounded = False
+        for rule in patch.rules:
+            if isinstance(rule, ScriptRule):
+                continue
+            self.requirements[rule.name] = frozenset() if unbounded \
+                else required_tokens(rule) - addable_so_far
+            added, wildcard = addable_tokens(rule)
+            addable_so_far |= added
+            unbounded = unbounded or wildcard
+
+    def allowed_rules(self, file_tokens: Iterable[str]) -> frozenset[str]:
+        tokens = file_tokens if isinstance(file_tokens, (set, frozenset)) \
+            else frozenset(file_tokens)
+        return frozenset(name for name, req in self.requirements.items()
+                         if req <= tokens)
+
+    def plan_for(self, file_tokens: frozenset[str]) -> FilePlan:
+        allowed = self.allowed_rules(file_tokens)
+        return FilePlan(allowed_rules=allowed,
+                        needs_session=self._needs_session(allowed))
+
+    def plan_for_text(self, text: str) -> FilePlan:
+        return self.plan_for(scan_token_set(text))
+
+    # -- whole-file skipping --------------------------------------------------
+
+    def _needs_session(self, allowed: frozenset[str]) -> bool:
+        """Over-approximate whether *any* rule could run in a file whose
+        surviving patch rules are ``allowed``.  Walks the rules in order,
+        accumulating the set of rules that might apply; forbidden
+        dependencies are ignored (assuming a rule may run is the conservative
+        direction)."""
+        may_apply: set[str] = set()
+        for rule in self.patch.rules:
+            if any(dep not in may_apply for dep in rule.dependencies.required):
+                continue
+            if isinstance(rule, ScriptRule):
+                if rule.when != "script":
+                    continue
+                sources = {src for _local, src, _name in rule.imports}
+                if sources and not sources <= may_apply:
+                    continue
+                may_apply.add(rule.name)
+            elif rule.name in allowed:
+                may_apply.add(rule.name)
+        return bool(may_apply)
+
+
+class TokenIndex:
+    """Lazy per-file token sets for a collection of sources (the
+    per-code-base index the driver consults; cached by
+    :meth:`repro.api.CodeBase.token_index`)."""
+
+    def __init__(self, files: Optional[Mapping[str, str]] = None):
+        self._files: dict[str, str] = dict(files) if files else {}
+        #: name -> (text the scan was made from, its token set); the text is
+        #: kept so a stale entry is detected when a caller hands us newer
+        #: contents for the same name (files dicts are mutated in place)
+        self._scanned: dict[str, tuple[str, frozenset[str]]] = {}
+
+    def add(self, name: str, text: str) -> None:
+        self._files[name] = text
+        self._scanned.pop(name, None)
+
+    def tokens_of(self, name: str, text: Optional[str] = None) -> frozenset[str]:
+        if text is None:
+            text = self._files.get(name, "")
+        cached = self._scanned.get(name)
+        if cached is not None:
+            cached_text, tokens = cached
+            if cached_text is text or cached_text == text:
+                return tokens
+        tokens = scan_token_set(text)
+        self._scanned[name] = (text, tokens)
+        return tokens
+
+    def __len__(self) -> int:
+        return len(self._files)

@@ -1,0 +1,195 @@
+"""Per-file rule application: the :class:`FileSession` layer.
+
+A session owns everything that is *per file* while a semantic patch runs:
+the current text, the parse tree (re-parsed after every rule that edited the
+file, so later rules see the already-transformed program), the set of rules
+that applied, the exported environment chains and the accumulated reports
+and diagnostics.  The :class:`~repro.engine.engine.Engine` and the
+:class:`~repro.engine.driver.Driver` both create one session per file; the
+driver additionally passes ``allowed_rules`` computed by the prefilter so
+that rules which cannot possibly match this file are skipped without even
+parsing it.
+
+Metavariable bindings are threaded between rules as *environment chains*:
+every match (or script execution) extends the environment it inherited, and
+a later rule that inherits ``other.mv`` is attempted once per exported
+environment of the latest rule in its inheritance chain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import Diagnostic
+from ..lang.parser import ParseTree, parse_source
+from ..options import SpatchOptions
+from ..smpl.ast import PatchRule, ScriptRule, SemanticPatchAST
+from .bindings import Env, EMPTY_ENV
+from .cache import TreeCache
+from .edits import EditSet
+from .matcher import Matcher, MatchInstance
+from .report import FileResult, RuleReport
+from .scripting import ScriptRunner
+from .transform import FreshNameRegistry, Transformer
+
+
+class FileSession:
+    """Applies the rule sequence of one semantic patch to one file."""
+
+    def __init__(self, patch: SemanticPatchAST, options: SpatchOptions,
+                 runner: ScriptRunner, filename: str, text: str,
+                 allowed_rules: Optional[frozenset[str]] = None,
+                 tree_cache: Optional[TreeCache] = None):
+        self.patch = patch
+        self.options = options
+        self.runner = runner
+        self.filename = filename
+        self.original_text = text
+        self.text = text
+        self.tree: Optional[ParseTree] = None
+        self.applied_rules: set[str] = set()
+        self.exported: dict[str, list[Env]] = {}
+        self.reports: list[RuleReport] = []
+        self.diagnostics: list[Diagnostic] = []
+        #: patch rules the prefilter proved *could* match this file; ``None``
+        #: disables gating.  Gating a rule is observably identical to the rule
+        #: matching nothing (no report, no export, no applied-rule entry).
+        self.allowed_rules = allowed_rules
+        self.tree_cache = tree_cache
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self) -> FileResult:
+        """Apply every rule of the patch, in order, to this file."""
+        for rule in self.patch.rules:
+            if isinstance(rule, ScriptRule):
+                self._apply_script_rule(rule)
+            else:
+                self._apply_patch_rule(rule)
+        return FileResult(filename=self.filename, original_text=self.original_text,
+                          text=self.text, rule_reports=self.reports,
+                          diagnostics=self.diagnostics)
+
+    # -- environment chains ---------------------------------------------------
+
+    @staticmethod
+    def _source_rules_of(rule) -> list[str]:
+        if isinstance(rule, ScriptRule):
+            return [src for _local, src, _name in rule.imports]
+        return [d.source_rule for d in rule.metavars.inherited() if d.source_rule]
+
+    def _base_environments(self, rule) -> list[Env]:
+        """Environments a rule is attempted under: the exports of the latest
+        rule in its inheritance chain, or a single empty environment when it
+        inherits nothing.
+
+        Rules this one ``depends on`` also count as chain candidates when they
+        exported environments: a script rule that filtered the environments of
+        an earlier matching rule (``cocci.include_match(False)``) then
+        correctly restricts the rules downstream of it.
+        """
+        sources = self._source_rules_of(rule)
+        dep_candidates = [d for d in rule.dependencies.required if d in self.exported]
+        if not sources and not dep_candidates:
+            return [EMPTY_ENV]
+        order = {name: idx for idx, name in enumerate(self.patch.rule_names)}
+        available = [s for s in sources if s in self.exported]
+        if set(sources) - set(available):
+            return []
+        candidates = set(available) | set(dep_candidates)
+        if not candidates:
+            return [EMPTY_ENV]
+        latest = max(candidates, key=lambda s: order.get(s, -1))
+        return self.exported[latest]
+
+    # -- script rules ---------------------------------------------------------
+
+    def _apply_script_rule(self, rule: ScriptRule) -> None:
+        if rule.when in ("initialize", "finalize"):
+            return
+        if not rule.dependencies.is_satisfied(self.applied_rules):
+            return
+        base_envs = self._base_environments(rule)
+        if not base_envs:
+            return
+        outcome = self.runner.run_script(rule, base_envs)
+        self.diagnostics.extend(outcome.diagnostics)
+        if outcome.environments:
+            self.applied_rules.add(rule.name)
+            self.exported[rule.name] = outcome.environments
+
+    # -- patch rules ----------------------------------------------------------
+
+    def _current_tree(self) -> ParseTree:
+        if self.tree is None:
+            if self.tree_cache is not None:
+                self.tree = self.tree_cache.get_or_parse(
+                    self.text, self.filename, self.options)
+            else:
+                self.tree = parse_source(self.text, name=self.filename,
+                                         options=self.options, tolerant=True)
+        return self.tree
+
+    def _apply_patch_rule(self, rule: PatchRule) -> None:
+        if self.allowed_rules is not None and rule.name not in self.allowed_rules:
+            return
+        if not rule.dependencies.is_satisfied(self.applied_rules):
+            return
+        base_envs = self._base_environments(rule)
+        if not base_envs:
+            return
+
+        tree = self._current_tree()
+        inherited = {d.name: (d.source_rule, d.source_name)
+                     for d in rule.metavars.inherited()}
+
+        instances: list[MatchInstance] = []
+        seen_signatures: set = set()
+        for base_env in base_envs:
+            seeded = base_env.locals_from_inherited(inherited)
+            if seeded is None:
+                continue
+            matcher = Matcher(rule, tree, options=self.options)
+            for inst in matcher.match_all(seeded):
+                sig = inst.signature()
+                if sig in seen_signatures:
+                    continue
+                seen_signatures.add(sig)
+                instances.append(inst)
+
+        if not instances:
+            return
+
+        self.applied_rules.add(rule.name)
+
+        edit_set = EditSet(source=tree.source)
+        transformer = Transformer(rule, tree, options=self.options,
+                                  fresh_registry=FreshNameRegistry.for_tree(tree))
+        exported_envs: list[Env] = []
+        local_names = rule.exported_metavars
+        for inst in instances:
+            fresh = transformer.apply_instance(inst, edit_set)
+            env = inst.env
+            for name, value in fresh.items():
+                bound = env.bind(name, value)
+                if bound is not None:
+                    env = bound
+            exported_envs.append(env.exported(rule.name, local_names))
+        self.diagnostics.extend(transformer.diagnostics)
+        self.exported[rule.name] = exported_envs
+
+        summary = edit_set.summary()
+        self.reports.append(RuleReport(rule=rule.name, matches=len(instances),
+                                       deletions=summary["deletions"],
+                                       insertions=summary["insertions"]))
+
+        if not edit_set.is_empty:
+            self.text = edit_set.apply()
+            self.tree = None  # force a re-parse for the next rule
+        if self.options.verbose:
+            self.diagnostics.append(Diagnostic(
+                severity="info",
+                message=(f"rule {rule.name}: {len(instances)} match(es), "
+                         f"{summary['deletions']} deletion(s), "
+                         f"{summary['insertions']} insertion(s)"),
+                filename=self.filename))

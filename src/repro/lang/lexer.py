@@ -15,6 +15,7 @@ pattern elements, exactly as Coccinelle does.
 from __future__ import annotations
 
 import enum
+import re
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
@@ -336,3 +337,21 @@ def tokenize_pragma_text(text: str) -> list[str]:
 def significant_tokens(tokens: Iterable[Token]) -> list[Token]:
     """Drop the trailing EOF token (and nothing else)."""
     return [t for t in tokens if t.kind is not TokenKind.EOF]
+
+
+#: the identifier shape accepted by the full lexer (see ``_IDENT_START`` /
+#: ``_IDENT_CONT`` above) as a regular expression, for the fast word scan
+_WORD_SCAN_RE = re.compile(r"[A-Za-z_$][A-Za-z0-9_$]*")
+
+
+def scan_word_tokens(text: str) -> set[str]:
+    """Lightweight token scan: the set of identifier-like words in ``text``.
+
+    This is the prefilter's view of a file: a superset of the IDENT token
+    values the full lexer would produce (words inside comments, strings and
+    directives are included, which only makes the scan more conservative).
+    It never raises — unterminated literals or stray characters that would
+    make :class:`Lexer` error are simply skipped over — and runs an order of
+    magnitude faster than full tokenization, which is what makes it usable
+    as a per-code-base index."""
+    return set(_WORD_SCAN_RE.findall(text))
