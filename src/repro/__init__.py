@@ -33,7 +33,7 @@ Quick start::
     print(result.summary())
 """
 
-from .api import CodeBase, SemanticPatch, apply_patch
+from .api import CodeBase, PatchSet, SemanticPatch, apply_patch
 from .options import SpatchOptions, DEFAULT_OPTIONS
 from .errors import (
     CParseError, Diagnostic, EditConflictError, InterpreterError, LexError,
@@ -42,10 +42,10 @@ from .errors import (
 )
 from .engine.report import FileResult, PatchResult, RuleReport
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
-    "CodeBase", "SemanticPatch", "apply_patch",
+    "CodeBase", "PatchSet", "SemanticPatch", "apply_patch",
     "SpatchOptions", "DEFAULT_OPTIONS",
     "FileResult", "PatchResult", "RuleReport",
     "ReproError", "LexError", "CParseError", "SmplParseError", "MetavarError",

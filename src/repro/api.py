@@ -152,7 +152,10 @@ class SemanticPatch:
     @classmethod
     def from_path(cls, path, options: Optional[SpatchOptions] = None) -> "SemanticPatch":
         p = pathlib.Path(path)
-        return cls.from_string(p.read_text(encoding="utf-8", errors="replace"),
+        # surrogateescape, matching CodeBase: a stray byte in a patch file's
+        # comment must round-trip exactly like one in a source file would
+        return cls.from_string(p.read_text(encoding="utf-8",
+                                           errors="surrogateescape"),
                                options=options, name=p.name)
 
     # -- introspection -----------------------------------------------------------------
@@ -202,11 +205,90 @@ class SemanticPatch:
                         prefilter=prefilter)
         return driver.run(files, token_index=index)
 
-    def transform(self, codebase: "CodeBase") -> "CodeBase":
+    def transform(self, codebase: "CodeBase", *,
+                  jobs: "int | str" = 1, prefilter: bool = True) -> "CodeBase":
         """Apply the patch and return the transformed code base (the
         'replayable refactoring' workflow of the paper: the original tree is
         the maintained source of truth, the refactored copy is regenerated)."""
-        result = self.apply(codebase)
+        result = self.apply(codebase, jobs=jobs, prefilter=prefilter)
+        return CodeBase(files={name: fr.text for name, fr in result.files.items()})
+
+
+class PatchSet:
+    """An ordered list of semantic patches applied as one batch.
+
+    ``PatchSet([p1, p2]).apply(codebase)`` is observably equivalent to
+    ``p2.apply(p1.transform(codebase))`` — byte-identical texts and per-rule
+    reports, per patch — but runs as a *single* driver pass: each file is
+    token-scanned once, parsed once per text state (the parse cache is
+    shared across patch boundaries), gated against the union of the patches'
+    prefilters and shipped to a worker process once for all patches.  See
+    :class:`~repro.engine.pipeline.PatchPipeline` for the semantics and
+    :meth:`~repro.engine.pipeline.PipelineResult.result_for` for the
+    per-patch breakdown of the result.
+    """
+
+    def __init__(self, patches: Iterable[SemanticPatch], name: str = "<patchset>"):
+        self.patches: list[SemanticPatch] = list(patches)
+        self.name = name
+
+    # -- container protocol ------------------------------------------------------
+
+    def __iter__(self) -> Iterator[SemanticPatch]:
+        return iter(self.patches)
+
+    def __len__(self) -> int:
+        return len(self.patches)
+
+    def __getitem__(self, index: int) -> SemanticPatch:
+        return self.patches[index]
+
+    @property
+    def patch_names(self) -> list[str]:
+        return [patch.name for patch in self.patches]
+
+    def loc(self) -> int:
+        """Total semantic-patch lines of code across the set."""
+        return sum(patch.loc() for patch in self.patches)
+
+    def describe(self) -> str:
+        lines = [f"patch set {self.name}: {len(self.patches)} patch(es)"]
+        for patch in self.patches:
+            lines.extend("  " + line for line in patch.describe().splitlines())
+        return "\n".join(lines)
+
+    # -- application -------------------------------------------------------------
+
+    def pipeline(self, *, jobs: "int | str" = 1, prefilter: bool = True):
+        """A fresh :class:`~repro.engine.pipeline.PatchPipeline` (one per run)."""
+        from .engine.pipeline import PatchPipeline
+
+        return PatchPipeline([patch.ast for patch in self.patches],
+                             options=[patch.options for patch in self.patches],
+                             names=self.patch_names,
+                             jobs=jobs, prefilter=prefilter)
+
+    def apply(self, codebase: "CodeBase | dict[str, str]", *,
+              jobs: "int | str" = 1, prefilter: bool = True):
+        """Apply every patch, in order, to a whole code base in one pass.
+
+        Returns a :class:`~repro.engine.pipeline.PipelineResult`: a
+        :class:`~repro.engine.report.PatchResult` for the combined
+        transformation, with the per-patch results in ``per_patch``.
+        """
+        if isinstance(codebase, CodeBase):
+            files = codebase.files
+            index = codebase.token_index() if prefilter else None
+        else:
+            files = dict(codebase)
+            index = None
+        return self.pipeline(jobs=jobs, prefilter=prefilter) \
+            .run(files, token_index=index)
+
+    def transform(self, codebase: "CodeBase", *,
+                  jobs: "int | str" = 1, prefilter: bool = True) -> "CodeBase":
+        """Apply the whole set and return the transformed code base."""
+        result = self.apply(codebase, jobs=jobs, prefilter=prefilter)
         return CodeBase(files={name: fr.text for name, fr in result.files.items()})
 
 

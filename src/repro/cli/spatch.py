@@ -6,14 +6,23 @@ Usage examples::
     repro-spatch --sp-file translate.cocci --in-place src/    # rewrite files
     repro-spatch --sp-file rules.cocci --c++=17 file.cpp
     repro-spatch --cookbook cuda_to_hip --jobs 4 src/cuda/    # built-in patch
+    repro-spatch --sp-file a.cocci --sp-file b.cocci src/     # batch pipeline
+    repro-spatch --cookbook full_modernization src/           # whole cookbook
     repro-spatch --list-cookbook
 
 Mirrors the spatch options the paper's listings mention (``--c++[=N]``,
 ``--jobs``) plus a few conveniences (``--report``, ``--in-place``,
-``--profile``, built-in cookbook patches).
+``--profile``, built-in cookbook patches).  ``--sp-file`` and ``--cookbook``
+are repeatable: given more than one patch, they run as a single
+:class:`~repro.api.PatchSet` pipeline pass, in command-line order —
+equivalent to, but faster than, chaining one invocation per patch.
 
 Exit status follows spatch conventions: 0 when the patch matched at least
-one site, 1 when it matched nothing, 2 on usage errors.
+one site, 1 when it matched nothing, 2 on usage errors.  Matches of pure
+idempotence-guard rules (``depends on !guard`` suppressors, which fire
+exactly when a file is already modernized) do not count as "matched", so
+re-running an in-place modernization exits 1 once there is nothing left to
+do.
 """
 
 from __future__ import annotations
@@ -23,31 +32,31 @@ import pathlib
 import sys
 
 from .. import __version__
-from ..api import CodeBase, SemanticPatch
+from ..api import CodeBase, PatchSet, SemanticPatch
 from ..options import SpatchOptions
+
+#: pseudo cookbook name expanding to the whole-cookbook pipeline preset
+FULL_PIPELINE = "full_modernization"
 
 
 #: name -> zero-argument builder of a cookbook patch
 def _cookbook_builders():
-    from ..cookbook import (bloat_removal, compiler_workaround, cuda_hip,
-                            declare_variant, instrumentation, kokkos_lambda,
-                            mdspan, multiversioning, openacc_openmp,
-                            stl_modernize, unrolling)
+    from ..cookbook import builders
 
-    return {
-        "likwid_instrumentation": instrumentation.likwid_patch,
-        "declare_variant": declare_variant.declare_variant_patch,
-        "target_multiversioning": multiversioning.clone_with_target_attributes,
-        "bloat_removal": bloat_removal.remove_obsolete_clones,
-        "reroll_p0": unrolling.reroll_patch_p0,
-        "reroll_p1r1": unrolling.reroll_patch_p1_r1,
-        "mdspan_multiindex": mdspan.multiindex_patch,
-        "cuda_to_hip": cuda_hip.cuda_to_hip_patch,
-        "acc_to_omp": openacc_openmp.acc_to_omp_patch,
-        "raw_loop_to_find": stl_modernize.raw_loop_to_find_patch,
-        "kokkos_lambda": kokkos_lambda.kokkos_patch,
-        "gcc_workaround": compiler_workaround.gcc_workaround_patch,
-    }
+    return builders()
+
+
+class _PatchArg(argparse.Action):
+    """Append ``(kind, value)`` to one shared list so interleaved
+    ``--sp-file``/``--cookbook`` flags keep their command-line order —
+    pipelines are order-sensitive, so the order the user wrote is the order
+    that runs."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        items = list(getattr(namespace, self.dest, None) or [])
+        kind = "cookbook" if option_string == "--cookbook" else "sp_file"
+        items.append((kind, values))
+        setattr(namespace, self.dest, items)
 
 
 def _parse_jobs(value: str):
@@ -69,10 +78,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
         description="Apply semantic patches to C/C++ sources (Coccinelle-style).")
     parser.add_argument("targets", nargs="*",
                         help="source files or directories to transform")
-    parser.add_argument("--sp-file", "--cocci-file", dest="sp_file",
-                        help="semantic patch file to apply")
-    parser.add_argument("--cookbook", dest="cookbook",
-                        help="apply a built-in cookbook patch by name")
+    parser.add_argument("--sp-file", "--cocci-file", dest="patch_args",
+                        action=_PatchArg, default=[], metavar="SP_FILE",
+                        help="semantic patch file to apply (repeatable: "
+                             "several patches, --cookbook included, run as "
+                             "one pipeline pass in command-line order)")
+    parser.add_argument("--cookbook", dest="patch_args",
+                        action=_PatchArg, default=[], metavar="NAME",
+                        help="apply a built-in cookbook patch by name "
+                             "(repeatable, same ordered pipeline as "
+                             "--sp-file; 'full_modernization' expands to "
+                             "the whole cookbook)")
     parser.add_argument("--list-cookbook", action="store_true",
                         help="list built-in cookbook patches and exit")
     parser.add_argument("--c++", dest="cxx", nargs="?", const="17", default=None,
@@ -95,6 +111,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         version=f"%(prog)s {__version__}")
     parser.add_argument("--verbose", action="store_true")
     return parser
+
+
+def _nonguard_matches(patch: SemanticPatch, patch_result) -> int:
+    """Match count excluding the patch's idempotence-guard rules."""
+    guards = patch.ast.guard_rule_names()
+    return sum(report.matches
+               for file_result in patch_result
+               for report in file_result.rule_reports
+               if report.rule not in guards)
 
 
 def _load_codebase(targets: list[str]) -> tuple[CodeBase, dict[str, pathlib.Path]]:
@@ -126,7 +151,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_cookbook:
-        for name in sorted(_cookbook_builders()):
+        for name in sorted([*_cookbook_builders(), FULL_PIPELINE]):
             print(name)
         return 0
 
@@ -136,15 +161,21 @@ def main(argv: list[str] | None = None) -> int:
         verbose=args.verbose,
     )
 
-    if args.cookbook:
-        builders = _cookbook_builders()
-        if args.cookbook not in builders:
-            parser.error(f"unknown cookbook patch {args.cookbook!r}; "
+    patches: list[SemanticPatch] = []
+    builders = _cookbook_builders()
+    for kind, value in args.patch_args:
+        if kind == "sp_file":
+            patches.append(SemanticPatch.from_path(value, options=options))
+        elif value == FULL_PIPELINE:
+            from ..cookbook import full_modernization_pipeline
+
+            patches.extend(full_modernization_pipeline())
+        elif value in builders:
+            patches.append(builders[value]())
+        else:
+            parser.error(f"unknown cookbook patch {value!r}; "
                          f"use --list-cookbook to see the available ones")
-        patch = builders[args.cookbook]()
-    elif args.sp_file:
-        patch = SemanticPatch.from_path(args.sp_file, options=options)
-    else:
+    if not patches:
         parser.error("one of --sp-file or --cookbook is required")
         return 2
 
@@ -153,8 +184,14 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     codebase, paths = _load_codebase(args.targets)
-    result = patch.apply(codebase, jobs=args.jobs,
-                         prefilter=not args.no_prefilter)
+    if len(patches) == 1:
+        result = patches[0].apply(codebase, jobs=args.jobs,
+                                  prefilter=not args.no_prefilter)
+        per_patch = [(patches[0], result)]
+    else:
+        result = PatchSet(patches).apply(codebase, jobs=args.jobs,
+                                         prefilter=not args.no_prefilter)
+        per_patch = list(zip(patches, result.per_patch))
 
     if args.report or args.verbose:
         summary = result.summary()
@@ -171,7 +208,10 @@ def main(argv: list[str] | None = None) -> int:
         for line in result.stats.describe().splitlines():
             print(f"# {line}", file=sys.stderr)
 
-    matched = result.total_matches > 0
+    # guard-rule matches mean "already modernized, stood down", not "the
+    # patch applied": they must not turn a no-op re-run into exit 0
+    matched = any(_nonguard_matches(patch, patch_result) > 0
+                  for patch, patch_result in per_patch)
 
     if args.in_place:
         for name, file_result in result.files.items():

@@ -27,6 +27,8 @@ module                        paper use case
 ============================  =========================================================
 """
 
+from typing import Optional
+
 from . import (
     aos_soa,
     bloat_removal,
@@ -46,4 +48,45 @@ __all__ = [
     "aos_soa", "bloat_removal", "compiler_workaround", "cuda_hip",
     "declare_variant", "instrumentation", "kokkos_lambda", "mdspan",
     "multiversioning", "openacc_openmp", "stl_modernize", "unrolling",
+    "builders", "full_modernization_pipeline",
 ]
+
+
+def builders() -> dict:
+    """The canonical ``name -> zero-argument builder`` table of the twelve
+    ready-to-apply cookbook patches (the CLI's ``--cookbook`` names and the
+    order :func:`full_modernization_pipeline` applies them in)."""
+    return {
+        "likwid_instrumentation": instrumentation.likwid_patch,
+        "declare_variant": declare_variant.declare_variant_patch,
+        "target_multiversioning": multiversioning.clone_with_target_attributes,
+        "bloat_removal": bloat_removal.remove_obsolete_clones,
+        "reroll_p0": unrolling.reroll_patch_p0,
+        "reroll_p1r1": unrolling.reroll_patch_p1_r1,
+        "mdspan_multiindex": mdspan.multiindex_patch,
+        "cuda_to_hip": cuda_hip.cuda_to_hip_patch,
+        "acc_to_omp": openacc_openmp.acc_to_omp_patch,
+        "raw_loop_to_find": stl_modernize.raw_loop_to_find_patch,
+        "kokkos_lambda": kokkos_lambda.kokkos_patch,
+        "gcc_workaround": compiler_workaround.gcc_workaround_patch,
+    }
+
+
+def full_modernization_pipeline(*, mdspan_arrays: Optional[dict] = None):
+    """The whole cookbook as one :class:`~repro.api.PatchSet`: every
+    ready-to-apply use-case patch, in the canonical :func:`builders` order,
+    batch-applied in a single driver pass.
+
+    ``mdspan_arrays`` optionally redirects the mdspan multi-index patch at
+    specific ``{array_name: rank}`` pairs (the default targets the literal
+    array ``a`` of the paper's listing).
+    """
+    from ..api import PatchSet
+
+    patches = []
+    for name, builder in builders().items():
+        if name == "mdspan_multiindex" and mdspan_arrays is not None:
+            patches.append(mdspan.multiindex_patch_for_arrays(mdspan_arrays))
+        else:
+            patches.append(builder())
+    return PatchSet(patches, name="full-modernization")

@@ -44,10 +44,19 @@ def paper_listing() -> str:
 def patch_text(function_regex: str = LIBRSB_AFFECTED_REGEX,
                options: tuple[str, ...] = ("-O3", "-fno-tree-loop-vectorize")) -> str:
     """Render the workaround patch for an arbitrary function-name regex and
-    GCC optimisation options."""
+    GCC optimisation options.
+
+    A pure-match guard rule makes the patch idempotent at file granularity:
+    a file already containing ``#pragma GCC push_options`` (which for the
+    generated LIBRSB kernels only this workaround introduces) is not wrapped
+    a second time.
+    """
     opts = ", ".join(f'"{o}"' for o in options)
     return f"""\
-@pragma_inject@
+@has_workaround@ @@
+#pragma GCC push_options
+
+@pragma_inject depends on !has_workaround@
 identifier i =~ "{function_regex}";
 type T;
 @@

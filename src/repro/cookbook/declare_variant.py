@@ -71,8 +71,15 @@ def patch_text(function_regex: str = "kernel",
             f'+ #pragma omp declare variant({mv}) match(device={{isa("{spec.isa}")}})')
     decls = "\n".join(fresh_decls)
     plus = "\n".join(clone_lines + pragma_lines)
+    # the pure-match guard makes the cloning idempotent at file granularity:
+    # a file that already carries declare-variant pragmas (only this patch
+    # introduces them in the targeted kernels) is not cloned again — without
+    # it a second application would clone the clones
     return f"""\
-@clone@
+@has_variants@ @@
+#pragma omp declare ...
+
+@clone depends on !has_variants@
 type T;
 identifier f =~ "{function_regex}";
 parameter list PL;

@@ -66,14 +66,27 @@ class InstrumentationConfig:
 
 
 def patch_text(config: InstrumentationConfig = InstrumentationConfig()) -> str:
-    """Render the semantic patch for a given marker API / pragma prefix."""
+    """Render the semantic patch for a given marker API / pragma prefix.
+
+    Unlike the paper's listing, the rendered patch is *idempotent*: two
+    pure-match guard rules detect a file that already carries the marker
+    header / marker calls, and the inserting rules ``depend on !`` them, so
+    re-applying the patch to its own output changes nothing (file-level
+    granularity — the standard Coccinelle guard idiom).
+    """
     header, start, stop = config.marker()
     return f"""\
-@add_header@ @@
+@has_header@ @@
+#include <{header}>
+
+@add_header depends on !has_header@ @@
 #include <omp.h>
 + #include <{header}>
 
-@instrument@ @@
+@has_markers@ @@
+{start}({config.label});
+
+@instrument depends on !has_markers@ @@
 #pragma {config.pragma_prefix} ...
 {{
 + {start}({config.label});

@@ -90,9 +90,14 @@ def patch_text(index_vars: tuple[str, ...] = ("i", "j"),
     come from the matched loop (metavariables ``n`` and ``c`` imported into
     the Python rule), and the reduction accumulator name is configurable."""
     idx_set = ",".join(index_vars)
+    # the pure-match guard keeps r0 idempotent: a file that already includes
+    # Kokkos_Core.hpp (only this patch adds it here) is not given a second copy
     return f"""\
 #spatch --c++
-@r0@ @@
+@has_core_header@ @@
+#include <Kokkos_Core.hpp>
+
+@r0 depends on !has_core_header@ @@
 + #include <Kokkos_Core.hpp>
 #include <{anchor_header}>
 

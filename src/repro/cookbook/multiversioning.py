@@ -49,8 +49,22 @@ def clone_with_target_attributes(function_regex: str = "kernel",
         plus_lines.append(f'+ __attribute__((target("{arch}")))')
         plus_lines.append(f"+ T {mv} (PL) {{ SL }}")
     plus_lines.append('+ __attribute__((target("default")))')
+    # the pure-match guard makes the cloning idempotent at file granularity:
+    # only this patch marks a function as the "default" version, so its
+    # presence means the file has been multiversioned already — without the
+    # guard a second application would clone the clones
     text = f"""\
-@multiversion@
+@has_default_version@
+identifier g;
+type T0;
+@@
+__attribute__((target(...,"default",...)))
+T0 g(...)
+{{
+...
+}}
+
+@multiversion depends on !has_default_version@
 type T;
 identifier f =~ "{function_regex}";
 parameter list PL;

@@ -18,6 +18,8 @@ from .session import FileSession
 from .prefilter import PatchPrefilter, TokenIndex, required_tokens, scan_token_set
 from .engine import Engine
 from .driver import Driver, DriverStats, resolve_jobs
+from .pipeline import (PatchPipeline, PipelinePrefilter, PipelineResult,
+                       PipelineStats)
 
 __all__ = [
     "BoundValue", "Env", "Position", "EMPTY_ENV",
@@ -31,4 +33,5 @@ __all__ = [
     "PatchPrefilter", "TokenIndex", "required_tokens", "scan_token_set",
     "Engine",
     "Driver", "DriverStats", "resolve_jobs",
+    "PatchPipeline", "PipelinePrefilter", "PipelineResult", "PipelineStats",
 ]

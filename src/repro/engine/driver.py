@@ -95,6 +95,25 @@ def resolve_jobs(jobs) -> int:
     return count
 
 
+def has_per_file_scripts(patch: SemanticPatchAST) -> bool:
+    """True when the patch has ``script:python`` rules that run per file."""
+    return any(isinstance(r, ScriptRule) and r.when == "script"
+               for r in patch.rules)
+
+
+def parallel_preserves_semantics(patch: SemanticPatchAST,
+                                 options: SpatchOptions) -> bool:
+    """Parallel workers re-run initialize themselves but the parent runs
+    finalize; a patch combining per-file scripts with a finalize rule may
+    aggregate across files, which only serial application preserves."""
+    if not options.python_scripting:
+        return True
+    script_rules = [r for r in patch.rules if isinstance(r, ScriptRule)]
+    has_per_file = any(r.when == "script" for r in script_rules)
+    has_finalize = any(r.when == "finalize" for r in script_rules)
+    return not (has_per_file and has_finalize)
+
+
 # ---------------------------------------------------------------------------
 # worker-process plumbing (module level so it pickles)
 # ---------------------------------------------------------------------------
@@ -102,21 +121,33 @@ def resolve_jobs(jobs) -> int:
 _WORKER_ENGINE: dict = {}
 
 
-def _worker_init(payload, options: Optional[SpatchOptions],
-                 cache_max_entries: int) -> None:
+def patch_payload(patch: SemanticPatchAST):
+    """What a worker process needs to rebuild ``patch``: its source text when
+    available (cheap to pickle, re-parsed once per worker), the AST otherwise."""
+    if patch.source_text:
+        return ("text", patch.source_text)
+    return ("ast", patch)
+
+
+def ast_from_payload(payload, options: Optional[SpatchOptions]) -> SemanticPatchAST:
     from ..smpl.parser import parse_semantic_patch
-    from .engine import Engine
 
     kind, data = payload
     if kind == "text":
-        ast = parse_semantic_patch(data, options=options)
-    else:
-        ast = data
+        return parse_semantic_patch(data, options=options)
+    return data
+
+
+def _worker_init(payload, options: Optional[SpatchOptions],
+                 cache_max_entries: int) -> None:
+    from .engine import Engine
+
+    ast = ast_from_payload(payload, options)
     # caches are per-process (a TreeCache's lock cannot cross exec/pickle),
     # so each worker gets a fresh one honouring the parent cache's bound
     engine = Engine(ast, options=options,
                     tree_cache=TreeCache(max_entries=cache_max_entries))
-    if any(isinstance(r, ScriptRule) and r.when == "script" for r in ast.rules):
+    if has_per_file_scripts(ast):
         # script rules read the globals initialize rules set up; patches
         # without per-file scripts get their single initialize in the parent
         engine._run_initialize_rules()
@@ -128,6 +159,27 @@ def _worker_apply(batch: list[tuple[str, str, Optional[frozenset[str]]]]
     engine: "Engine" = _WORKER_ENGINE["engine"]
     return [engine.session_for(filename, text, allowed_rules=allowed).run()
             for filename, text, allowed in batch]
+
+
+def run_fork_pool(items: list, jobs: int, initializer, initargs, worker) -> list:
+    """Fan ``items`` out over ``jobs`` forked worker processes in batches and
+    return the concatenated per-item results (shared by :class:`Driver` and
+    :class:`~repro.engine.pipeline.PatchPipeline`).  A few batches per worker
+    so an expensive item does not serialise the tail, while keeping per-task
+    pickling overhead low."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    ctx = multiprocessing.get_context("fork")
+    batch_size = max(1, math.ceil(len(items) / (jobs * 4)))
+    batches = [items[i:i + batch_size]
+               for i in range(0, len(items), batch_size)]
+    results: list = []
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx,
+                             initializer=initializer,
+                             initargs=initargs) as pool:
+        for batch_results in pool.map(worker, batches):
+            results.extend(batch_results)
+    return results
 
 
 class Driver:
@@ -238,40 +290,18 @@ class Driver:
         return min(self.jobs, n_files)
 
     def _has_per_file_scripts(self) -> bool:
-        return any(isinstance(r, ScriptRule) and r.when == "script"
-                   for r in self.patch.rules)
+        return has_per_file_scripts(self.patch)
 
     def _parallel_preserves_semantics(self) -> bool:
-        """Parallel workers re-run initialize themselves but the parent runs
-        finalize; a patch combining per-file scripts with a finalize rule may
-        aggregate across files, which only serial application preserves."""
-        if not self.options.python_scripting:
-            return True
-        script_rules = [r for r in self.patch.rules if isinstance(r, ScriptRule)]
-        has_per_file = any(r.when == "script" for r in script_rules)
-        has_finalize = any(r.when == "finalize" for r in script_rules)
-        return not (has_per_file and has_finalize)
+        return parallel_preserves_semantics(self.patch, self.options)
 
     def _payload(self):
-        if self.patch.source_text:
-            return ("text", self.patch.source_text)
-        return ("ast", self.patch)
+        return patch_payload(self.patch)
 
     def _run_parallel(self, session_files, jobs: int) -> dict[str, FileResult]:
-        from concurrent.futures import ProcessPoolExecutor
-
-        ctx = multiprocessing.get_context("fork")
-        # a few batches per worker so an expensive file does not serialise
-        # the tail, while keeping per-task pickling overhead low
-        batch_size = max(1, math.ceil(len(session_files) / (jobs * 4)))
-        batches = [session_files[i:i + batch_size]
-                   for i in range(0, len(session_files), batch_size)]
-        results: dict[str, FileResult] = {}
-        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx,
-                                 initializer=_worker_init,
-                                 initargs=(self._payload(), self.options,
-                                           self.tree_cache.max_entries)) as pool:
-            for batch_results in pool.map(_worker_apply, batches):
-                for file_result in batch_results:
-                    results[file_result.filename] = file_result
-        return results
+        file_results = run_fork_pool(
+            session_files, jobs, _worker_init,
+            (self._payload(), self.options, self.tree_cache.max_entries),
+            _worker_apply)
+        return {file_result.filename: file_result
+                for file_result in file_results}

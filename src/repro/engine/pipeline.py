@@ -1,0 +1,422 @@
+"""PatchPipeline: apply an ordered list of semantic patches in one pass.
+
+Sequentially chaining ``SemanticPatch.apply`` runs one full driver pass per
+patch: every pass re-scans every file for prefilter tokens, re-parses
+whatever the (bounded) tree cache has evicted and pays the per-code-base
+orchestration cost again — applying a 12-patch modernization cookbook costs
+12 full passes.  The pipeline restructures the same work *file-major*:
+
+* **one planning scan** — each file's token set is computed once and checked
+  against the union of all patches' prefilters; a file no patch could ever
+  touch (accounting for tokens *earlier patches may insert*, see
+  :class:`PipelinePrefilter`) is answered without a session, a parse, or a
+  trip to a worker;
+* **one parse per file state** — each patch's
+  :class:`~repro.engine.session.FileSession` runs over the evolving text
+  with a single :class:`~repro.engine.cache.TreeCache` shared across patch
+  boundaries, so a patch that does not edit a file hands the *same* parse
+  tree to the next patch instead of re-parsing;
+* **one distribution** — files are fanned out over ``jobs`` worker
+  processes exactly as in :class:`~repro.engine.driver.Driver`, but each
+  file crosses the process boundary once for all patches instead of once
+  per patch.
+
+Equivalence to sequential composition
+-------------------------------------
+Per file, the pipeline runs exactly the session sequence that
+``p2.apply(p1.transform(cb))`` would run: after each patch the file's token
+set is re-scanned *from the actual evolved text* (not approximated), so each
+patch's prefilter decisions — and therefore its reports, exports and
+diagnostics — are identical to a sequential per-patch application.  Each
+patch keeps its own :class:`~repro.engine.engine.Engine` (and so its own
+script-rule namespace), mirroring the fresh engine a sequential
+``SemanticPatch.apply`` call creates.  The one observable difference is the
+*interleaving* of external side effects: patch ``k``'s per-file scripts run
+before patch ``k-1`` has finished the whole code base (its ``finalize``
+rules still run last, in patch order).  Cookbook-style scripts that only
+read their translation tables cannot tell the difference.
+
+Parallel semantics follow the driver: if *any* patch combines per-file
+``script:python`` rules with a ``finalize`` rule, the whole pipeline falls
+back to serial application rather than silently changing their meaning.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..options import SpatchOptions
+from ..smpl.ast import SemanticPatchAST
+from .cache import DEFAULT_TREE_CACHE, TreeCache
+from .driver import (DriverStats, ast_from_payload, has_per_file_scripts,
+                     parallel_preserves_semantics, patch_payload, resolve_jobs,
+                     run_fork_pool)
+from .prefilter import PatchPrefilter, TokenIndex, scan_token_set
+from .report import FileResult, PatchResult
+
+
+@dataclass
+class PipelineStats:
+    """Timing/coverage breakdown of one pipeline run (``--profile``)."""
+
+    patches: int = 0
+    files_total: int = 0
+    #: files answered without any session (no patch could ever touch them)
+    files_skipped: int = 0
+    #: (file, patch) sessions actually run
+    sessions_run: int = 0
+    #: (file, patch) pairs answered without a session
+    sessions_gated: int = 0
+    #: (file, rule) applications the prefilter answered without running
+    #: (inside surviving sessions and for whole-skipped files alike, matching
+    #: what per-patch Driver runs would report)
+    rules_gated: int = 0
+    prefilter: bool = True
+    jobs_requested: "int | str" = 1
+    jobs_used: int = 1
+    scan_seconds: float = 0.0
+    apply_seconds: float = 0.0
+    total_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def skip_rate(self) -> float:
+        return self.files_skipped / self.files_total if self.files_total else 0.0
+
+    @property
+    def session_rate(self) -> float:
+        total = self.files_total * self.patches
+        return self.sessions_run / total if total else 0.0
+
+    def describe(self) -> str:
+        lines = [
+            f"patches: {self.patches}  files: {self.files_total}  "
+            f"skipped for the whole pipeline: {self.files_skipped} "
+            f"({self.skip_rate:.0%})",
+            f"sessions: {self.sessions_run} run, {self.sessions_gated} gated "
+            f"({self.session_rate:.0%} of file x patch pairs ran)",
+            f"rule applications gated by prefilter: {self.rules_gated}",
+            f"jobs: {self.jobs_used} (requested {self.jobs_requested})  "
+            f"prefilter: {'on' if self.prefilter else 'off'}",
+            f"token scan: {self.scan_seconds:.3f}s  apply: "
+            f"{self.apply_seconds:.3f}s  total: {self.total_seconds:.3f}s",
+            "parse cache: per-worker, not aggregated" if self.jobs_used > 1
+            else f"parse cache: {self.cache_hits} hit(s), "
+                 f"{self.cache_misses} miss(es)",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class PipelineResult(PatchResult):
+    """The outcome of applying a :class:`PatchPipeline` to a code base.
+
+    Behaves like a :class:`~repro.engine.report.PatchResult` for the
+    *combined* transformation — ``files`` maps each filename to a
+    :class:`~repro.engine.report.FileResult` whose ``original_text`` is the
+    input and whose ``text`` is the output of the *last* patch, with the
+    per-rule reports of every patch concatenated in application order, so
+    ``diff()`` / ``summary()`` / ``total_matches`` cover the whole batch —
+    and additionally carries the per-patch breakdown in ``per_patch``.
+    """
+
+    #: names of the applied patches, in application order
+    patch_names: list[str] = field(default_factory=list)
+    #: one :class:`PatchResult` per patch; its files' ``original_text`` is
+    #: the text *that patch* saw (i.e. the previous patch's output)
+    per_patch: list[PatchResult] = field(default_factory=list)
+
+    def result_for(self, patch: "int | str") -> PatchResult:
+        """The per-patch result, by position or (first matching) name."""
+        if isinstance(patch, str):
+            patch = self.patch_names.index(patch)
+        return self.per_patch[patch]
+
+    def per_patch_summary(self) -> list[dict]:
+        """One summary row per patch (name, matches, changed files, ...)."""
+        rows = []
+        for name, result in zip(self.patch_names, self.per_patch):
+            row = {"patch": name}
+            row.update(result.summary())
+            rows.append(row)
+        return rows
+
+
+@dataclass
+class _FileOutcome:
+    """What applying every patch to one file produced (pickles to workers)."""
+
+    filename: str
+    #: one FileResult per patch (untouched placeholder when gated)
+    results: list[FileResult]
+    #: per patch: whether a session actually ran
+    ran: list[bool]
+    #: per patch: rules the prefilter gated for this file
+    rules_gated: list[int]
+
+
+class PipelinePrefilter:
+    """Whole-pipeline skip decisions over the union of per-patch prefilters.
+
+    Per-patch gating simply re-queries each patch's own
+    :class:`~repro.engine.prefilter.PatchPrefilter` against the tokens of
+    the *current* (evolved) text, so it inherits that layer's soundness
+    argument unchanged.  The only new question is the coarse one answered
+    here before any session is created: *could any patch ever touch this
+    file?*  Querying every patch against the file's **original** tokens is
+    sound despite cross-patch insertion chains (patch 1 rewriting ``foo()``
+    to ``bar()``, patch 2 rewriting ``bar()``): the file is kept whenever
+    *any* patch needs a session, so patch ``k``'s answer only decides the
+    outcome when patches ``1..k-1`` all answered "cannot run" — and a patch
+    that cannot run cannot have inserted anything, so by induction the text
+    patch ``k`` would see *is* the original and its token set is exact.
+    """
+
+    def __init__(self, patches: Sequence[SemanticPatchAST]):
+        self.prefilters = [PatchPrefilter(patch) for patch in patches]
+        self.n_patches = len(self.prefilters)
+
+    def needs_any_session(self, file_tokens: frozenset[str]) -> bool:
+        return any(prefilter.plan_for(file_tokens).needs_session
+                   for prefilter in self.prefilters)
+
+
+def _apply_patches_to_file(engines, prefilters, filename: str, text: str,
+                           tokens: Optional[frozenset[str]]) -> _FileOutcome:
+    """Run every patch's session over one file's evolving text.
+
+    This is byte-for-byte the work a sequential per-patch application would
+    do for this file: each patch plans from the tokens of the *current* text
+    (re-scanned only after an edit) and either runs a session with the
+    prefilter's ``allowed_rules`` or is answered with an untouched result.
+    Shared between the serial path and the worker processes.
+    """
+    results: list[FileResult] = []
+    ran: list[bool] = []
+    rules_gated: list[int] = []
+    for engine, prefilter in zip(engines, prefilters):
+        allowed = None
+        n_rules = len(engine.patch.patch_rules())
+        if prefilter is not None:
+            if tokens is None:
+                tokens = scan_token_set(text)
+            plan = prefilter.plan_for(tokens)
+            if not plan.needs_session:
+                results.append(FileResult(filename=filename,
+                                          original_text=text, text=text))
+                ran.append(False)
+                rules_gated.append(n_rules)
+                continue
+            allowed = plan.allowed_rules
+            rules_gated.append(n_rules - len(plan.allowed_rules))
+        else:
+            rules_gated.append(0)
+        file_result = engine.session_for(filename, text,
+                                         allowed_rules=allowed).run()
+        results.append(file_result)
+        ran.append(True)
+        if file_result.text != text:
+            text = file_result.text
+            tokens = None  # force a re-scan for the next patch
+    return _FileOutcome(filename=filename, results=results, ran=ran,
+                        rules_gated=rules_gated)
+
+
+# ---------------------------------------------------------------------------
+# worker-process plumbing (module level so it pickles)
+# ---------------------------------------------------------------------------
+
+_PIPELINE_WORKER: dict = {}
+
+
+def _pipeline_worker_init(payloads, options_list, prefilter_enabled: bool,
+                          cache_max_entries: int) -> None:
+    from .engine import Engine
+
+    # one parse cache per worker, shared across every patch of the pipeline
+    cache = TreeCache(max_entries=cache_max_entries)
+    engines = []
+    prefilters = []
+    for payload, options in zip(payloads, options_list):
+        ast = ast_from_payload(payload, options)
+        engine = Engine(ast, options=options, tree_cache=cache)
+        if has_per_file_scripts(ast):
+            # per-file scripts read the globals initialize rules set up
+            engine._run_initialize_rules()
+        engines.append(engine)
+        prefilters.append(PatchPrefilter(ast) if prefilter_enabled else None)
+    _PIPELINE_WORKER["engines"] = engines
+    _PIPELINE_WORKER["prefilters"] = prefilters
+
+
+def _pipeline_worker_apply(batch) -> list[_FileOutcome]:
+    engines = _PIPELINE_WORKER["engines"]
+    prefilters = _PIPELINE_WORKER["prefilters"]
+    return [_apply_patches_to_file(engines, prefilters, filename, text, tokens)
+            for filename, text, tokens in batch]
+
+
+class PatchPipeline:
+    """Applies an ordered list of semantic patches to a whole code base in a
+    single driver pass (see the module docstring for the semantics)."""
+
+    def __init__(self, patches: Sequence[SemanticPatchAST],
+                 options: Optional[Sequence[Optional[SpatchOptions]]] = None, *,
+                 names: Optional[Sequence[str]] = None,
+                 jobs: "int | str" = 1, prefilter: bool = True,
+                 tree_cache: Optional[TreeCache] = None):
+        from .engine import Engine
+
+        self.patches = list(patches)
+        if options is None:
+            options = [None] * len(self.patches)
+        if len(options) != len(self.patches):
+            raise ValueError(f"got {len(self.patches)} patches but "
+                             f"{len(options)} options")
+        self.names = list(names) if names is not None \
+            else [f"patch_{idx}" for idx in range(len(self.patches))]
+        self.options: list[SpatchOptions] = [
+            opts or patch.options for patch, opts in zip(self.patches, options)]
+        self.jobs = resolve_jobs(jobs)
+        self.jobs_requested = jobs
+        self.prefilter_enabled = prefilter
+        self.tree_cache = tree_cache if tree_cache is not None else DEFAULT_TREE_CACHE
+        self.engines = [Engine(patch, options=opts, tree_cache=self.tree_cache)
+                        for patch, opts in zip(self.patches, self.options)]
+        self.prefilter = PipelinePrefilter(self.patches) if prefilter else None
+        self.stats = PipelineStats()
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, files: dict[str, str],
+            token_index: Optional[TokenIndex] = None) -> PipelineResult:
+        """Apply every patch, in order, to ``{filename: text}``."""
+        started = time.perf_counter()
+        n_patches = len(self.patches)
+        stats = self.stats = PipelineStats(
+            patches=n_patches, files_total=len(files),
+            prefilter=self.prefilter_enabled,
+            jobs_requested=self.jobs_requested)
+        cache_hits0, cache_misses0 = self.tree_cache.stats()
+
+        # ---- plan: which files could any patch possibly touch
+        work: list[tuple[str, str, Optional[frozenset[str]]]] = []
+        skipped: set[str] = set()
+        scan_started = time.perf_counter()
+        for name, text in files.items():
+            if self.prefilter is None:
+                work.append((name, text, None))
+                continue
+            tokens = token_index.tokens_of(name, text) if token_index is not None \
+                else scan_token_set(text)
+            if self.prefilter.needs_any_session(tokens):
+                work.append((name, text, tokens))
+            else:
+                skipped.add(name)
+                stats.files_skipped += 1
+        stats.scan_seconds = time.perf_counter() - scan_started
+
+        jobs_used = self._effective_jobs(len(work))
+        stats.jobs_used = jobs_used
+
+        # ---- initialize rules: once per patch, mirroring the driver (the
+        # workers run them instead for script-bearing patches, so their
+        # per-file scripts see the initialized globals)
+        if files:
+            for engine in self.engines:
+                if jobs_used == 1 or not has_per_file_scripts(engine.patch):
+                    engine._run_initialize_rules()
+
+        # ---- apply
+        apply_started = time.perf_counter()
+        if jobs_used > 1:
+            outcomes = self._run_parallel(work, jobs_used)
+        else:
+            prefilters = self.prefilter.prefilters if self.prefilter is not None \
+                else [None] * n_patches
+            outcomes = {name: _apply_patches_to_file(self.engines, prefilters,
+                                                     name, text, tokens)
+                        for name, text, tokens in work}
+        stats.apply_seconds = time.perf_counter() - apply_started
+
+        # ---- assemble in input order
+        result = PipelineResult(
+            patch_names=list(self.names),
+            per_patch=[PatchResult() for _ in self.patches])
+        n_rules_per_patch = [len(patch.patch_rules()) for patch in self.patches]
+        # per-patch coverage counters, shaped like a sequential Driver run's
+        # stats (timing is not broken out per patch — the pass is shared)
+        per_patch_stats = [
+            DriverStats(files_total=len(files), prefilter=self.prefilter_enabled,
+                        jobs_requested=self.jobs_requested, jobs_used=jobs_used)
+            for _ in self.patches]
+        for name, text in files.items():
+            if name in skipped:
+                # fresh FileResult per view: sequential composition hands out
+                # independent objects, so mutating one must not leak
+                for index, patch_result in enumerate(result.per_patch):
+                    patch_result.files[name] = FileResult(
+                        filename=name, original_text=text, text=text)
+                    per_patch_stats[index].files_skipped += 1
+                    per_patch_stats[index].rules_gated += n_rules_per_patch[index]
+                result.files[name] = FileResult(filename=name,
+                                                original_text=text, text=text)
+                stats.sessions_gated += n_patches
+                stats.rules_gated += sum(n_rules_per_patch)
+                continue
+            outcome = outcomes[name]
+            for index, file_result in enumerate(outcome.results):
+                result.per_patch[index].files[name] = file_result
+                if not outcome.ran[index]:
+                    per_patch_stats[index].files_skipped += 1
+                per_patch_stats[index].rules_gated += outcome.rules_gated[index]
+            stats.sessions_run += sum(outcome.ran)
+            stats.sessions_gated += n_patches - sum(outcome.ran)
+            stats.rules_gated += sum(outcome.rules_gated)
+            final_text = outcome.results[-1].text if outcome.results else text
+            result.files[name] = FileResult(
+                filename=name, original_text=text, text=final_text,
+                rule_reports=[r for fr in outcome.results
+                              for r in fr.rule_reports],
+                diagnostics=[d for fr in outcome.results
+                             for d in fr.diagnostics])
+
+        # ---- finalize rules run once per patch, in patch order, at the end
+        for index, (engine, patch_result) in enumerate(
+                zip(self.engines, result.per_patch)):
+            engine._run_finalize_rules(patch_result)
+            result.diagnostics.extend(patch_result.diagnostics)
+            patch_result.stats = per_patch_stats[index]
+
+        if jobs_used == 1:
+            cache_hits1, cache_misses1 = self.tree_cache.stats()
+            stats.cache_hits = cache_hits1 - cache_hits0
+            stats.cache_misses = cache_misses1 - cache_misses0
+        stats.total_seconds = time.perf_counter() - started
+        result.stats = stats
+        return result
+
+    # -- parallel execution ---------------------------------------------------
+
+    def _effective_jobs(self, n_files: int) -> int:
+        if self.jobs <= 1 or n_files <= 1:
+            return 1
+        if not all(parallel_preserves_semantics(patch, opts)
+                   for patch, opts in zip(self.patches, self.options)):
+            return 1
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return 1  # spawn would not inherit sys.path in source checkouts
+        return min(self.jobs, n_files)
+
+    def _run_parallel(self, work, jobs: int) -> dict[str, _FileOutcome]:
+        payloads = [patch_payload(patch) for patch in self.patches]
+        outcomes = run_fork_pool(
+            work, jobs, _pipeline_worker_init,
+            (payloads, self.options, self.prefilter_enabled,
+             self.tree_cache.max_entries),
+            _pipeline_worker_apply)
+        return {outcome.filename: outcome for outcome in outcomes}

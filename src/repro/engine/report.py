@@ -42,10 +42,11 @@ class FileResult:
         return sum(r.matches for r in self.rule_reports)
 
     def matches_of(self, rule: str) -> int:
-        for report in self.rule_reports:
-            if report.rule == rule:
-                return report.matches
-        return 0
+        # a name can legitimately appear in several reports (a pipeline's
+        # combined result concatenates reports across patches, and two
+        # patches may both name a rule "r1"); sum them all
+        return sum(report.matches for report in self.rule_reports
+                   if report.rule == rule)
 
     def diff(self, context: int = 3) -> str:
         """Unified diff between the original and the patched text."""

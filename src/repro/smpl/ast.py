@@ -175,6 +175,18 @@ class SemanticPatchAST:
     def script_rules(self) -> list[ScriptRule]:
         return [r for r in self.rules if isinstance(r, ScriptRule)]
 
+    def guard_rule_names(self) -> frozenset[str]:
+        """Pure-match rules that exist to *suppress* other rules via
+        ``depends on !guard`` (the idempotence-guard idiom of the cookbook):
+        their matching means "nothing to do here", so callers deciding
+        whether the patch 'matched' (the CLI's exit status, notably) should
+        not count them."""
+        forbidden: set[str] = set()
+        for rule in self.rules:
+            forbidden.update(rule.dependencies.forbidden)
+        return frozenset(rule.name for rule in self.patch_rules()
+                         if rule.is_pure_match and rule.name in forbidden)
+
     @property
     def rule_names(self) -> list[str]:
         return [r.name for r in self.rules]

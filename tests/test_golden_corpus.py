@@ -1,0 +1,65 @@
+"""Golden regression corpus: expected unified diffs per cookbook patch.
+
+Every cookbook patch applied to its bundled example workload must produce
+*exactly* the checked-in diff under ``tests/golden/`` — engine refactors
+(driver, prefilter, cache, pipeline, matcher, printer...) can change how the
+work is orchestrated but never what a patch does to a tree.  The workloads
+are seeded generators, so the corpus is deterministic.
+
+To regenerate after an *intentional* transformation change::
+
+    PYTHONPATH=src python tests/test_golden_corpus.py --regen
+
+then review the corpus diff like any other code change.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+from test_prefilter import COOKBOOK_WORKLOADS, _cookbook_patch
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def _expected_diff(name: str) -> str:
+    """The diff the cookbook patch produces on its example workload today."""
+    workload = COOKBOOK_WORKLOADS[name]()
+    return _cookbook_patch(name).apply(workload).diff()
+
+
+@pytest.mark.parametrize("name", sorted(COOKBOOK_WORKLOADS))
+def test_cookbook_diff_matches_golden(name):
+    golden_path = GOLDEN_DIR / f"{name}.diff"
+    assert golden_path.exists(), \
+        f"missing golden file {golden_path}; run tests/test_golden_corpus.py --regen"
+    golden = golden_path.read_text(encoding="utf-8", errors="surrogateescape")
+    produced = _expected_diff(name)
+    assert produced == golden, (
+        f"cookbook patch {name!r} no longer produces its golden diff; if the "
+        f"transformation change is intentional, regenerate with "
+        f"'PYTHONPATH=src python tests/test_golden_corpus.py --regen' and "
+        f"review the corpus delta")
+
+
+def test_corpus_has_no_orphans():
+    """Every golden file corresponds to a cookbook patch (catch renames)."""
+    names = {path.stem for path in GOLDEN_DIR.glob("*.diff")}
+    assert names == set(COOKBOOK_WORKLOADS)
+
+
+def _regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name in sorted(COOKBOOK_WORKLOADS):
+        diff = _expected_diff(name)
+        assert diff, f"{name}: empty diff — patch/workload pairing broken"
+        (GOLDEN_DIR / f"{name}.diff").write_text(
+            diff, encoding="utf-8", errors="surrogateescape")
+        print(f"wrote golden/{name}.diff ({len(diff.splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    if "--regen" not in sys.argv:
+        sys.exit("usage: python tests/test_golden_corpus.py --regen")
+    _regenerate()

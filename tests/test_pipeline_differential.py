@@ -1,0 +1,154 @@
+"""Differential tests: PatchSet batch application vs sequential chaining.
+
+The pipeline's contract is that ``PatchSet([p1, ..., pn]).apply(cb)`` is
+*byte-identical* to ``pn.apply(...p1.transform(cb)...)`` — per patch: the
+same output texts **and** the same per-rule match reports, under every
+configuration (prefilter on/off x jobs 1/4).  The baseline below is the most
+vanilla sequential composition (serial, prefilter off == the seed engine
+semantics); every pipeline configuration is compared against it, which also
+proves the pipeline's own prefilter/jobs dimensions are behaviour-preserving.
+
+Subsets are chosen to be ordering-sensible: patches whose targets overlap or
+whose outputs feed the next patch (instrumented regions that then get
+cloned, unroll chains, CUDA->HIP after kernel-launch rewrites, ...), plus
+the whole 12-patch cookbook over a mixed tree.
+"""
+
+import pytest
+
+from repro import CodeBase, PatchSet
+
+from test_prefilter import _cookbook_patch
+
+
+# ---------------------------------------------------------------------------
+# workloads (kept tiny: every subset runs under 4 configurations)
+# ---------------------------------------------------------------------------
+
+def _mini(*parts) -> CodeBase:
+    from repro.workloads import (cuda_app, gadget, kokkos_exercise,
+                                 librsb_like, multiversion_app, openacc_app,
+                                 openmp_kernels, rawloops, unrolled)
+
+    generators = {
+        "omp": lambda: openmp_kernels.generate(n_files=1, kernels_per_file=2,
+                                               regions_per_file=2, seed=5),
+        "gadget": lambda: gadget.generate(n_files=1, loops_per_file=2,
+                                          grid_kernels_per_file=1, seed=5),
+        "cuda": lambda: cuda_app.generate(n_files=1, seed=5),
+        "acc": lambda: openacc_app.generate(n_files=1, loops_per_file=2, seed=5),
+        "raw": lambda: rawloops.generate(n_files=1, searches_per_file=2,
+                                         counters_per_file=1, seed=5),
+        "unroll": lambda: unrolled.generate(n_files=1, unrolled_per_file=1,
+                                            impostors_per_file=1, seed=5),
+        "mv": lambda: multiversion_app.generate(n_files=1, clone_sets_per_file=1,
+                                                seed=5),
+        "rsb": lambda: librsb_like.generate(n_files=1, seed=5),
+        "kokkos": lambda: kokkos_exercise.generate(n_files=1, seed=5),
+    }
+    files = {}
+    for part in parts:
+        for name, text in generators[part]().items():
+            files[f"{part}/{name}"] = text
+    return CodeBase.from_files(files)
+
+
+ALL_COOKBOOK = ["likwid_instrumentation", "declare_variant",
+                "target_multiversioning", "bloat_removal", "reroll_p0",
+                "reroll_p1r1", "mdspan_multiindex", "cuda_to_hip",
+                "acc_to_omp", "raw_loop_to_find", "kokkos_lambda",
+                "gcc_workaround"]
+
+#: subset name -> (patch names in order, workload parts)
+SUBSETS = {
+    # instrumented regions are then cloned into variants: insertion order
+    # affects what the cloning rules see
+    "instrument_then_clone": (["likwid_instrumentation", "declare_variant",
+                               "target_multiversioning"], ("omp",)),
+    # p0 strips unrolling pragmas that p1+r1's loop rewrite then matches
+    "unroll_chain": (["reroll_p0", "reroll_p1r1"], ("unroll",)),
+    # GPU translation chains over disjoint-but-interleaved files
+    "gpu_translation": (["cuda_to_hip", "acc_to_omp"], ("cuda", "acc")),
+    # cleanup patches whose guards/deps key off earlier output
+    "cleanup": (["bloat_removal", "gcc_workaround", "raw_loop_to_find"],
+                ("mv", "rsb", "raw")),
+    # the full 12-patch cookbook over a mixed tree
+    "full_cookbook": (ALL_COOKBOOK,
+                      ("omp", "gadget", "cuda", "acc", "raw", "unroll", "mv",
+                       "rsb", "kokkos")),
+}
+
+CONFIGS = [(True, 1), (False, 1), (True, 4), (False, 4)]
+
+
+def _sequential_baseline(patches, codebase):
+    """Chain ``patch.apply`` serially with the prefilter off — the seed
+    semantics every configuration must reproduce byte-for-byte."""
+    results = []
+    current = codebase
+    for patch in patches:
+        result = patch.apply(current, jobs=1, prefilter=False)
+        results.append(result)
+        current = CodeBase(files={name: fr.text
+                                  for name, fr in result.files.items()})
+    return results, current
+
+
+_BASELINES: dict = {}
+
+
+def _baseline_for(subset: str):
+    if subset not in _BASELINES:
+        names, parts = SUBSETS[subset]
+        patches = [_cookbook_patch(name) for name in names]
+        codebase = _mini(*parts)
+        results, final = _sequential_baseline(patches, codebase)
+        _BASELINES[subset] = (patches, codebase, results, final)
+    return _BASELINES[subset]
+
+
+@pytest.mark.parametrize("prefilter,jobs", CONFIGS,
+                         ids=[f"prefilter_{'on' if p else 'off'}-jobs{j}"
+                              for p, j in CONFIGS])
+@pytest.mark.parametrize("subset", sorted(SUBSETS))
+def test_pipeline_matches_sequential_composition(subset, prefilter, jobs):
+    patches, codebase, seq_results, seq_final = _baseline_for(subset)
+    pipeline_result = PatchSet(patches).apply(codebase, jobs=jobs,
+                                              prefilter=prefilter)
+
+    # per patch: same texts and same per-rule reports, file by file
+    assert len(pipeline_result.per_patch) == len(seq_results)
+    for patch_index, (seq_result, pipe_result) in enumerate(
+            zip(seq_results, pipeline_result.per_patch)):
+        assert set(pipe_result.files) == set(seq_result.files)
+        for filename in seq_result.files:
+            context = (subset, patch_index, filename)
+            assert pipe_result[filename].text == \
+                seq_result[filename].text, context
+            assert pipe_result[filename].rule_reports == \
+                seq_result[filename].rule_reports, context
+
+    # combined view: input order kept, final texts identical, matches add up
+    assert list(pipeline_result.files) == list(codebase.files)
+    for filename in codebase:
+        assert pipeline_result[filename].text == seq_final[filename]
+    assert pipeline_result.total_matches == \
+        sum(result.total_matches for result in seq_results)
+    # the pairing is meaningful: the subset actually transforms the workload
+    assert pipeline_result.total_matches > 0
+    assert pipeline_result.changed_files
+
+
+def test_transform_chaining_forwards_jobs_and_prefilter():
+    """Regression: ``SemanticPatch.transform`` used to drop ``jobs=`` /
+    ``prefilter=``; chaining through it must honour them and stay identical
+    to the default path."""
+    patches, codebase, _seq_results, seq_final = _baseline_for("unroll_chain")
+    current = codebase
+    for patch in patches:
+        current = patch.transform(current, jobs=2, prefilter=True)
+    assert current.files == seq_final.files
+
+    set_transformed = PatchSet(patches).transform(codebase, jobs=1,
+                                                  prefilter=True)
+    assert set_transformed.files == seq_final.files

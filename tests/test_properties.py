@@ -4,9 +4,10 @@ from __future__ import annotations
 
 import re
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import CodeBase, apply_patch
+from repro import CodeBase, apply_patch, workloads
 from repro.engine.edits import EditSet, PLACE_NEWLINE_AFTER
 from repro.eval import Interpreter
 from repro.lang import ast_nodes as A
@@ -150,12 +151,88 @@ class TestEngineProperties:
             return
         code = (f"void caller(void) {{ {old}(1); other_{old}(2); {old}(3); }}\n"
                 f'void strings(void) {{ log("{old}()"); }}\n')
-        patch = (f"@r@\nexpression list el;\n@@\n- {old}(el)\n+ {new}(el)\n")
+        # uppercase metavariable: the identifiers strategy only generates
+        # lowercase-led names, so old/new can never collide with it
+        patch = (f"@r@\nexpression list EL;\n@@\n- {old}(EL)\n+ {new}(EL)\n")
         result = apply_patch(patch, code)
         assert f"{new}(1)" in result.text and f"{new}(3)" in result.text
         assert f"other_{old}(2)" in result.text          # longer identifier untouched
         assert f'log("{old}()")' in result.text           # string literal untouched
         assert not re.search(rf"\b{old}\(1\)", result.text)
+
+    # -- parse -> print round-trip stability over every workload generator ---
+
+    WORKLOAD_GENERATORS = {
+        "cuda_app": lambda seed: workloads.cuda_app.generate(
+            n_files=1, seed=seed),
+        "gadget": lambda seed: workloads.gadget.generate(
+            n_files=1, loops_per_file=2, grid_kernels_per_file=2, seed=seed),
+        "kokkos_exercise": lambda seed: workloads.kokkos_exercise.generate(
+            n_files=1, seed=seed),
+        "librsb_like": lambda seed: workloads.librsb_like.generate(
+            n_files=1, seed=seed),
+        "multiversion_app": lambda seed: workloads.multiversion_app.generate(
+            n_files=1, clone_sets_per_file=2, seed=seed),
+        "openacc_app": lambda seed: workloads.openacc_app.generate(
+            n_files=1, loops_per_file=2, seed=seed),
+        "openmp_kernels": lambda seed: workloads.openmp_kernels.generate(
+            n_files=1, kernels_per_file=2, regions_per_file=2, seed=seed),
+        "rawloops": lambda seed: workloads.rawloops.generate(
+            n_files=1, searches_per_file=2, counters_per_file=1, seed=seed),
+        "unrolled": lambda seed: workloads.unrolled.generate(
+            n_files=1, unrolled_per_file=1, impostors_per_file=1, seed=seed),
+    }
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOAD_GENERATORS))
+    @given(seed=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=4, deadline=None)
+    def test_workload_parse_print_round_trip_is_stable(self, workload, seed):
+        """On every generated workload: printing a parse tree yields source
+        that re-parses to the same node structure, and printing is a fixpoint
+        (print(parse(print(parse(x)))) == print(parse(x)))."""
+        from repro.options import SpatchOptions
+
+        codebase = self.WORKLOAD_GENERATORS[workload](seed)
+        options = SpatchOptions(cxx=17) if workload == "kokkos_exercise" \
+            else SpatchOptions()
+        for name, text in codebase.items():
+            tree = parse_source(text, name, options=options)
+            printed = to_source(tree.unit)
+            reparsed = parse_source(printed, name, options=options)
+            assert [type(n).__name__ for n in A.walk(tree.unit)] == \
+                [type(n).__name__ for n in A.walk(reparsed.unit)], (workload, name)
+            assert to_source(reparsed.unit) == printed, (workload, name)
+
+    # -- cookbook idempotence ------------------------------------------------
+
+    @pytest.mark.parametrize("cookbook_name", [
+        "likwid_instrumentation", "declare_variant", "target_multiversioning",
+        "bloat_removal", "reroll_p0", "reroll_p1r1", "mdspan_multiindex",
+        "cuda_to_hip", "acc_to_omp", "raw_loop_to_find", "kokkos_lambda",
+        "gcc_workaround"])
+    def test_cookbook_patches_are_idempotent(self, cookbook_name):
+        """Re-applying a cookbook patch to its own output is a no-op: no file
+        changes and zero new matches from any transforming rule (pure-match
+        guard rules may fire — that is *how* the insertion patches detect
+        already-modernized files and stand down)."""
+        from test_prefilter import COOKBOOK_WORKLOADS, _cookbook_patch
+
+        workload = COOKBOOK_WORKLOADS[cookbook_name]()
+        patch = _cookbook_patch(cookbook_name)
+        first = patch.apply(workload)
+        assert first.total_matches > 0  # the pairing is meaningful
+        once = CodeBase(files={name: fr.text
+                               for name, fr in first.files.items()})
+        again = patch.apply(once)
+        assert not again.changed_files, \
+            f"{cookbook_name}: re-application edited " \
+            f"{[fr.filename for fr in again.changed_files]}"
+        transforming = [rule.name for rule in patch.ast.patch_rules()
+                        if not rule.is_pure_match]
+        re_matches = {rule: again.matches_of(rule) for rule in transforming
+                      if again.matches_of(rule)}
+        assert not re_matches, \
+            f"{cookbook_name}: transforming rules re-matched: {re_matches}"
 
     @given(st.integers(min_value=2, max_value=5), st.integers(min_value=1, max_value=3))
     @settings(max_examples=15, deadline=None)
