@@ -314,3 +314,82 @@ def test_q3_pipeline_vs_sequential_applies(benchmark):
          "work it shares by construction), byte-identical output",
          rows, columns=["path", "passes", "sessions", "matches", "seconds",
                         "speedup_vs_path"])
+
+
+# ---------------------------------------------------------------------------
+# Q3f — incremental re-application after a 1-file edit
+# ---------------------------------------------------------------------------
+
+@dataclass
+class IncrementalRow:
+    path: str
+    files: int
+    rerun: int
+    reused: int
+    matches: int
+    seconds: float
+    speedup_vs_cold: float
+
+
+def test_q3f_incremental_one_file_edit(benchmark):
+    """Acceptance: after editing 1 of 44 files, re-applying the
+    modernization patch set with ``since=prior_result`` beats a cold
+    pipeline pass >= 5x, with byte-identical texts and reports."""
+    codebase = mixed_workload(scale=1)
+    patches = modernization_patches()
+    patchset = PatchSet(patches)
+
+    edited_name = next(name for name in sorted(codebase) if
+                       name.startswith("omp/"))
+    edited_files = dict(codebase.files)
+    edited_files[edited_name] += ("\nvoid q3f_probe(int n) {\n"
+                                  "#pragma omp parallel\n"
+                                  "{\nint probe = n;\n}\n"
+                                  "}\n")
+
+    def compare():
+        DEFAULT_TREE_CACHE.clear()
+        prior = patchset.apply(codebase, jobs=1, prefilter=True)
+        # cold re-run over the edited tree (its own CodeBase: no shared
+        # token-index warm-up between the contenders)
+        DEFAULT_TREE_CACHE.clear()
+        started = time.perf_counter()
+        cold = patchset.apply(CodeBase.from_files(edited_files),
+                              jobs=1, prefilter=True)
+        cold_seconds = time.perf_counter() - started
+        DEFAULT_TREE_CACHE.clear()
+        started = time.perf_counter()
+        incremental = patchset.apply(CodeBase.from_files(edited_files),
+                                     jobs=1, prefilter=True, since=prior)
+        incremental_seconds = time.perf_counter() - started
+        return cold, cold_seconds, incremental, incremental_seconds
+
+    cold, cold_seconds, incremental, incremental_seconds = \
+        benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    # byte-identical to the cold pass, and the delta was really 1 file
+    assert _texts(incremental) == _texts(cold)
+    assert incremental.total_matches == cold.total_matches > 0
+    stats = incremental.incremental
+    assert stats.fallback is None
+    assert stats.files_rerun == 1
+    assert stats.files_reused == len(codebase) - 1
+
+    speedup = cold_seconds / incremental_seconds
+    assert speedup >= speedup_floor(5.0), \
+        f"expected >= 5x, measured {speedup:.2f}x"
+
+    rows = [
+        IncrementalRow("cold pipeline pass", len(codebase), len(codebase), 0,
+                       cold.total_matches, cold_seconds, 1.0),
+        IncrementalRow("incremental (1 file edited)", len(codebase),
+                       stats.files_rerun, stats.files_reused,
+                       incremental.total_matches, incremental_seconds,
+                       speedup),
+    ]
+    emit("Q3f incremental re-application (1 edited file in the mixed tree)",
+         "re-running only the content-changed file and splicing the other "
+         "43 cached results beats a cold pipeline pass >= 5x, "
+         "byte-identical output",
+         rows, columns=["path", "files", "rerun", "reused", "matches",
+                        "seconds", "speedup_vs_cold"])

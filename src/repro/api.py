@@ -78,6 +78,37 @@ class CodeBase:
             target.parent.mkdir(parents=True, exist_ok=True)
             target.write_text(text, encoding="utf-8", errors="surrogateescape")
 
+    def refresh_from_dir(self, path,
+                         suffixes: tuple[str, ...] = C_SUFFIXES,
+                         ) -> dict[str, list[str]]:
+        """Re-read a directory this code base was loaded from, applying only
+        the on-disk delta: new files are added, files whose contents differ
+        are updated, files gone from disk are removed (all through the
+        index-maintaining accessors, so the lazily built token index stays
+        exact and unchanged files keep their cached scans).  Returns the
+        delta as ``{"added": [...], "changed": [...], "removed": [...]}`` —
+        the edit-apply loop feeds it straight into an incremental run."""
+        root = pathlib.Path(path)
+        seen: set[str] = set()
+        added: list[str] = []
+        changed: list[str] = []
+        for entry in sorted(root.rglob("*")):
+            if entry.is_file() and entry.suffix in suffixes:
+                name = str(entry.relative_to(root))
+                seen.add(name)
+                text = entry.read_text(encoding="utf-8",
+                                       errors="surrogateescape")
+                if name not in self.files:
+                    self[name] = text
+                    added.append(name)
+                elif self.files[name] != text:
+                    self[name] = text
+                    changed.append(name)
+        removed = [name for name in self.files if name not in seen]
+        for name in removed:
+            del self[name]
+        return {"added": added, "changed": changed, "removed": removed}
+
     # -- dict-like access -----------------------------------------------------------
 
     def __getitem__(self, name: str) -> str:
@@ -87,6 +118,15 @@ class CodeBase:
         self.files[name] = text
         if self._token_index is not None:
             self._token_index.add(name, text)  # per-file update, keep the rest
+
+    def __delitem__(self, name: str) -> None:
+        """Remove a file, keeping the token index exact: a deletion through
+        ``files`` directly would leave the lazily built index answering
+        prefilter queries for a file that no longer exists (incremental mode
+        deletes through here when the tree shrinks)."""
+        del self.files[name]
+        if self._token_index is not None:
+            self._token_index.remove(name)
 
     def __contains__(self, name: str) -> bool:
         return name in self.files
@@ -268,13 +308,33 @@ class PatchSet:
                              names=self.patch_names,
                              jobs=jobs, prefilter=prefilter)
 
+    def incremental(self, *, jobs: "int | str" = 1, prefilter: bool = True):
+        """A fresh :class:`~repro.engine.incremental.IncrementalPipeline`
+        (one per run), for callers that drive ``run(files, since=...)``
+        themselves."""
+        from .engine.incremental import IncrementalPipeline
+
+        return IncrementalPipeline([patch.ast for patch in self.patches],
+                                   options=[patch.options
+                                            for patch in self.patches],
+                                   names=self.patch_names,
+                                   jobs=jobs, prefilter=prefilter)
+
     def apply(self, codebase: "CodeBase | dict[str, str]", *,
-              jobs: "int | str" = 1, prefilter: bool = True):
+              jobs: "int | str" = 1, prefilter: bool = True, since=None):
         """Apply every patch, in order, to a whole code base in one pass.
 
         Returns a :class:`~repro.engine.pipeline.PipelineResult`: a
         :class:`~repro.engine.report.PatchResult` for the combined
         transformation, with the per-patch results in ``per_patch``.
+
+        ``since`` — a prior ``PipelineResult`` from the *same* patch set and
+        options — switches to incremental re-application: only files whose
+        content hash changed since that result are re-run, the rest splice
+        their cached results (byte-identical to a cold run; see
+        :class:`~repro.engine.incremental.IncrementalPipeline`).  The
+        returned result carries the reuse breakdown in ``.incremental`` and
+        can seed the next ``since=`` in an edit-apply loop.
         """
         if isinstance(codebase, CodeBase):
             files = codebase.files
@@ -282,13 +342,18 @@ class PatchSet:
         else:
             files = dict(codebase)
             index = None
-        return self.pipeline(jobs=jobs, prefilter=prefilter) \
-            .run(files, token_index=index)
+        if since is None:
+            return self.pipeline(jobs=jobs, prefilter=prefilter) \
+                .run(files, token_index=index)
+        return self.incremental(jobs=jobs, prefilter=prefilter) \
+            .run(files, since=since, token_index=index)
 
     def transform(self, codebase: "CodeBase", *,
-                  jobs: "int | str" = 1, prefilter: bool = True) -> "CodeBase":
+                  jobs: "int | str" = 1, prefilter: bool = True,
+                  since=None) -> "CodeBase":
         """Apply the whole set and return the transformed code base."""
-        result = self.apply(codebase, jobs=jobs, prefilter=prefilter)
+        result = self.apply(codebase, jobs=jobs, prefilter=prefilter,
+                            since=since)
         return CodeBase(files={name: fr.text for name, fr in result.files.items()})
 
 

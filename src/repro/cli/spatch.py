@@ -8,7 +8,17 @@ Usage examples::
     repro-spatch --cookbook cuda_to_hip --jobs 4 src/cuda/    # built-in patch
     repro-spatch --sp-file a.cocci --sp-file b.cocci src/     # batch pipeline
     repro-spatch --cookbook full_modernization src/           # whole cookbook
+    repro-spatch --cookbook cuda_to_hip --incremental .state src/   # reuse
+    repro-spatch --sp-file a.cocci --watch --in-place src/    # edit-apply loop
     repro-spatch --list-cookbook
+
+``--incremental STATE_FILE`` persists the run's result (plus the parse-tree
+cache) and, on the next invocation with the *same* patches and options,
+re-runs only the files whose content hash changed — the rest splice their
+cached results, byte-identical to a cold run.  A state file from a
+different patch set or options degrades to a cold run, never to a wrong
+one.  ``--watch`` keeps the process alive, polling the targets
+(mtime+size, then content) and re-applying incrementally on every change.
 
 Mirrors the spatch options the paper's listings mention (``--c++[=N]``,
 ``--jobs``) plus a few conveniences (``--report``, ``--in-place``,
@@ -30,9 +40,10 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+import time
 
 from .. import __version__
-from ..api import CodeBase, PatchSet, SemanticPatch
+from ..api import C_SUFFIXES, CodeBase, PatchSet, SemanticPatch
 from ..options import SpatchOptions
 
 #: pseudo cookbook name expanding to the whole-cookbook pipeline preset
@@ -105,6 +116,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-prefilter", action="store_true",
                         help="disable the required-token prefilter and parse "
                              "every file")
+    parser.add_argument("--incremental", metavar="STATE_FILE", default=None,
+                        help="persist this run's result (and parse cache) to "
+                             "STATE_FILE and, when it already holds a prior "
+                             "run of the same patches and options, re-run "
+                             "only content-changed files")
+    parser.add_argument("--watch", action="store_true",
+                        help="stay alive after the first application: poll "
+                             "the targets for changes (mtime+size, then "
+                             "content) and re-apply incrementally")
+    parser.add_argument("--watch-interval", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="poll period for --watch (default 0.5s)")
+    parser.add_argument("--watch-polls", type=int, default=None, metavar="N",
+                        help="with --watch: exit once the targets have been "
+                             "quiet for N consecutive polls (default: run "
+                             "until interrupted)")
     parser.add_argument("--profile", action="store_true",
                         help="print a timing/skip-rate breakdown to stderr")
     parser.add_argument("--version", action="version",
@@ -122,7 +149,8 @@ def _nonguard_matches(patch: SemanticPatch, patch_result) -> int:
                if report.rule not in guards)
 
 
-def _load_codebase(targets: list[str]) -> tuple[CodeBase, dict[str, pathlib.Path]]:
+def _load_codebase(targets: list[str], missing_ok: bool = False,
+                   ) -> tuple[CodeBase, dict[str, pathlib.Path]]:
     files: dict[str, str] = {}
     paths: dict[str, pathlib.Path] = {}
     for target in targets:
@@ -139,11 +167,48 @@ def _load_codebase(targets: list[str]) -> tuple[CodeBase, dict[str, pathlib.Path
             files[str(path)] = path.read_text(encoding="utf-8",
                                               errors="surrogateescape")
             paths[str(path)] = path
-        else:
+        elif not missing_ok:  # a watch-loop rescan tolerates deleted targets
             print(f"repro-spatch: no such file or directory: {target}",
                   file=sys.stderr)
             raise SystemExit(2)
     return CodeBase.from_files(files), paths
+
+
+def _stat_targets(targets: list[str]) -> dict[str, tuple[int, int]]:
+    """``path -> (mtime_ns, size)`` for every watched source file: the cheap
+    first stage of change detection (content hashes decide what re-runs)."""
+    entries: dict[str, tuple[int, int]] = {}
+    for target in targets:
+        path = pathlib.Path(target)
+        candidates = (entry for entry in sorted(path.rglob("*"))
+                      if entry.is_file() and entry.suffix in C_SUFFIXES) \
+            if path.is_dir() else (path,)
+        for entry in candidates:
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue
+            entries[str(entry)] = (stat.st_mtime_ns, stat.st_size)
+    return entries
+
+
+def _refresh_codebase(codebase: CodeBase, paths: dict[str, pathlib.Path],
+                      targets: list[str]) -> list[str]:
+    """Fold the targets' on-disk state into ``codebase`` (through the
+    index-maintaining accessors) and return the names that actually changed
+    content — added, updated or removed."""
+    fresh, fresh_paths = _load_codebase(targets, missing_ok=True)
+    delta: list[str] = []
+    for name, text in fresh.items():
+        if name not in codebase or codebase[name] != text:
+            codebase[name] = text
+            delta.append(name)
+    for name in [name for name in codebase.names() if name not in fresh]:
+        del codebase[name]
+        delta.append(name)
+    paths.clear()
+    paths.update(fresh_paths)
+    return delta
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -184,14 +249,21 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     codebase, paths = _load_codebase(args.targets)
-    if len(patches) == 1:
-        result = patches[0].apply(codebase, jobs=args.jobs,
-                                  prefilter=not args.no_prefilter)
-        per_patch = [(patches[0], result)]
-    else:
-        result = PatchSet(patches).apply(codebase, jobs=args.jobs,
-                                         prefilter=not args.no_prefilter)
-        per_patch = list(zip(patches, result.per_patch))
+
+    # --incremental: a prior state seeds the run; a stale/foreign one is
+    # detected by the engine's fingerprint check and degrades to a cold run
+    since = None
+    if args.incremental:
+        from ..engine.cache import DEFAULT_TREE_CACHE
+        from ..engine.incremental import PipelineState
+
+        state = PipelineState.load(args.incremental)
+        if state is not None:
+            since = state.result
+            DEFAULT_TREE_CACHE.restore(state.cache_entries)
+
+    result, per_patch = _apply(patches, codebase, args, since)
+    _save_state(args, result)
 
     if args.report or args.verbose:
         summary = result.summary()
@@ -207,25 +279,124 @@ def main(argv: list[str] | None = None) -> int:
         print("# --- profile ---", file=sys.stderr)
         for line in result.stats.describe().splitlines():
             print(f"# {line}", file=sys.stderr)
+        if getattr(result, "incremental", None) is not None:
+            print(f"# {result.incremental.describe()}", file=sys.stderr)
 
     # guard-rule matches mean "already modernized, stood down", not "the
     # patch applied": they must not turn a no-op re-run into exit 0
     matched = any(_nonguard_matches(patch, patch_result) > 0
                   for patch, patch_result in per_patch)
 
+    rewritten = _emit_output(result, result.files, paths, args)
+    if not args.watch:
+        return 0 if matched else 1
+    _fold_rewrites(codebase, result, rewritten)
+    return _watch_loop(args, patches, codebase, paths, result, matched)
+
+
+def _apply(patches: list[SemanticPatch], codebase: CodeBase, args,
+           since=None):
+    """One application pass; incremental/watch runs always go through the
+    PatchSet pipeline so the result carries reuse records."""
+    if len(patches) == 1 and since is None and not (args.incremental
+                                                    or args.watch):
+        result = patches[0].apply(codebase, jobs=args.jobs,
+                                  prefilter=not args.no_prefilter)
+        return result, [(patches[0], result)]
+    result = PatchSet(patches).apply(codebase, jobs=args.jobs,
+                                     prefilter=not args.no_prefilter,
+                                     since=since)
+    return result, list(zip(patches, result.per_patch))
+
+
+def _save_state(args, result) -> None:
+    if not args.incremental or not hasattr(result, "records"):
+        return
+    from ..engine.cache import DEFAULT_TREE_CACHE
+    from ..engine.incremental import PipelineState
+
+    PipelineState(result=result,
+                  cache_entries=DEFAULT_TREE_CACHE.snapshot()) \
+        .save(args.incremental)
+
+
+def _emit_output(result, names, paths, args) -> list[str]:
+    """Write the per-file outcomes: rewrite in place (returning the names
+    rewritten), or print the unified diff of ``names`` (a watch round only
+    shows the files it touched)."""
+    rewritten: list[str] = []
     if args.in_place:
-        for name, file_result in result.files.items():
-            if file_result.changed and name in paths:
+        for name in names:
+            file_result = result.files.get(name)
+            if file_result is not None and file_result.changed \
+                    and name in paths:
                 paths[name].write_text(file_result.text, encoding="utf-8",
                                        errors="surrogateescape")
                 print(f"rewrote {name}", file=sys.stderr)
-        return 0 if matched else 1
-
-    diff = result.diff()
+                rewritten.append(name)
+        return rewritten
+    diff = "".join(result.files[name].diff() for name in names
+                   if name in result.files)
     if diff:
         # escaped bytes from surrogateescape reads are not printable; show
         # them as replacement characters without touching the real files
         sys.stdout.write(diff.encode("utf-8", "replace").decode("utf-8"))
+    return rewritten
+
+
+def _fold_rewrites(codebase: CodeBase, result, rewritten: list[str]) -> None:
+    """Fold our own in-place rewrites into the watch baseline *from memory*
+    (we know exactly what we wrote): the next poll then sees our output as
+    unchanged, while an external edit racing in — even to the same file —
+    still differs from the baseline and re-runs.  Re-reading the whole tree
+    here instead would swallow any edit that landed since the stat sweep.
+
+    The prior result's records still hash the rewrites' *inputs*, so the
+    next triggered round re-runs the folded files once over their rewritten
+    text — exactly what a cold in-place re-invocation would do: a no-op for
+    idempotent patches (all of the cookbook), a re-application for
+    non-idempotent ones, though only files in that round's delta are ever
+    written back.  From then on the records hold the rewritten hashes and
+    the files splice."""
+    for name in rewritten:
+        codebase[name] = result.files[name].text
+
+
+def _watch_loop(args, patches: list[SemanticPatch], codebase: CodeBase,
+                paths: dict[str, pathlib.Path], result, matched: bool) -> int:
+    """Poll the targets and re-apply incrementally on every content change.
+
+    Change detection is two-staged: a cheap stat sweep (mtime_ns + size)
+    gates the re-read, and the engine's content hashes decide which files
+    actually re-run — a ``touch`` without a content change re-runs nothing.
+    With ``--watch-polls N`` the loop exits after N consecutive quiet polls
+    (the testing/scripting hook); by default it runs until interrupted.
+    """
+    stats_before = _stat_targets(args.targets)
+    quiet_polls = 0
+    while args.watch_polls is None or quiet_polls < args.watch_polls:
+        time.sleep(max(args.watch_interval, 0.01))
+        stats_now = _stat_targets(args.targets)
+        if stats_now == stats_before:
+            quiet_polls += 1
+            continue
+        stats_before = stats_now
+        quiet_polls = 0
+        delta = _refresh_codebase(codebase, paths, args.targets)
+        if not delta:
+            continue  # e.g. a touch that left the contents identical
+        result, per_patch = _apply(patches, codebase, args, since=result)
+        _save_state(args, result)
+        inc = result.incremental
+        print(f"# watch: {inc.files_changed} changed + {inc.files_added} "
+              f"added re-run, {inc.files_reused} reused, "
+              f"{inc.files_dropped} dropped -> "
+              f"{result.total_matches} match(es)", file=sys.stderr)
+        matched = matched or any(_nonguard_matches(patch, patch_result) > 0
+                                 for patch, patch_result in per_patch)
+        rewritten = _emit_output(result, [n for n in delta
+                                          if n in result.files], paths, args)
+        _fold_rewrites(codebase, result, rewritten)
     return 0 if matched else 1
 
 

@@ -13,13 +13,15 @@ from .matcher import Correspondence, Matcher, MatchInstance, MState
 from .transform import Transformer, FreshNameRegistry
 from .scripting import CocciHelpers, ScriptRunner, TaggedValue
 from .report import FileResult, PatchResult, RuleReport
-from .cache import DEFAULT_TREE_CACHE, TreeCache
+from .cache import DEFAULT_TREE_CACHE, TreeCache, content_sha1
 from .session import FileSession
 from .prefilter import PatchPrefilter, TokenIndex, required_tokens, scan_token_set
 from .engine import Engine
 from .driver import Driver, DriverStats, resolve_jobs
-from .pipeline import (PatchPipeline, PipelinePrefilter, PipelineResult,
-                       PipelineStats)
+from .pipeline import (FileRecord, PatchPipeline, PipelinePrefilter,
+                       PipelineResult, PipelineStats, patchset_fingerprint)
+from .incremental import (IncrementalPipeline, IncrementalStats,
+                          PipelineState)
 
 __all__ = [
     "BoundValue", "Env", "Position", "EMPTY_ENV",
@@ -28,10 +30,12 @@ __all__ = [
     "Transformer", "FreshNameRegistry",
     "CocciHelpers", "ScriptRunner", "TaggedValue",
     "FileResult", "PatchResult", "RuleReport",
-    "DEFAULT_TREE_CACHE", "TreeCache",
+    "DEFAULT_TREE_CACHE", "TreeCache", "content_sha1",
     "FileSession",
     "PatchPrefilter", "TokenIndex", "required_tokens", "scan_token_set",
     "Engine",
     "Driver", "DriverStats", "resolve_jobs",
-    "PatchPipeline", "PipelinePrefilter", "PipelineResult", "PipelineStats",
+    "FileRecord", "PatchPipeline", "PipelinePrefilter", "PipelineResult",
+    "PipelineStats", "patchset_fingerprint",
+    "IncrementalPipeline", "IncrementalStats", "PipelineState",
 ]

@@ -11,17 +11,49 @@ options.
 The cache key is ``(filename, sha1(text), options)``: the filename matters
 because diagnostics embedded in the tree carry it, and the (frozen, hashable)
 options matter because they change how the front end disambiguates.
+
+Two callers racing on the same key are deduplicated: the first one parses
+while the others wait on a per-key in-flight marker, so a tree is never built
+twice and the hit/miss counters stay exact (one miss per unique parse, one
+hit per answered caller).  The cache can also be persisted (:meth:`save` /
+:meth:`load`): content-hash keys stay valid across processes, which lets
+repeated CLI invocations skip parsing files they have seen before.
 """
 
 from __future__ import annotations
 
 import hashlib
+import pickle
 import threading
 from collections import OrderedDict
 from typing import Optional
 
 from ..lang.parser import ParseTree, parse_source
 from ..options import SpatchOptions
+
+#: format tag for persisted caches; bump on incompatible layout changes
+_PERSIST_VERSION = 1
+
+
+def content_sha1(text: str) -> str:
+    """The content hash every cache/incremental layer keys on.
+
+    ``surrogatepass`` keeps lone surrogates from ``surrogateescape`` file
+    loading hashable, so byte-identical non-UTF-8 files hash identically.
+    """
+    return hashlib.sha1(text.encode("utf-8", "surrogatepass")).hexdigest()
+
+
+class _InFlight:
+    """One racing parse: the owner fills ``tree``/``error`` and sets the
+    event; waiters block on it instead of re-parsing the same text."""
+
+    __slots__ = ("event", "tree", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.tree: Optional[ParseTree] = None
+        self.error: Optional[BaseException] = None
 
 
 class TreeCache:
@@ -30,14 +62,14 @@ class TreeCache:
     def __init__(self, max_entries: int = 512):
         self.max_entries = max_entries
         self._entries: "OrderedDict[tuple, ParseTree]" = OrderedDict()
+        self._inflight: dict[tuple, _InFlight] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     @staticmethod
     def _key(text: str, name: str, options: SpatchOptions) -> tuple:
-        digest = hashlib.sha1(text.encode("utf-8", "surrogatepass")).hexdigest()
-        return (name, digest, options)
+        return (name, content_sha1(text), options)
 
     def get_or_parse(self, text: str, name: str,
                      options: SpatchOptions) -> ParseTree:
@@ -49,14 +81,43 @@ class TreeCache:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 return tree
-            self.misses += 1
-        tree = parse_source(text, name=name, options=options, tolerant=True)
+            inflight = self._inflight.get(key)
+            if inflight is None:
+                inflight = self._inflight[key] = _InFlight()
+                owner = True
+            else:
+                owner = False
+        if not owner:
+            # someone else is parsing this exact key right now: wait for
+            # their tree instead of building a duplicate
+            inflight.event.wait()
+            if inflight.error is not None:
+                raise inflight.error
+            with self._lock:
+                self.hits += 1
+            return inflight.tree
+        try:
+            tree = parse_source(text, name=name, options=options, tolerant=True)
+        except BaseException as exc:
+            with self._lock:
+                del self._inflight[key]
+            inflight.error = exc
+            inflight.event.set()
+            raise
         with self._lock:
-            self._entries[key] = tree
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+            self.misses += 1
+            self._store(key, tree)
+            del self._inflight[key]
+        inflight.tree = tree
+        inflight.event.set()
         return tree
+
+    def _store(self, key: tuple, tree: ParseTree) -> None:
+        """Insert under the lock, evicting least-recently-used overflow."""
+        self._entries[key] = tree
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
 
     def clear(self) -> None:
         with self._lock:
@@ -70,6 +131,48 @@ class TreeCache:
     def stats(self) -> tuple[int, int]:
         """``(hits, misses)`` counters since construction/clear."""
         return self.hits, self.misses
+
+    # -- persistence ----------------------------------------------------------
+
+    def snapshot(self) -> list[tuple[tuple, ParseTree]]:
+        """The ``(key, tree)`` entries in LRU order (oldest first), for
+        embedding in a larger persisted state (``--incremental``'s file)."""
+        with self._lock:
+            return list(self._entries.items())
+
+    def restore(self, entries) -> int:
+        """Merge ``snapshot()``-shaped entries into this cache; returns how
+        many were merged (the LRU bound still applies)."""
+        with self._lock:
+            for key, tree in entries:
+                self._store(key, tree)
+        return len(entries)
+
+    def save(self, path) -> int:
+        """Pickle the ``(name, sha1, options) → tree`` entries to ``path``
+        (LRU order preserved); returns the number of entries written."""
+        entries = self.snapshot()
+        payload = {"version": _PERSIST_VERSION, "entries": entries}
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        return len(entries)
+
+    def load(self, path) -> int:
+        """Merge entries persisted by :meth:`save` into this cache; returns
+        how many were loaded.  Unreadable or version-mismatched files load
+        nothing (a stale cache must never break an application run)."""
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if payload.get("version") != _PERSIST_VERSION:
+                return 0
+            entries = payload["entries"]
+        except Exception:
+            # pickle failures surface as UnpicklingError, ValueError,
+            # EOFError, AttributeError/ImportError (renamed classes), ... —
+            # a stale cache must degrade to re-parsing, never break the run
+            return 0
+        return self.restore(entries)
 
 
 #: process-wide cache shared by drivers unless a caller supplies its own

@@ -163,11 +163,27 @@ def _worker_apply(batch: list[tuple[str, str, Optional[frozenset[str]]]]
 
 def run_fork_pool(items: list, jobs: int, initializer, initargs, worker) -> list:
     """Fan ``items`` out over ``jobs`` forked worker processes in batches and
-    return the concatenated per-item results (shared by :class:`Driver` and
-    :class:`~repro.engine.pipeline.PatchPipeline`).  A few batches per worker
-    so an expensive item does not serialise the tail, while keeping per-task
-    pickling overhead low."""
+    return the concatenated per-item results (shared by :class:`Driver`,
+    :class:`~repro.engine.pipeline.PatchPipeline` and
+    :class:`~repro.engine.incremental.IncrementalPipeline`).  A few batches
+    per worker so an expensive item does not serialise the tail, while
+    keeping per-task pickling overhead low.
+
+    Degenerate inputs never pay fork cost: an empty ``items`` answers
+    immediately and a single item (or ``jobs <= 1``) runs in-process — the
+    initializer builds the same fresh per-worker state it would in a forked
+    child, just in this process.  The established callers already route
+    such inputs to their serial paths before reaching here (that is how
+    one-file incremental deltas avoid forking), so this is a guarantee for
+    new callers, not a hot path.
+    """
     from concurrent.futures import ProcessPoolExecutor
+
+    if not items:
+        return []
+    if len(items) == 1 or jobs <= 1:
+        initializer(*initargs)
+        return list(worker(items))
 
     ctx = multiprocessing.get_context("fork")
     batch_size = max(1, math.ceil(len(items) / (jobs * 4)))

@@ -1,0 +1,288 @@
+"""Incremental re-application: re-run only what changed since the last run.
+
+A cold :class:`~repro.engine.pipeline.PatchPipeline` pass pays for soundness
+once per invocation — every file is token-scanned and every surviving file's
+sessions re-run, even when one file changed since the last run.  In an
+edit-apply loop (``--watch``, repeated CLI invocations over a mostly-stable
+tree) almost all of that work reproduces results that are already known.
+
+:class:`IncrementalPipeline` exploits the one fact that makes reuse sound:
+per file, the pipeline is a *pure function of that file's input text* (given
+a fixed patch list and options).  Sessions never read other files, per-patch
+engines are rebuilt identically each run, and prefilter decisions are
+deterministic functions of the file's token set.  So given a prior
+:class:`~repro.engine.pipeline.PipelineResult` and the current files:
+
+* files whose content hash equals the hash recorded in the prior result's
+  :class:`~repro.engine.pipeline.FileRecord` **splice**: their cached
+  :class:`~repro.engine.report.FileResult`\\ s (combined and per patch) are
+  copied into the fresh result, and their recorded coverage contributions
+  reconstruct the skip/gate counters a cold run would report;
+* changed and added files **re-run** through the pipeline's own
+  plan/apply machinery (token scan, union prefilter, serial or fork-pool
+  application) — exactly the path a cold run would take for them;
+* files present in the prior result but gone from the input are **dropped**.
+
+The output is byte-identical to a cold ``PatchPipeline.run`` over the
+current files: same texts, same per-rule reports, same per-patch stats
+modulo timing.  Two caveats gate the fast path (both fall back to a cold
+run rather than silently changing meaning):
+
+* the prior result must carry reuse records and a matching patch-set
+  fingerprint — a changed patch list or options invalidates everything;
+* a patch combining per-file ``script:python`` rules with a ``finalize``
+  rule may aggregate state across *all* files; replaying only the changed
+  ones would feed its finalize a partial view.
+
+``initialize``/``finalize`` script rules still run exactly once per patch
+per invocation, mirroring the cold pipeline (their diagnostics are fresh,
+not spliced).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..options import SpatchOptions
+from ..smpl.ast import SemanticPatchAST
+from .cache import TreeCache, content_sha1
+from .driver import parallel_preserves_semantics
+from .pipeline import (FileRecord, PatchPipeline, PipelineResult,
+                       PipelineStats)
+from .prefilter import TokenIndex
+
+#: format tag for persisted pipeline states; bump on incompatible changes
+_STATE_VERSION = 1
+
+
+@dataclass
+class IncrementalStats:
+    """How much of the prior result an incremental run could reuse."""
+
+    files_total: int = 0
+    #: hash-unchanged files whose cached results were spliced in
+    files_reused: int = 0
+    #: files re-run because their content hash changed
+    files_changed: int = 0
+    #: files re-run because the prior result had never seen them
+    files_added: int = 0
+    #: prior-result files absent from the current input
+    files_dropped: int = 0
+    #: why the run degraded to a cold pipeline pass (``None`` = incremental)
+    fallback: Optional[str] = None
+    hash_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    @property
+    def files_rerun(self) -> int:
+        return self.files_changed + self.files_added
+
+    @property
+    def reuse_rate(self) -> float:
+        return self.files_reused / self.files_total if self.files_total else 0.0
+
+    def describe(self) -> str:
+        if self.fallback is not None:
+            return (f"incremental: fell back to a cold run ({self.fallback}); "
+                    f"{self.files_total} file(s) processed")
+        return (f"incremental: {self.files_reused} reused ({self.reuse_rate:.0%}), "
+                f"{self.files_changed} changed + {self.files_added} added "
+                f"re-run, {self.files_dropped} dropped  "
+                f"hash: {self.hash_seconds:.3f}s  total: {self.total_seconds:.3f}s")
+
+
+class IncrementalPipeline:
+    """Applies an ordered patch list to a code base, reusing a prior
+    :class:`~repro.engine.pipeline.PipelineResult` for every file whose
+    content hash is unchanged (see the module docstring for the semantics).
+
+    Constructed like a :class:`~repro.engine.pipeline.PatchPipeline`; the
+    one new entry point is ``run(files, since=prior_result)``.
+    """
+
+    def __init__(self, patches: Sequence[SemanticPatchAST],
+                 options: Optional[Sequence[Optional[SpatchOptions]]] = None, *,
+                 names: Optional[Sequence[str]] = None,
+                 jobs: "int | str" = 1, prefilter: bool = True,
+                 tree_cache: Optional[TreeCache] = None):
+        self.pipeline = PatchPipeline(patches, options, names=names,
+                                      jobs=jobs, prefilter=prefilter,
+                                      tree_cache=tree_cache)
+
+    @property
+    def fingerprint(self) -> str:
+        return self.pipeline.fingerprint
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, files: dict[str, str],
+            since: Optional[PipelineResult] = None,
+            token_index: Optional[TokenIndex] = None) -> PipelineResult:
+        """Apply every patch to ``{filename: text}``, splicing ``since``'s
+        cached per-file results wherever the content hash is unchanged."""
+        started = time.perf_counter()
+        pipeline = self.pipeline
+        incremental = IncrementalStats(files_total=len(files))
+
+        reason = self._fallback_reason(since)
+        if reason is not None:
+            incremental.fallback = reason
+            incremental.files_changed = len(files)
+            result = pipeline.run(files, token_index=token_index)
+            incremental.total_seconds = time.perf_counter() - started
+            result.incremental = incremental
+            return result
+
+        # ---- diff: which files does the prior result still answer
+        hash_started = time.perf_counter()
+        reused: dict[str, FileRecord] = {}
+        rerun: dict[str, str] = {}
+        for name, text in files.items():
+            record = since.records.get(name)
+            if record is not None and record.sha1 == content_sha1(text):
+                reused[name] = record
+                incremental.files_reused += 1
+            else:
+                rerun[name] = text
+                if record is None:
+                    incremental.files_added += 1
+                else:
+                    incremental.files_changed += 1
+        incremental.files_dropped = sum(1 for name in since.records
+                                        if name not in files)
+        incremental.hash_seconds = time.perf_counter() - hash_started
+
+        # ---- re-run the delta through the pipeline's own machinery
+        stats = pipeline.stats = PipelineStats(
+            patches=len(pipeline.patches), files_total=len(files),
+            prefilter=pipeline.prefilter_enabled,
+            jobs_requested=pipeline.jobs_requested)
+        cache_hits0, cache_misses0 = pipeline.tree_cache.stats()
+        outcomes, skipped = pipeline._plan_and_apply(rerun, token_index, stats)
+        if files and not rerun:
+            # a cold run over a non-empty code base runs initialize rules
+            # even when the prefilter skips everything; keep the state the
+            # finalize rules observe identical
+            for engine in pipeline.engines:
+                engine._run_initialize_rules()
+
+        # ---- assemble in input order: splice or take the fresh outcome
+        result, per_patch_stats = pipeline._fresh_result(len(files),
+                                                         stats.jobs_used)
+        for name, text in files.items():
+            if name in reused:
+                self._assemble_reused(result, per_patch_stats, stats,
+                                      name, reused[name], since)
+            elif name in skipped:
+                pipeline._assemble_skipped(result, per_patch_stats, stats,
+                                           name, text)
+            else:
+                pipeline._assemble_outcome(result, per_patch_stats, stats,
+                                           name, text, outcomes[name])
+
+        pipeline._run_finalize(result, per_patch_stats)
+
+        if stats.jobs_used == 1:
+            cache_hits1, cache_misses1 = pipeline.tree_cache.stats()
+            stats.cache_hits = cache_hits1 - cache_hits0
+            stats.cache_misses = cache_misses1 - cache_misses0
+        stats.total_seconds = time.perf_counter() - started
+        incremental.total_seconds = time.perf_counter() - started
+        result.stats = stats
+        result.incremental = incremental
+        return result
+
+    # -- internals ------------------------------------------------------------
+
+    def _fallback_reason(self, since: Optional[PipelineResult]) -> Optional[str]:
+        """Why ``since`` cannot seed this run (``None`` when it can)."""
+        if since is None:
+            return "no prior result"
+        if not isinstance(since, PipelineResult):
+            return "prior result is not a pipeline result"
+        if since.fingerprint != self.pipeline.fingerprint:
+            return "patch set or options changed since the prior result"
+        if not since.records:
+            return "prior result carries no reuse records"
+        # texts and reports are prefilter-independent, but the coverage
+        # counters (files_skipped / rules_gated) a spliced record would
+        # reconstruct are not; a toggled prefilter must re-run cold so the
+        # stats match what this mode's cold run reports
+        prior_prefilter = getattr(since.stats, "prefilter", None)
+        if prior_prefilter != self.pipeline.prefilter_enabled:
+            return "prefilter setting changed since the prior result"
+        for patch, options in zip(self.pipeline.patches, self.pipeline.options):
+            if not parallel_preserves_semantics(patch, options):
+                return ("a patch aggregates per-file script state into a "
+                        "finalize rule; partial replay would skew it")
+        return None
+
+    def _assemble_reused(self, result: PipelineResult,
+                         per_patch_stats, stats: PipelineStats,
+                         name: str, record: FileRecord,
+                         since: PipelineResult) -> None:
+        """Splice one hash-unchanged file's cached results into ``result``,
+        reconstructing its exact contribution to the coverage counters."""
+        for index, patch_result in enumerate(result.per_patch):
+            patch_result.files[name] = since.per_patch[index].files[name].copy()
+            if not record.ran[index]:
+                per_patch_stats[index].files_skipped += 1
+            per_patch_stats[index].rules_gated += record.rules_gated[index]
+        result.files[name] = since.files[name].copy()
+        result.records[name] = record
+        if record.skipped:
+            stats.files_skipped += 1
+        stats.sessions_run += sum(record.ran)
+        stats.sessions_gated += len(record.ran) - sum(record.ran)
+        stats.rules_gated += sum(record.rules_gated)
+
+
+# ---------------------------------------------------------------------------
+# persistence: the CLI's --incremental STATE_FILE
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PipelineState:
+    """What ``--incremental STATE_FILE`` persists between CLI invocations:
+    the prior result (with its reuse records and patch-set fingerprint) and,
+    optionally, the parse-tree cache entries, so a repeated invocation skips
+    both re-application *and* re-parsing."""
+
+    result: PipelineResult
+    #: ``TreeCache.snapshot()`` entries; content-hash keys stay valid across
+    #: processes
+    cache_entries: list = field(default_factory=list)
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        return self.result.fingerprint
+
+    def save(self, path) -> None:
+        payload = {"version": _STATE_VERSION, "result": self.result,
+                   "cache_entries": self.cache_entries}
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path) -> "Optional[PipelineState]":
+        """The persisted state, or ``None`` when the file is missing,
+        unreadable or from an incompatible version — a stale state file must
+        degrade to a cold run, never break the invocation."""
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if payload.get("version") != _STATE_VERSION:
+                return None
+            result = payload["result"]
+            if not isinstance(result, PipelineResult):
+                return None
+            return cls(result=result,
+                       cache_entries=list(payload.get("cache_entries", [])))
+        except Exception:
+            # pickle failures surface as UnpicklingError, ValueError,
+            # EOFError, AttributeError/ImportError (renamed classes), ... —
+            # the contract is "degrade, never break", so catch them all
+            return None

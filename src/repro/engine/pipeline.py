@@ -43,6 +43,7 @@ back to serial application rather than silently changing their meaning.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import time
 from dataclasses import dataclass, field
@@ -50,7 +51,7 @@ from typing import Optional, Sequence
 
 from ..options import SpatchOptions
 from ..smpl.ast import SemanticPatchAST
-from .cache import DEFAULT_TREE_CACHE, TreeCache
+from .cache import DEFAULT_TREE_CACHE, TreeCache, content_sha1
 from .driver import (DriverStats, ast_from_payload, has_per_file_scripts,
                      parallel_preserves_semantics, patch_payload, resolve_jobs,
                      run_fork_pool)
@@ -111,6 +112,44 @@ class PipelineStats:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class FileRecord:
+    """Per-file reuse metadata a pipeline run leaves behind.
+
+    Enough to splice this file's cached results into a later incremental
+    run *and* reconstruct its exact contribution to the coverage counters
+    (``files_skipped`` / ``sessions_run`` / ``rules_gated``), so an
+    incremental result's stats match a cold run's modulo timing.
+    """
+
+    #: content hash of the *input* text this file's results were computed
+    #: from; reuse is sound only while the current text hashes the same
+    sha1: str
+    #: True when no patch needed a session (whole-pipeline prefilter skip)
+    skipped: bool
+    #: per patch: whether a session actually ran
+    ran: tuple[bool, ...]
+    #: per patch: rule applications the prefilter gated for this file
+    rules_gated: tuple[int, ...]
+
+
+def patchset_fingerprint(patches: Sequence[SemanticPatchAST],
+                         options: Sequence[SpatchOptions],
+                         names: Sequence[str]) -> str:
+    """Identity of an (ordered) patch list + options, for deciding whether a
+    prior result may seed an incremental run.  Keyed on each patch's source
+    text (its AST repr when it was built programmatically), its name and its
+    options — anything that can change what a patch does to a file."""
+    digest = hashlib.sha1()
+    for patch, opts, name in zip(patches, options, names):
+        source = patch.source_text or repr(patch)
+        for part in (name, source, repr(opts)):
+            digest.update(part.encode("utf-8", "surrogatepass"))
+            digest.update(b"\x00")
+        digest.update(b"\x01")
+    return digest.hexdigest()
+
+
 @dataclass
 class PipelineResult(PatchResult):
     """The outcome of applying a :class:`PatchPipeline` to a code base.
@@ -129,11 +168,27 @@ class PipelineResult(PatchResult):
     #: one :class:`PatchResult` per patch; its files' ``original_text`` is
     #: the text *that patch* saw (i.e. the previous patch's output)
     per_patch: list[PatchResult] = field(default_factory=list)
+    #: per-file reuse metadata (see :class:`FileRecord`); bookkeeping, not
+    #: part of the semantic outcome, so excluded from equality
+    records: dict[str, FileRecord] = field(default_factory=dict,
+                                           compare=False, repr=False)
+    #: fingerprint of the patch list + options that produced this result
+    #: (see :func:`patchset_fingerprint`); ``None`` on legacy results
+    fingerprint: Optional[str] = field(default=None, compare=False, repr=False)
+    #: how an incremental run reused this result's predecessor (an
+    #: ``IncrementalStats``); ``None`` on cold runs
+    incremental: object = field(default=None, compare=False, repr=False)
 
     def result_for(self, patch: "int | str") -> PatchResult:
         """The per-patch result, by position or (first matching) name."""
         if isinstance(patch, str):
-            patch = self.patch_names.index(patch)
+            try:
+                patch = self.patch_names.index(patch)
+            except ValueError:
+                raise KeyError(
+                    f"no patch named {patch!r} in this result; available: "
+                    f"{', '.join(map(repr, self.patch_names)) or '(none)'}") \
+                    from None
         return self.per_patch[patch]
 
     def per_patch_summary(self) -> list[dict]:
@@ -288,6 +343,11 @@ class PatchPipeline:
         self.engines = [Engine(patch, options=opts, tree_cache=self.tree_cache)
                         for patch, opts in zip(self.patches, self.options)]
         self.prefilter = PipelinePrefilter(self.patches) if prefilter else None
+        self.fingerprint = patchset_fingerprint(self.patches, self.options,
+                                                self.names)
+        # fixed after construction; the assemble path reads it per file
+        self._n_rules_per_patch = [len(patch.patch_rules())
+                                   for patch in self.patches]
         self.stats = PipelineStats()
 
     # -- public API -----------------------------------------------------------
@@ -296,12 +356,44 @@ class PatchPipeline:
             token_index: Optional[TokenIndex] = None) -> PipelineResult:
         """Apply every patch, in order, to ``{filename: text}``."""
         started = time.perf_counter()
-        n_patches = len(self.patches)
         stats = self.stats = PipelineStats(
-            patches=n_patches, files_total=len(files),
+            patches=len(self.patches), files_total=len(files),
             prefilter=self.prefilter_enabled,
             jobs_requested=self.jobs_requested)
         cache_hits0, cache_misses0 = self.tree_cache.stats()
+
+        outcomes, skipped = self._plan_and_apply(files, token_index, stats)
+
+        # ---- assemble in input order
+        result, per_patch_stats = self._fresh_result(len(files), stats.jobs_used)
+        for name, text in files.items():
+            if name in skipped:
+                self._assemble_skipped(result, per_patch_stats, stats,
+                                       name, text)
+            else:
+                self._assemble_outcome(result, per_patch_stats, stats,
+                                       name, text, outcomes[name])
+
+        self._run_finalize(result, per_patch_stats)
+
+        if stats.jobs_used == 1:
+            cache_hits1, cache_misses1 = self.tree_cache.stats()
+            stats.cache_hits = cache_hits1 - cache_hits0
+            stats.cache_misses = cache_misses1 - cache_misses0
+        stats.total_seconds = time.perf_counter() - started
+        result.stats = stats
+        return result
+
+    # -- run() building blocks (shared with IncrementalPipeline) --------------
+
+    def _plan_and_apply(self, files: dict[str, str],
+                        token_index: Optional[TokenIndex],
+                        stats: PipelineStats,
+                        ) -> tuple[dict[str, _FileOutcome], set[str]]:
+        """Token-scan ``files``, run the surviving sessions (serial or over
+        worker processes) and return ``(outcomes, whole-skipped names)``.
+        Updates the scan/apply timing, skip and jobs fields of ``stats``."""
+        n_patches = len(self.patches)
 
         # ---- plan: which files could any patch possibly touch
         work: list[tuple[str, str, Optional[frozenset[str]]]] = []
@@ -342,63 +434,77 @@ class PatchPipeline:
                                                      name, text, tokens)
                         for name, text, tokens in work}
         stats.apply_seconds = time.perf_counter() - apply_started
+        return outcomes, skipped
 
-        # ---- assemble in input order
+    def _fresh_result(self, n_files: int, jobs_used: int,
+                      ) -> tuple[PipelineResult, list[DriverStats]]:
+        """An empty result plus per-patch coverage counters, shaped like a
+        sequential Driver run's stats (timing is not broken out per patch —
+        the pass is shared)."""
         result = PipelineResult(
             patch_names=list(self.names),
-            per_patch=[PatchResult() for _ in self.patches])
-        n_rules_per_patch = [len(patch.patch_rules()) for patch in self.patches]
-        # per-patch coverage counters, shaped like a sequential Driver run's
-        # stats (timing is not broken out per patch — the pass is shared)
+            per_patch=[PatchResult() for _ in self.patches],
+            fingerprint=self.fingerprint)
         per_patch_stats = [
-            DriverStats(files_total=len(files), prefilter=self.prefilter_enabled,
+            DriverStats(files_total=n_files, prefilter=self.prefilter_enabled,
                         jobs_requested=self.jobs_requested, jobs_used=jobs_used)
             for _ in self.patches]
-        for name, text in files.items():
-            if name in skipped:
-                # fresh FileResult per view: sequential composition hands out
-                # independent objects, so mutating one must not leak
-                for index, patch_result in enumerate(result.per_patch):
-                    patch_result.files[name] = FileResult(
-                        filename=name, original_text=text, text=text)
-                    per_patch_stats[index].files_skipped += 1
-                    per_patch_stats[index].rules_gated += n_rules_per_patch[index]
-                result.files[name] = FileResult(filename=name,
-                                                original_text=text, text=text)
-                stats.sessions_gated += n_patches
-                stats.rules_gated += sum(n_rules_per_patch)
-                continue
-            outcome = outcomes[name]
-            for index, file_result in enumerate(outcome.results):
-                result.per_patch[index].files[name] = file_result
-                if not outcome.ran[index]:
-                    per_patch_stats[index].files_skipped += 1
-                per_patch_stats[index].rules_gated += outcome.rules_gated[index]
-            stats.sessions_run += sum(outcome.ran)
-            stats.sessions_gated += n_patches - sum(outcome.ran)
-            stats.rules_gated += sum(outcome.rules_gated)
-            final_text = outcome.results[-1].text if outcome.results else text
-            result.files[name] = FileResult(
-                filename=name, original_text=text, text=final_text,
-                rule_reports=[r for fr in outcome.results
-                              for r in fr.rule_reports],
-                diagnostics=[d for fr in outcome.results
-                             for d in fr.diagnostics])
+        return result, per_patch_stats
 
-        # ---- finalize rules run once per patch, in patch order, at the end
+    def _assemble_skipped(self, result: PipelineResult,
+                          per_patch_stats: list[DriverStats],
+                          stats: PipelineStats, name: str, text: str) -> None:
+        """Splice one whole-pipeline-skipped file into ``result``."""
+        n_rules_per_patch = self._n_rules_per_patch
+        # fresh FileResult per view: sequential composition hands out
+        # independent objects, so mutating one must not leak
+        for index, patch_result in enumerate(result.per_patch):
+            patch_result.files[name] = FileResult(
+                filename=name, original_text=text, text=text)
+            per_patch_stats[index].files_skipped += 1
+            per_patch_stats[index].rules_gated += n_rules_per_patch[index]
+        result.files[name] = FileResult(filename=name,
+                                        original_text=text, text=text)
+        result.records[name] = FileRecord(
+            sha1=content_sha1(text), skipped=True,
+            ran=(False,) * len(self.patches),
+            rules_gated=tuple(n_rules_per_patch))
+        stats.sessions_gated += len(self.patches)
+        stats.rules_gated += sum(n_rules_per_patch)
+
+    def _assemble_outcome(self, result: PipelineResult,
+                          per_patch_stats: list[DriverStats],
+                          stats: PipelineStats, name: str, text: str,
+                          outcome: _FileOutcome) -> None:
+        """Splice one file's freshly computed session outcomes into ``result``."""
+        result.records[name] = FileRecord(
+            sha1=content_sha1(text), skipped=False,
+            ran=tuple(outcome.ran),
+            rules_gated=tuple(outcome.rules_gated))
+        for index, file_result in enumerate(outcome.results):
+            result.per_patch[index].files[name] = file_result
+            if not outcome.ran[index]:
+                per_patch_stats[index].files_skipped += 1
+            per_patch_stats[index].rules_gated += outcome.rules_gated[index]
+        stats.sessions_run += sum(outcome.ran)
+        stats.sessions_gated += len(self.patches) - sum(outcome.ran)
+        stats.rules_gated += sum(outcome.rules_gated)
+        final_text = outcome.results[-1].text if outcome.results else text
+        result.files[name] = FileResult(
+            filename=name, original_text=text, text=final_text,
+            rule_reports=[r for fr in outcome.results
+                          for r in fr.rule_reports],
+            diagnostics=[d for fr in outcome.results
+                         for d in fr.diagnostics])
+
+    def _run_finalize(self, result: PipelineResult,
+                      per_patch_stats: list[DriverStats]) -> None:
+        """Finalize rules run once per patch, in patch order, at the end."""
         for index, (engine, patch_result) in enumerate(
                 zip(self.engines, result.per_patch)):
             engine._run_finalize_rules(patch_result)
             result.diagnostics.extend(patch_result.diagnostics)
             patch_result.stats = per_patch_stats[index]
-
-        if jobs_used == 1:
-            cache_hits1, cache_misses1 = self.tree_cache.stats()
-            stats.cache_hits = cache_hits1 - cache_hits0
-            stats.cache_misses = cache_misses1 - cache_misses0
-        stats.total_seconds = time.perf_counter() - started
-        result.stats = stats
-        return result
 
     # -- parallel execution ---------------------------------------------------
 

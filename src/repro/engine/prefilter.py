@@ -234,6 +234,15 @@ class TokenIndex:
         self._files[name] = text
         self._scanned.pop(name, None)
 
+    def remove(self, name: str) -> None:
+        """Forget a file entirely — a deleted file must never answer a later
+        prefilter query with stale tokens."""
+        self._files.pop(name, None)
+        self._scanned.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files
+
     def tokens_of(self, name: str, text: Optional[str] = None) -> frozenset[str]:
         if text is None:
             text = self._files.get(name, "")

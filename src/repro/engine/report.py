@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import difflib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterator, Optional
 
 from ..errors import Diagnostic
@@ -36,6 +36,15 @@ class FileResult:
     @property
     def changed(self) -> bool:
         return self.text != self.original_text
+
+    def copy(self) -> "FileResult":
+        """An independent, equal snapshot: incremental re-application splices
+        cached results into fresh :class:`PatchResult`\\ s, and mutating one
+        view must not leak into the other (reports included)."""
+        return FileResult(filename=self.filename,
+                          original_text=self.original_text, text=self.text,
+                          rule_reports=[replace(r) for r in self.rule_reports],
+                          diagnostics=list(self.diagnostics))
 
     @property
     def total_matches(self) -> int:

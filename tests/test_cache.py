@@ -1,0 +1,243 @@
+"""TreeCache: concurrent in-flight deduplication and persistence.
+
+The dedup contract: when N threads race ``get_or_parse`` on the same
+``(name, sha1, options)`` key, exactly one of them parses; the others wait
+for its tree.  The counters stay *exact* — one miss per unique parse, one
+hit per caller answered without parsing — which the pipeline's ``--profile``
+output and the incremental benchmarks rely on.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.engine.cache import TreeCache, content_sha1
+from repro.options import DEFAULT_OPTIONS, SpatchOptions
+
+
+def _install_counting_parser(monkeypatch, delay: float = 0.0):
+    """Replace the cache's parser with a call-counting (optionally slow)
+    wrapper, so a duplicated parse is observable and races overlap."""
+    import time
+
+    from repro.engine import cache as cache_module
+    from repro.lang.parser import parse_source
+
+    calls: list[tuple[str, str]] = []
+    lock = threading.Lock()
+
+    def counting_parse(text, name="<input>", options=None, tolerant=False):
+        with lock:
+            calls.append((name, text))
+        if delay:
+            time.sleep(delay)
+        return parse_source(text, name=name, options=options,
+                            tolerant=tolerant)
+
+    monkeypatch.setattr(cache_module, "parse_source", counting_parse)
+    return calls
+
+
+class TestInFlightDeduplication:
+    def test_racing_threads_parse_once(self, monkeypatch):
+        """16 threads, one key: one parse, one miss, 15 hits."""
+        calls = _install_counting_parser(monkeypatch, delay=0.05)
+        cache = TreeCache()
+        n_threads = 16
+        barrier = threading.Barrier(n_threads)
+        trees = [None] * n_threads
+        errors = []
+
+        def worker(slot):
+            try:
+                barrier.wait()
+                trees[slot] = cache.get_or_parse("int racy;\n", "racy.c",
+                                                 DEFAULT_OPTIONS)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert len(calls) == 1  # exactly one parse hit the parser
+        assert cache.stats() == (n_threads - 1, 1)
+        assert all(tree is trees[0] for tree in trees)  # same shared tree
+
+    def test_stress_many_keys_counters_exact(self, monkeypatch):
+        """8 threads × 6 distinct texts, every thread parses every text:
+        misses == unique texts, hits == the rest, no duplicate parses."""
+        calls = _install_counting_parser(monkeypatch, delay=0.005)
+        cache = TreeCache()
+        texts = [f"int stress_{i};\n" for i in range(6)]
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def worker(offset):
+            try:
+                barrier.wait()
+                # staggered orders so different keys race at different times
+                for i in range(len(texts)):
+                    text = texts[(i + offset) % len(texts)]
+                    cache.get_or_parse(text, "stress.c", DEFAULT_OPTIONS)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert len(calls) == len(texts)
+        hits, misses = cache.stats()
+        assert misses == len(texts)
+        assert hits == n_threads * len(texts) - len(texts)
+        assert len(cache) == len(texts)
+
+    def test_different_keys_do_not_block_each_other(self, monkeypatch):
+        """The lock is only held for bookkeeping: two different keys parse
+        concurrently (both parses overlap inside the slow parser)."""
+        import time
+
+        from repro.engine import cache as cache_module
+        from repro.lang.parser import parse_source
+
+        active = []
+        overlaps = []
+        lock = threading.Lock()
+
+        def overlapping_parse(text, name="<input>", options=None,
+                              tolerant=False):
+            with lock:
+                active.append(text)
+                if len(active) > 1:
+                    overlaps.append(tuple(active))
+            time.sleep(0.05)
+            with lock:
+                active.remove(text)
+            return parse_source(text, name=name, options=options,
+                                tolerant=tolerant)
+
+        monkeypatch.setattr(cache_module, "parse_source", overlapping_parse)
+        cache = TreeCache()
+        barrier = threading.Barrier(2)
+
+        def worker(text):
+            barrier.wait()
+            cache.get_or_parse(text, "free.c", DEFAULT_OPTIONS)
+
+        threads = [threading.Thread(target=worker, args=(f"int free_{i};\n",))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert overlaps  # both keys were inside the parser at once
+
+    def test_parse_error_releases_waiters(self, monkeypatch):
+        """A failing parse must propagate to every racing caller and leave
+        no stuck in-flight marker behind."""
+        from repro.engine import cache as cache_module
+
+        boom = RuntimeError("front end exploded")
+
+        def failing_parse(text, name="<input>", options=None, tolerant=False):
+            import time
+            time.sleep(0.02)
+            raise boom
+
+        monkeypatch.setattr(cache_module, "parse_source", failing_parse)
+        cache = TreeCache()
+        barrier = threading.Barrier(4)
+        outcomes = []
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            try:
+                cache.get_or_parse("int broken;\n", "broken.c",
+                                   DEFAULT_OPTIONS)
+            except RuntimeError as exc:
+                with lock:
+                    outcomes.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(outcomes) == 4
+        assert all(exc is boom for exc in outcomes)
+        assert not cache._inflight  # no zombie marker
+        # the key is retryable afterwards
+        monkeypatch.undo()
+        tree = cache.get_or_parse("int broken;\n", "broken.c", DEFAULT_OPTIONS)
+        assert tree is not None
+
+
+class TestPersistence:
+    def test_save_load_round_trip_skips_parsing(self, tmp_path, monkeypatch):
+        cache = TreeCache()
+        cache.get_or_parse("int persisted;\n", "p.c", DEFAULT_OPTIONS)
+        cache.get_or_parse("int other;\n", "q.c", DEFAULT_OPTIONS)
+        target = tmp_path / "trees.cache"
+        assert cache.save(target) == 2
+
+        calls = _install_counting_parser(monkeypatch)
+        fresh = TreeCache()
+        assert fresh.load(target) == 2
+        tree = fresh.get_or_parse("int persisted;\n", "p.c", DEFAULT_OPTIONS)
+        assert tree.source.text == "int persisted;\n"
+        assert calls == []  # answered from the persisted entry
+        assert fresh.stats() == (1, 0)
+
+    def test_load_missing_or_corrupt_is_a_no_op(self, tmp_path):
+        cache = TreeCache()
+        assert cache.load(tmp_path / "nope.cache") == 0
+        garbage = tmp_path / "garbage.cache"
+        garbage.write_bytes(b"not a pickle at all")
+        assert cache.load(garbage) == 0
+        versioned = tmp_path / "versioned.cache"
+        versioned.write_bytes(pickle.dumps({"version": 999, "entries": []}))
+        assert cache.load(versioned) == 0
+        assert len(cache) == 0
+
+    def test_restore_respects_the_lru_bound(self):
+        source = TreeCache()
+        for i in range(6):
+            source.get_or_parse(f"int bound_{i};\n", "b.c", DEFAULT_OPTIONS)
+        bounded = TreeCache(max_entries=3)
+        assert bounded.restore(source.snapshot()) == 6
+        assert len(bounded) == 3
+
+    def test_keys_distinguish_options(self, tmp_path):
+        """Persisted entries only answer the exact (name, hash, options)
+        triple they were parsed under."""
+        cache = TreeCache()
+        cache.get_or_parse("int opt;\n", "o.c", DEFAULT_OPTIONS)
+        target = tmp_path / "trees.cache"
+        cache.save(target)
+        fresh = TreeCache()
+        fresh.load(target)
+        fresh.get_or_parse("int opt;\n", "o.c", SpatchOptions(cxx=17))
+        assert fresh.stats() == (0, 1)  # different options: a real parse
+
+
+class TestContentSha1:
+    def test_stable_and_distinct(self):
+        assert content_sha1("int x;\n") == content_sha1("int x;\n")
+        assert content_sha1("int x;\n") != content_sha1("int y;\n")
+
+    def test_surrogateescape_bytes_hashable(self):
+        # a Latin-1 byte read with surrogateescape must hash, not crash
+        text = b"// caf\xe9\nint x;\n".decode("utf-8", "surrogateescape")
+        assert content_sha1(text)
