@@ -328,14 +328,26 @@ class PatchSet:
         :class:`~repro.engine.report.PatchResult` for the combined
         transformation, with the per-patch results in ``per_patch``.
 
-        ``since`` — a prior ``PipelineResult`` from the *same* patch set and
-        options — switches to incremental re-application: only files whose
-        content hash changed since that result are re-run, the rest splice
-        their cached results (byte-identical to a cold run; see
-        :class:`~repro.engine.incremental.IncrementalPipeline`).  The
-        returned result carries the reuse breakdown in ``.incremental`` and
-        can seed the next ``since=`` in an edit-apply loop.
+        ``since`` — a prior ``PipelineResult`` (or a persisted
+        ``PipelineState``, unwrapped transparently) — switches to
+        incremental re-application: only files whose content hash changed
+        since that result are re-run, the rest splice their cached results
+        (byte-identical to a cold run; see
+        :class:`~repro.engine.incremental.IncrementalPipeline`).  The patch
+        *list* is diffed too: when this set shares an unchanged leading
+        prefix with the prior result's (per-patch fingerprints over SMPL
+        source + options), unchanged files splice the prefix results and
+        replay only the suffix patches — so appending a patch to an
+        N-patch cookbook costs one patch, not N+1.  A diverged first patch,
+        changed options, toggled prefilter or stale/corrupt state all
+        degrade to a cold run, never to wrong output.  The returned result
+        carries the reuse breakdown in ``.incremental`` and can seed the
+        next ``since=`` in an edit-apply loop.
         """
+        from .engine.incremental import PipelineState
+
+        if isinstance(since, PipelineState):
+            since = since.result
         if isinstance(codebase, CodeBase):
             files = codebase.files
             index = codebase.token_index() if prefilter else None

@@ -15,10 +15,15 @@ Usage examples::
 ``--incremental STATE_FILE`` persists the run's result (plus the parse-tree
 cache) and, on the next invocation with the *same* patches and options,
 re-runs only the files whose content hash changed — the rest splice their
-cached results, byte-identical to a cold run.  A state file from a
-different patch set or options degrades to a cold run, never to a wrong
-one.  ``--watch`` keeps the process alive, polling the targets
-(mtime+size, then content) and re-applying incrementally on every change.
+cached results, byte-identical to a cold run.  The patch list is diffed
+too: an invocation whose ``--sp-file``/``--cookbook`` list shares a leading
+prefix with the persisted run's (say, one appended patch) splices the
+prefix results and re-runs only the suffix patches.  A state file with no
+shared patch prefix or changed options degrades to a cold run, never to a
+wrong one.  ``--watch`` keeps the process alive, polling the targets *and*
+the ``--sp-file`` patches (mtime+size, then content) and re-applying
+incrementally on every change — editing a patch file mid-session re-runs
+only the patches from the edit onward.
 
 Mirrors the spatch options the paper's listings mention (``--c++[=N]``,
 ``--jobs``) plus a few conveniences (``--report``, ``--in-place``,
@@ -140,6 +145,29 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_patches(patch_args: list[tuple[str, str]],
+                   options: SpatchOptions) -> list[SemanticPatch]:
+    """The ordered patch list an interleaved ``--sp-file``/``--cookbook``
+    argument list names (re-callable: the watch loop rebuilds it whenever an
+    sp-file changes on disk).  Raises ``ValueError`` on an unknown cookbook
+    name; patch-file read/parse errors propagate."""
+    patches: list[SemanticPatch] = []
+    builders = _cookbook_builders()
+    for kind, value in patch_args:
+        if kind == "sp_file":
+            patches.append(SemanticPatch.from_path(value, options=options))
+        elif value == FULL_PIPELINE:
+            from ..cookbook import full_modernization_pipeline
+
+            patches.extend(full_modernization_pipeline())
+        elif value in builders:
+            patches.append(builders[value]())
+        else:
+            raise ValueError(f"unknown cookbook patch {value!r}; "
+                             f"use --list-cookbook to see the available ones")
+    return patches
+
+
 def _nonguard_matches(patch: SemanticPatch, patch_result) -> int:
     """Match count excluding the patch's idempotence-guard rules."""
     guards = patch.ast.guard_rule_names()
@@ -192,6 +220,24 @@ def _stat_targets(targets: list[str]) -> dict[str, tuple[int, int]]:
     return entries
 
 
+def _stat_patch_files(patch_args: list[tuple[str, str]],
+                      ) -> dict[str, tuple[int, int]]:
+    """``path -> (mtime_ns, size)`` for every ``--sp-file`` patch: --watch
+    polls the patch list as well as the sources, so editing a semantic patch
+    mid-session re-applies it (cookbook patches are in-process constants and
+    cannot change under us)."""
+    entries: dict[str, tuple[int, int]] = {}
+    for kind, value in patch_args:
+        if kind != "sp_file":
+            continue
+        try:
+            stat = pathlib.Path(value).stat()
+        except OSError:
+            continue
+        entries[value] = (stat.st_mtime_ns, stat.st_size)
+    return entries
+
+
 def _refresh_codebase(codebase: CodeBase, paths: dict[str, pathlib.Path],
                       targets: list[str]) -> list[str]:
     """Fold the targets' on-disk state into ``codebase`` (through the
@@ -226,20 +272,11 @@ def main(argv: list[str] | None = None) -> int:
         verbose=args.verbose,
     )
 
-    patches: list[SemanticPatch] = []
-    builders = _cookbook_builders()
-    for kind, value in args.patch_args:
-        if kind == "sp_file":
-            patches.append(SemanticPatch.from_path(value, options=options))
-        elif value == FULL_PIPELINE:
-            from ..cookbook import full_modernization_pipeline
-
-            patches.extend(full_modernization_pipeline())
-        elif value in builders:
-            patches.append(builders[value]())
-        else:
-            parser.error(f"unknown cookbook patch {value!r}; "
-                         f"use --list-cookbook to see the available ones")
+    try:
+        patches = _build_patches(args.patch_args, options)
+    except ValueError as exc:
+        parser.error(str(exc))
+        return 2
     if not patches:
         parser.error("one of --sp-file or --cookbook is required")
         return 2
@@ -291,7 +328,8 @@ def main(argv: list[str] | None = None) -> int:
     if not args.watch:
         return 0 if matched else 1
     _fold_rewrites(codebase, result, rewritten)
-    return _watch_loop(args, patches, codebase, paths, result, matched)
+    return _watch_loop(args, options, patches, codebase, paths, result,
+                       matched)
 
 
 def _apply(patches: list[SemanticPatch], codebase: CodeBase, args,
@@ -362,40 +400,76 @@ def _fold_rewrites(codebase: CodeBase, result, rewritten: list[str]) -> None:
         codebase[name] = result.files[name].text
 
 
-def _watch_loop(args, patches: list[SemanticPatch], codebase: CodeBase,
-                paths: dict[str, pathlib.Path], result, matched: bool) -> int:
-    """Poll the targets and re-apply incrementally on every content change.
+def _watch_loop(args, options: SpatchOptions, patches: list[SemanticPatch],
+                codebase: CodeBase, paths: dict[str, pathlib.Path],
+                result, matched: bool) -> int:
+    """Poll the targets *and* the sp-files, re-applying incrementally on
+    every content change.
 
     Change detection is two-staged: a cheap stat sweep (mtime_ns + size)
     gates the re-read, and the engine's content hashes decide which files
     actually re-run — a ``touch`` without a content change re-runs nothing.
-    With ``--watch-polls N`` the loop exits after N consecutive quiet polls
-    (the testing/scripting hook); by default it runs until interrupted.
+    An edited sp-file rebuilds the patch list and re-applies with the prior
+    result as ``since=``: the engine splices the unchanged patch-list
+    prefix and re-runs only the suffix patches; only files whose *output*
+    changed are emitted (or rewritten), so a patch edit never rewrites
+    files it did not affect.  An sp-file that fails to parse mid-edit is
+    reported and the round skipped (the old patches stay active until the
+    next successful save).  With ``--watch-polls N`` the loop exits after N
+    consecutive quiet polls (the testing/scripting hook); by default it
+    runs until interrupted.
     """
-    stats_before = _stat_targets(args.targets)
+    src_before = _stat_targets(args.targets)
+    patch_before = _stat_patch_files(args.patch_args)
     quiet_polls = 0
     while args.watch_polls is None or quiet_polls < args.watch_polls:
         time.sleep(max(args.watch_interval, 0.01))
-        stats_now = _stat_targets(args.targets)
-        if stats_now == stats_before:
+        src_now = _stat_targets(args.targets)
+        patch_now = _stat_patch_files(args.patch_args)
+        if src_now == src_before and patch_now == patch_before:
             quiet_polls += 1
             continue
-        stats_before = stats_now
+        patches_stale = patch_now != patch_before
+        sources_stale = src_now != src_before
+        src_before, patch_before = src_now, patch_now
         quiet_polls = 0
-        delta = _refresh_codebase(codebase, paths, args.targets)
-        if not delta:
+        # the stat sweep gates the re-read: an sp-file-only edit must not
+        # re-read a large source tree that provably did not change
+        delta = _refresh_codebase(codebase, paths, args.targets) \
+            if sources_stale else []
+        if patches_stale:
+            try:
+                patches = _build_patches(args.patch_args, options)
+            except Exception as exc:
+                print(f"# watch: sp-file unreadable, keeping the previous "
+                      f"patches ({exc})", file=sys.stderr)
+                patches_stale = False
+        if not delta and not patches_stale:
             continue  # e.g. a touch that left the contents identical
+        previous = result
         result, per_patch = _apply(patches, codebase, args, since=result)
         _save_state(args, result)
         inc = result.incremental
-        print(f"# watch: {inc.files_changed} changed + {inc.files_added} "
-              f"added re-run, {inc.files_reused} reused, "
-              f"{inc.files_dropped} dropped -> "
-              f"{result.total_matches} match(es)", file=sys.stderr)
+        line = (f"# watch: {inc.files_changed} changed + {inc.files_added} "
+                f"added re-run, {inc.files_reused} reused, "
+                f"{inc.files_dropped} dropped")
+        if inc.fallback is None and inc.patches_reused < inc.patches_total:
+            line += (f", patch prefix {inc.patches_reused}/"
+                     f"{inc.patches_total} spliced")
+        elif inc.fallback is not None:
+            line += " (cold: " + inc.fallback + ")"
+        print(f"{line} -> {result.total_matches} match(es)", file=sys.stderr)
         matched = matched or any(_nonguard_matches(patch, patch_result) > 0
                                  for patch, patch_result in per_patch)
-        rewritten = _emit_output(result, [n for n in delta
-                                          if n in result.files], paths, args)
+        emit = [name for name in delta if name in result.files]
+        if patches_stale:
+            # a patch edit can change any file's outcome: emit exactly the
+            # files whose *output* differs from the previous round's
+            emit += [name for name in result.files if name not in delta
+                     and (previous.files.get(name) is None
+                          or previous.files[name].text
+                          != result.files[name].text)]
+        rewritten = _emit_output(result, emit, paths, args)
         _fold_rewrites(codebase, result, rewritten)
     return 0 if matched else 1
 

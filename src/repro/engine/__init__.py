@@ -19,7 +19,8 @@ from .prefilter import PatchPrefilter, TokenIndex, required_tokens, scan_token_s
 from .engine import Engine
 from .driver import Driver, DriverStats, resolve_jobs
 from .pipeline import (FileRecord, PatchPipeline, PipelinePrefilter,
-                       PipelineResult, PipelineStats, patchset_fingerprint)
+                       PipelineResult, PipelineStats, boundary_hashes,
+                       patch_fingerprint, patchset_fingerprint)
 from .incremental import (IncrementalPipeline, IncrementalStats,
                           PipelineState)
 
@@ -36,6 +37,7 @@ __all__ = [
     "Engine",
     "Driver", "DriverStats", "resolve_jobs",
     "FileRecord", "PatchPipeline", "PipelinePrefilter", "PipelineResult",
-    "PipelineStats", "patchset_fingerprint",
+    "PipelineStats", "boundary_hashes", "patch_fingerprint",
+    "patchset_fingerprint",
     "IncrementalPipeline", "IncrementalStats", "PipelineState",
 ]

@@ -136,7 +136,9 @@ class TreeCache:
 
     def snapshot(self) -> list[tuple[tuple, ParseTree]]:
         """The ``(key, tree)`` entries in LRU order (oldest first), for
-        embedding in a larger persisted state (``--incremental``'s file)."""
+        embedding in a larger persisted state (``--incremental``'s file);
+        the embedder bounds the size (``PipelineState.max_cache_entries``
+        keeps the hottest tail) — one capping mechanism, owned there."""
         with self._lock:
             return list(self._entries.items())
 

@@ -131,21 +131,39 @@ class FileRecord:
     ran: tuple[bool, ...]
     #: per patch: rule applications the prefilter gated for this file
     rules_gated: tuple[int, ...]
+    #: per patch: content hash of the file's text *after* that patch ran
+    #: (the per-patch-boundary states).  ``boundaries[k-1]`` is what a later
+    #: run verifies before splicing this file's cached prefix results and
+    #: replaying only the suffix patches from that text; empty on records
+    #: from before this field existed (such records never seed prefix reuse)
+    boundaries: tuple[str, ...] = ()
+
+
+def patch_fingerprint(patch: SemanticPatchAST, options: SpatchOptions,
+                      name: str) -> str:
+    """Identity of *one* patch: its SMPL source text (its AST repr when it
+    was built programmatically), its name and its options — anything that can
+    change what the patch does to a file.  Position-wise equality of these
+    per-patch fingerprints is what lets an incremental run reuse a prior
+    result's unchanged patch-list *prefix* when the overall patch set
+    diverges (see :class:`~repro.engine.incremental.IncrementalPipeline`)."""
+    digest = hashlib.sha1()
+    source = patch.source_text or repr(patch)
+    for part in (name, source, repr(options)):
+        digest.update(part.encode("utf-8", "surrogatepass"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
 
 
 def patchset_fingerprint(patches: Sequence[SemanticPatchAST],
                          options: Sequence[SpatchOptions],
                          names: Sequence[str]) -> str:
     """Identity of an (ordered) patch list + options, for deciding whether a
-    prior result may seed an incremental run.  Keyed on each patch's source
-    text (its AST repr when it was built programmatically), its name and its
-    options — anything that can change what a patch does to a file."""
+    prior result may seed an incremental run wholesale.  Derived from the
+    per-patch fingerprints so the two notions can never disagree."""
     digest = hashlib.sha1()
-    for patch, opts, name in zip(patches, options, names):
-        source = patch.source_text or repr(patch)
-        for part in (name, source, repr(opts)):
-            digest.update(part.encode("utf-8", "surrogatepass"))
-            digest.update(b"\x00")
+    for fingerprint in map(patch_fingerprint, patches, options, names):
+        digest.update(fingerprint.encode("ascii"))
         digest.update(b"\x01")
     return digest.hexdigest()
 
@@ -175,6 +193,11 @@ class PipelineResult(PatchResult):
     #: fingerprint of the patch list + options that produced this result
     #: (see :func:`patchset_fingerprint`); ``None`` on legacy results
     fingerprint: Optional[str] = field(default=None, compare=False, repr=False)
+    #: per-patch fingerprints in application order (see
+    #: :func:`patch_fingerprint`): the position-wise comparison a later run
+    #: uses to find the longest unchanged patch-list prefix it can splice
+    patch_fingerprints: list[str] = field(default_factory=list,
+                                          compare=False, repr=False)
     #: how an incremental run reused this result's predecessor (an
     #: ``IncrementalStats``); ``None`` on cold runs
     incremental: object = field(default=None, compare=False, repr=False)
@@ -212,6 +235,22 @@ class _FileOutcome:
     ran: list[bool]
     #: per patch: rules the prefilter gated for this file
     rules_gated: list[int]
+
+
+def boundary_hashes(results, input_text: str, input_sha: str,
+                    ) -> tuple[str, ...]:
+    """Per-patch-boundary content hashes of one file's evolving text: entry
+    ``i`` hashes the text *after* patch ``i``.  Unedited boundaries reuse
+    the previous hash (the common case — most patches touch few files), so
+    a file is typically hashed once however long the patch chain."""
+    boundaries = []
+    prev_text, prev_sha = input_text, input_sha
+    for file_result in results:
+        if file_result.text is not prev_text and file_result.text != prev_text:
+            prev_text = file_result.text
+            prev_sha = content_sha1(prev_text)
+        boundaries.append(prev_sha)
+    return tuple(boundaries)
 
 
 class PipelinePrefilter:
@@ -311,8 +350,13 @@ def _pipeline_worker_init(payloads, options_list, prefilter_enabled: bool,
 def _pipeline_worker_apply(batch) -> list[_FileOutcome]:
     engines = _PIPELINE_WORKER["engines"]
     prefilters = _PIPELINE_WORKER["prefilters"]
-    return [_apply_patches_to_file(engines, prefilters, filename, text, tokens)
-            for filename, text, tokens in batch]
+    # ``start`` slices the patch chain: an incremental run replaying only
+    # the suffix patches of a shared patch-list prefix ships items whose
+    # text is the cached prefix-boundary state and whose start is the
+    # divergence index (0 for whole-chain runs)
+    return [_apply_patches_to_file(engines[start:], prefilters[start:],
+                                   filename, text, tokens)
+            for filename, text, tokens, start in batch]
 
 
 class PatchPipeline:
@@ -343,6 +387,10 @@ class PatchPipeline:
         self.engines = [Engine(patch, options=opts, tree_cache=self.tree_cache)
                         for patch, opts in zip(self.patches, self.options)]
         self.prefilter = PipelinePrefilter(self.patches) if prefilter else None
+        self.patch_fingerprints = [
+            patch_fingerprint(patch, opts, name)
+            for patch, opts, name in zip(self.patches, self.options,
+                                         self.names)]
         self.fingerprint = patchset_fingerprint(self.patches, self.options,
                                                 self.names)
         # fixed after construction; the assemble path reads it per file
@@ -393,20 +441,18 @@ class PatchPipeline:
         """Token-scan ``files``, run the surviving sessions (serial or over
         worker processes) and return ``(outcomes, whole-skipped names)``.
         Updates the scan/apply timing, skip and jobs fields of ``stats``."""
-        n_patches = len(self.patches)
-
         # ---- plan: which files could any patch possibly touch
-        work: list[tuple[str, str, Optional[frozenset[str]]]] = []
+        work: list[tuple[str, str, Optional[frozenset[str]], int]] = []
         skipped: set[str] = set()
         scan_started = time.perf_counter()
         for name, text in files.items():
             if self.prefilter is None:
-                work.append((name, text, None))
+                work.append((name, text, None, 0))
                 continue
             tokens = token_index.tokens_of(name, text) if token_index is not None \
                 else scan_token_set(text)
             if self.prefilter.needs_any_session(tokens):
-                work.append((name, text, tokens))
+                work.append((name, text, tokens, 0))
             else:
                 skipped.add(name)
                 stats.files_skipped += 1
@@ -414,27 +460,36 @@ class PatchPipeline:
 
         jobs_used = self._effective_jobs(len(work))
         stats.jobs_used = jobs_used
-
-        # ---- initialize rules: once per patch, mirroring the driver (the
-        # workers run them instead for script-bearing patches, so their
-        # per-file scripts see the initialized globals)
-        if files:
-            for engine in self.engines:
-                if jobs_used == 1 or not has_per_file_scripts(engine.patch):
-                    engine._run_initialize_rules()
+        self._run_initialize(bool(files), jobs_used)
 
         # ---- apply
         apply_started = time.perf_counter()
-        if jobs_used > 1:
-            outcomes = self._run_parallel(work, jobs_used)
-        else:
-            prefilters = self.prefilter.prefilters if self.prefilter is not None \
-                else [None] * n_patches
-            outcomes = {name: _apply_patches_to_file(self.engines, prefilters,
-                                                     name, text, tokens)
-                        for name, text, tokens in work}
+        outcomes = self._apply_work(work, jobs_used)
         stats.apply_seconds = time.perf_counter() - apply_started
         return outcomes, skipped
+
+    def _run_initialize(self, any_files: bool, jobs_used: int) -> None:
+        """Initialize rules: once per patch, mirroring the driver (the
+        workers run them instead for script-bearing patches, so their
+        per-file scripts see the initialized globals)."""
+        if not any_files:
+            return
+        for engine in self.engines:
+            if jobs_used == 1 or not has_per_file_scripts(engine.patch):
+                engine._run_initialize_rules()
+
+    def _apply_work(self, work, jobs_used: int) -> dict[str, _FileOutcome]:
+        """Run the planned ``(name, text, tokens, start)`` items, serial or
+        over worker processes; ``start`` is the index of the first patch to
+        apply (non-zero only for incremental suffix replays)."""
+        if jobs_used > 1:
+            return self._run_parallel(work, jobs_used)
+        prefilters = self.prefilter.prefilters if self.prefilter is not None \
+            else [None] * len(self.patches)
+        return {name: _apply_patches_to_file(self.engines[start:],
+                                             prefilters[start:],
+                                             name, text, tokens)
+                for name, text, tokens, start in work}
 
     def _fresh_result(self, n_files: int, jobs_used: int,
                       ) -> tuple[PipelineResult, list[DriverStats]]:
@@ -444,7 +499,8 @@ class PatchPipeline:
         result = PipelineResult(
             patch_names=list(self.names),
             per_patch=[PatchResult() for _ in self.patches],
-            fingerprint=self.fingerprint)
+            fingerprint=self.fingerprint,
+            patch_fingerprints=list(self.patch_fingerprints))
         per_patch_stats = [
             DriverStats(files_total=n_files, prefilter=self.prefilter_enabled,
                         jobs_requested=self.jobs_requested, jobs_used=jobs_used)
@@ -465,10 +521,12 @@ class PatchPipeline:
             per_patch_stats[index].rules_gated += n_rules_per_patch[index]
         result.files[name] = FileResult(filename=name,
                                         original_text=text, text=text)
+        input_sha = content_sha1(text)
         result.records[name] = FileRecord(
-            sha1=content_sha1(text), skipped=True,
+            sha1=input_sha, skipped=True,
             ran=(False,) * len(self.patches),
-            rules_gated=tuple(n_rules_per_patch))
+            rules_gated=tuple(n_rules_per_patch),
+            boundaries=(input_sha,) * len(self.patches))
         stats.sessions_gated += len(self.patches)
         stats.rules_gated += sum(n_rules_per_patch)
 
@@ -477,10 +535,12 @@ class PatchPipeline:
                           stats: PipelineStats, name: str, text: str,
                           outcome: _FileOutcome) -> None:
         """Splice one file's freshly computed session outcomes into ``result``."""
+        input_sha = content_sha1(text)
         result.records[name] = FileRecord(
-            sha1=content_sha1(text), skipped=False,
+            sha1=input_sha, skipped=False,
             ran=tuple(outcome.ran),
-            rules_gated=tuple(outcome.rules_gated))
+            rules_gated=tuple(outcome.rules_gated),
+            boundaries=boundary_hashes(outcome.results, text, input_sha))
         for index, file_result in enumerate(outcome.results):
             result.per_patch[index].files[name] = file_result
             if not outcome.ran[index]:

@@ -18,15 +18,42 @@ import sys
 
 import pytest
 
+from repro import CodeBase
+
 from test_prefilter import COOKBOOK_WORKLOADS, _cookbook_patch
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: golden file for the whole-cookbook pipeline (12 patches, one batch pass)
+PIPELINE_GOLDEN = "full_modernization"
 
 
 def _expected_diff(name: str) -> str:
     """The diff the cookbook patch produces on its example workload today."""
     workload = COOKBOOK_WORKLOADS[name]()
     return _cookbook_patch(name).apply(workload).diff()
+
+
+def _pipeline_workload() -> CodeBase:
+    """Every cookbook workload under its patch-name prefix: the combined
+    tree the full 12-patch pipeline is goldened over (all generators are
+    seeded, so the corpus stays deterministic)."""
+    files: dict[str, str] = {}
+    for name in sorted(COOKBOOK_WORKLOADS):
+        for filename, text in COOKBOOK_WORKLOADS[name]().items():
+            files[f"{name}/{filename}"] = text
+    return CodeBase.from_files(files)
+
+
+def _expected_pipeline_diff() -> str:
+    """The *combined* diff (input tree -> after all 12 patches, in cookbook
+    order) of the full_modernization pipeline — end-to-end composition, not
+    just the per-patch diffs the per-cookbook goldens pin down."""
+    from repro.cookbook import full_modernization_pipeline
+
+    patchset = full_modernization_pipeline(
+        mdspan_arrays={"rho": 3, "phi": 3})  # the GADGET workload's arrays
+    return patchset.apply(_pipeline_workload()).diff()
 
 
 @pytest.mark.parametrize("name", sorted(COOKBOOK_WORKLOADS))
@@ -43,10 +70,27 @@ def test_cookbook_diff_matches_golden(name):
         f"review the corpus delta")
 
 
+def test_full_modernization_pipeline_matches_golden():
+    """The whole-cookbook batch pass must reproduce its checked-in combined
+    diff exactly — this pins down cross-patch *composition* (insertion
+    order, chains where one patch's output feeds the next), which the
+    per-patch goldens cannot see."""
+    golden_path = GOLDEN_DIR / f"{PIPELINE_GOLDEN}.diff"
+    assert golden_path.exists(), \
+        f"missing golden file {golden_path}; run tests/test_golden_corpus.py --regen"
+    golden = golden_path.read_text(encoding="utf-8", errors="surrogateescape")
+    produced = _expected_pipeline_diff()
+    assert produced == golden, (
+        "the full_modernization pipeline no longer produces its golden "
+        "combined diff; if the transformation change is intentional, "
+        "regenerate with 'PYTHONPATH=src python tests/test_golden_corpus.py "
+        "--regen' and review the corpus delta")
+
+
 def test_corpus_has_no_orphans():
     """Every golden file corresponds to a cookbook patch (catch renames)."""
     names = {path.stem for path in GOLDEN_DIR.glob("*.diff")}
-    assert names == set(COOKBOOK_WORKLOADS)
+    assert names == set(COOKBOOK_WORKLOADS) | {PIPELINE_GOLDEN}
 
 
 def _regenerate() -> None:
@@ -57,6 +101,12 @@ def _regenerate() -> None:
         (GOLDEN_DIR / f"{name}.diff").write_text(
             diff, encoding="utf-8", errors="surrogateescape")
         print(f"wrote golden/{name}.diff ({len(diff.splitlines())} lines)")
+    diff = _expected_pipeline_diff()
+    assert diff, "full_modernization: empty combined diff — pipeline broken"
+    (GOLDEN_DIR / f"{PIPELINE_GOLDEN}.diff").write_text(
+        diff, encoding="utf-8", errors="surrogateescape")
+    print(f"wrote golden/{PIPELINE_GOLDEN}.diff "
+          f"({len(diff.splitlines())} lines)")
 
 
 if __name__ == "__main__":

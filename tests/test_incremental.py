@@ -193,11 +193,23 @@ class TestFallbacks:
         result = patchset.apply(codebase, since=None)
         assert result.incremental is None  # plain cold run, no wrapper
 
-    def test_fingerprint_mismatch_falls_back(self):
+    def test_shared_prefix_no_longer_falls_back(self):
+        """Dropping the tail of the patch list keeps the shared prefix
+        reusable: the truncated set splices the cached prefix results
+        instead of degrading to a cold run (PR 3 behaviour)."""
         _patchset, codebase, prior = self._prior()
-        other = PatchSet(_patches(RENAME_A))  # different patch list
+        other = PatchSet(_patches(RENAME_A))  # prefix of the prior list
         result = other.apply(codebase, since=prior)
-        assert "changed" in result.incremental.fallback
+        assert result.incremental.fallback is None
+        assert result.incremental.patches_reused == 1
+        assert result["a.c"].text == "void f(void) { mid_api(); }\n"
+
+    def test_diverged_first_patch_falls_back(self):
+        _patchset, codebase, prior = self._prior()
+        other = PatchSet(_patches(RENAME_B, RENAME_A))  # reordered prefix
+        result = other.apply(codebase, since=prior)
+        assert "no shared patch prefix" in result.incremental.fallback
+        # RENAME_B then RENAME_A: old_api -> mid_api (B first finds nothing)
         assert result["a.c"].text == "void f(void) { mid_api(); }\n"
 
     def test_recordless_prior_falls_back(self):
@@ -238,6 +250,202 @@ class TestFallbacks:
         follow_up = patchset.apply(codebase, since=fallback)
         assert follow_up.incremental.fallback is None
         assert follow_up.incremental.files_reused == 1
+
+
+# ---------------------------------------------------------------------------
+# patch-set deltas: prefix splicing + suffix replay
+# ---------------------------------------------------------------------------
+
+#: appended third patch for the prefix differentials (matches the raw part)
+APPEND_NAME = "raw_loop_to_find"
+
+
+class TestPatchPrefixReuse:
+    def _prior(self, prefilter=True, jobs=1):
+        patches = [_cookbook_patch(name) for name in COOKBOOK_NAMES]
+        codebase = _mini(*WORKLOAD_PARTS)
+        prior = PatchSet(patches).apply(codebase, jobs=jobs,
+                                        prefilter=prefilter)
+        assert prior.total_matches > 0
+        return patches, codebase, prior
+
+    @pytest.mark.parametrize("prefilter,jobs", CONFIGS,
+                             ids=[f"prefilter_{'on' if p else 'off'}-jobs{j}"
+                                  for p, j in CONFIGS])
+    def test_appended_patch_runs_suffix_only(self, prefilter, jobs):
+        """The headline workflow: appending one patch to a warm patch set
+        splices every unchanged file's prefix results and replays only the
+        new patch — byte-identical to a cold run of the full list."""
+        patches, codebase, prior = self._prior(prefilter, jobs)
+        extended = PatchSet(patches + [_cookbook_patch(APPEND_NAME)])
+        cold = extended.apply(CodeBase.from_files(dict(codebase.files)),
+                              jobs=jobs, prefilter=prefilter)
+        incremental = extended.apply(codebase, jobs=jobs, prefilter=prefilter,
+                                     since=prior)
+        stats = incremental.incremental
+        assert stats.fallback is None
+        assert stats.patches_reused == len(patches)
+        assert stats.patches_total == len(patches) + 1
+        assert stats.files_reused == len(codebase)
+        assert stats.files_rerun == 0
+        assert cold.per_patch[-1].total_matches > 0  # the suffix patch bites
+        assert_results_identical(incremental, cold,
+                                 ("append", prefilter, jobs))
+
+    def test_modified_tail_patch_replays_from_divergence(self):
+        patchset = PatchSet(_patches(RENAME_A, RENAME_B))
+        files = {"a.c": "void f(void) { old_api(); }\n", "b.c": "int z;\n"}
+        prior = patchset.apply(files)
+        modified = PatchSet(_patches(
+            RENAME_A, "@r@ @@\n- mid_api();\n+ other_api();\n"))
+        cold = modified.apply(dict(files))
+        incremental = modified.apply(dict(files), since=prior)
+        assert incremental.incremental.patches_reused == 1
+        assert incremental["a.c"].text == "void f(void) { other_api(); }\n"
+        assert_results_identical(incremental, cold, "modified-tail")
+
+    def test_reordered_tail_keeps_the_prefix(self):
+        """Reordering patches *after* the shared prefix replays from the
+        divergence point; only reordering the first patch costs a cold run
+        (see TestFallbacks.test_diverged_first_patch_falls_back)."""
+        texts = [RENAME_A, RENAME_B, "@r@ @@\n- new_api();\n+ last_api();\n"]
+        files = {"a.c": "void f(void) { old_api(); }\n"}
+        prior = PatchSet(_patches(*texts)).apply(files)
+        swapped = [texts[0], texts[2], texts[1]]
+        reordered = PatchSet(_patches(*swapped))
+        cold = reordered.apply(dict(files))
+        incremental = reordered.apply(dict(files), since=prior)
+        assert incremental.incremental.fallback is None
+        assert incremental.incremental.patches_reused == 1
+        assert_results_identical(incremental, cold, "reordered-tail")
+
+    def test_option_change_falls_back_cold(self):
+        from repro.options import SpatchOptions
+
+        patchset, codebase, prior = TestFallbacks()._prior()
+        other = PatchSet([
+            SemanticPatch.from_string(
+                RENAME_A, name="p0",
+                options=SpatchOptions(apply_isomorphisms=False)),
+            SemanticPatch.from_string(
+                RENAME_B, name="p1",
+                options=SpatchOptions(apply_isomorphisms=False))])
+        result = other.apply(codebase, since=prior)
+        assert "no shared patch prefix" in result.incremental.fallback
+        assert result["a.c"].text == "void f(void) { new_api(); }\n"
+
+    def test_combined_tree_and_patch_delta(self):
+        """An edited file re-runs the whole new chain while untouched files
+        splice the prefix and replay only the suffix — in the same pass."""
+        patches, codebase, prior = self._prior()
+        mutated = _mutated(codebase, "change")
+        extended = PatchSet(patches + [_cookbook_patch(APPEND_NAME)])
+        cold = extended.apply(CodeBase.from_files(dict(mutated.files)))
+        incremental = extended.apply(mutated, since=prior)
+        stats = incremental.incremental
+        assert stats.fallback is None
+        assert stats.patches_reused == len(patches)
+        assert stats.files_changed == 1
+        assert stats.files_reused == len(mutated) - 1
+        assert_results_identical(incremental, cold, "tree+patch")
+
+    def test_corrupt_boundary_text_demotes_file_to_full_rerun(self):
+        """Splice verification: a cached boundary text that no longer hashes
+        to the recorded boundary (tampered/corrupt state) must re-run that
+        file through the whole chain — wrong state never becomes output."""
+        patchset = PatchSet(_patches(RENAME_A, RENAME_B))
+        files = {"a.c": "void f(void) { old_api(); }\n", "b.c": "int z;\n"}
+        prior = patchset.apply(files)
+        prior.per_patch[1].files["a.c"].text = "void f(void) { EVIL(); }\n"
+        extended = PatchSet(_patches(
+            RENAME_A, RENAME_B, "@r@ @@\n- new_api();\n+ last_api();\n"))
+        cold = extended.apply(dict(files))
+        incremental = extended.apply(dict(files), since=prior)
+        stats = incremental.incremental
+        assert stats.fallback is None
+        assert stats.files_changed == 1  # the tampered file, demoted
+        assert stats.files_reused == 1
+        assert incremental["a.c"].text == "void f(void) { last_api(); }\n"
+        assert_results_identical(incremental, cold, "corrupt-boundary")
+
+    def test_truncated_prior_result_degrades_not_crashes(self):
+        """A prior result claiming more patch fingerprints than it carries
+        per-patch results (tampered or half-rebuilt state) must degrade —
+        splice what is actually there, cold-run otherwise — never raise."""
+        files = {"a.c": "void f(void) { old_api(); }\n"}
+        third = "@r@ @@\n- new_api();\n+ last_api();\n"
+        extended = PatchSet(_patches(RENAME_A, RENAME_B, third))
+        cold = extended.apply(dict(files))
+
+        prior = PatchSet(_patches(RENAME_A, RENAME_B)).apply(dict(files))
+        prior.per_patch = prior.per_patch[:1]  # fingerprints still claim 2
+        partial = extended.apply(dict(files), since=prior)
+        assert partial.incremental.fallback is None
+        assert partial.incremental.patches_reused == 1  # capped at what exists
+        assert_results_identical(partial, cold, "truncated-partial")
+
+        prior = PatchSet(_patches(RENAME_A, RENAME_B)).apply(dict(files))
+        prior.per_patch = []  # nothing left to splice from
+        empty = extended.apply(dict(files), since=prior)
+        assert "no shared patch prefix" in empty.incremental.fallback
+        assert empty["a.c"].text == cold["a.c"].text
+
+        # identical patch set (equal whole-set fingerprint) but truncated
+        # per-patch results: the wholesale path must not be taken blindly
+        same_set = PatchSet(_patches(RENAME_A, RENAME_B))
+        cold_same = same_set.apply(dict(files))
+        prior = same_set.apply(dict(files))
+        prior.per_patch = prior.per_patch[:1]
+        degraded = same_set.apply(dict(files), since=prior)
+        assert degraded.incremental.fallback is None
+        assert degraded.incremental.patches_reused == 1
+        assert_results_identical(degraded, cold_same, "truncated-same-set")
+
+        # a malformed record (wrong arity) re-runs its file, never crashes
+        import dataclasses
+        prior = same_set.apply(dict(files))
+        prior.records["a.c"] = dataclasses.replace(prior.records["a.c"],
+                                                   ran=(True,))
+        short = same_set.apply(dict(files), since=prior)
+        assert short.incremental.files_changed == 1
+        assert_results_identical(short, cold_same, "short-record")
+
+    def test_prior_without_patch_fingerprints_falls_back(self):
+        """A result predating per-patch fingerprints (or a stripped one)
+        cannot prove any shared prefix: cold run."""
+        patchset, codebase, prior = TestFallbacks()._prior()
+        prior.patch_fingerprints = []
+        extended = PatchSet(_patches(RENAME_A, RENAME_B,
+                                     "@r@ @@\n- new_api();\n+ last_api();\n"))
+        result = extended.apply(codebase, since=prior)
+        assert "no shared patch prefix" in result.incremental.fallback
+
+    def test_records_carry_per_boundary_hashes(self):
+        from repro.engine.cache import content_sha1
+
+        patchset = PatchSet(_patches(RENAME_A, RENAME_B))
+        files = {"a.c": "void f(void) { old_api(); }\n", "b.c": "int z;\n"}
+        result = patchset.apply(files)
+        for name, record in result.records.items():
+            assert len(record.boundaries) == 2
+            for index, boundary in enumerate(record.boundaries):
+                assert boundary == content_sha1(
+                    result.per_patch[index].files[name].text)
+
+    def test_prefix_results_chain_into_further_increments(self):
+        """A prefix-spliced result seeds the next edit-apply round like any
+        other (its records are rebuilt for the new patch list)."""
+        patches, codebase, prior = self._prior()
+        extended = PatchSet(patches + [_cookbook_patch(APPEND_NAME)])
+        first = extended.apply(codebase, since=prior)
+        assert first.incremental.patches_reused == len(patches)
+        mutated = _mutated(codebase, "add")
+        cold = extended.apply(CodeBase.from_files(dict(mutated.files)))
+        second = extended.apply(mutated, since=first)
+        assert second.incremental.fallback is None
+        assert second.incremental.patches_reused == len(patches) + 1
+        assert second.incremental.files_added == 1
+        assert_results_identical(second, cold, "chained-prefix")
 
 
 class TestIncrementalStats:
@@ -424,6 +632,37 @@ class TestPipelineState:
         from repro.engine.cache import TreeCache
         assert TreeCache().load(bad_protocol) == 0
 
+    def test_save_caps_embedded_cache_entries(self, tmp_path):
+        """State-file hygiene: the embedded parse-cache snapshot is bounded
+        (LRU-coldest entries dropped past the cap) and a capped state still
+        loads, restores and seeds reuse."""
+        from repro.engine.cache import TreeCache
+
+        patchset = PatchSet(_patches(RENAME_A, RENAME_B))
+        cache = TreeCache()
+        for index in range(6):
+            cache.get_or_parse(f"int cached_{index};\n", f"f{index}.c",
+                               patchset[0].options)
+        hottest = f"int cached_5;\n"
+        result = patchset.apply({"a.c": "void f(void) { old_api(); }\n"})
+        target = tmp_path / "state.bin"
+        PipelineState(result=result, cache_entries=cache.snapshot(),
+                      max_cache_entries=2).save(target)
+
+        loaded = PipelineState.load(target)
+        assert loaded is not None
+        assert len(loaded.cache_entries) == 2
+        restored = TreeCache()
+        assert restored.restore(loaded.cache_entries) == 2
+        # the kept entries are the LRU-hottest: the last text parsed hits
+        hits0, _ = restored.stats()
+        restored.get_or_parse(hottest, "f5.c", patchset[0].options)
+        assert restored.stats()[0] == hits0 + 1
+        # and the result still seeds an incremental run
+        again = patchset.apply({"a.c": "void f(void) { old_api(); }\n"},
+                               since=loaded.result)
+        assert again.incremental.files_reused == 1
+
     def test_load_of_wrong_version_returns_none(self, tmp_path):
         import pickle
 
@@ -482,6 +721,25 @@ class TestCliIncremental:
         captured = capsys.readouterr()
         assert rc == 1  # RENAME_B matches nothing in the pristine tree
         assert "fell back to a cold run" in captured.err
+
+    def test_appended_patch_between_invocations_splices_prefix(self, tmp_path,
+                                                               capsys):
+        """A second invocation with one more --sp-file reuses the persisted
+        prefix: only the appended patch re-runs."""
+        cocci, src, state = self._setup(tmp_path)
+        spatch_main(["--sp-file", cocci, "--incremental", state, src])
+        capsys.readouterr()
+        extra = tmp_path / "extra.cocci"
+        extra.write_text(RENAME_B)
+        rc = spatch_main(["--sp-file", cocci, "--sp-file", str(extra),
+                          "--incremental", state, "--profile", src])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "patch prefix: 1/2 spliced, 1 suffix patch(es) re-run" \
+            in captured.err
+        assert "2 reused (100%)" in captured.err
+        # mid_api (written by the prefix patch) became new_api via the suffix
+        assert "+void f(void) { new_api(); }" in captured.out
 
     def test_single_patch_incremental_uses_pipeline_result(self, tmp_path):
         """--incremental with one --sp-file must still persist a seedable
@@ -557,6 +815,108 @@ class TestCliWatch:
         assert rc == 0
         # one application from the initial run, none from the watch round
         assert (src / "stable.c").read_text().count("grown();") == 1
+
+    def test_watch_spfile_edit_reruns_only_suffix_patches(self, tmp_path,
+                                                          capsys):
+        """Editing an sp-file mid-watch re-applies with the prior result:
+        the unchanged leading patch splices, only the edited suffix patch
+        re-runs, and only output-changed files are emitted."""
+        first = tmp_path / "first.cocci"
+        first.write_text(RENAME_A)
+        second = tmp_path / "second.cocci"
+        second.write_text(RENAME_B)
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "hit.c").write_text("void f(void) { old_api(); }\n")
+        (src / "quiet.c").write_text("int zero;\n")
+
+        def edit_later():
+            time.sleep(0.6)
+            second.write_text("@r@ @@\n- mid_api();\n+ changed_api();\n")
+
+        editor = threading.Thread(target=edit_later)
+        editor.start()
+        try:
+            rc = spatch_main(["--sp-file", str(first), "--sp-file",
+                              str(second), "--watch",
+                              "--watch-interval", "0.05",
+                              "--watch-polls", "40", str(src)])
+        finally:
+            editor.join()
+        captured = capsys.readouterr()
+        assert rc == 0
+        watch_lines = [line for line in captured.err.splitlines()
+                       if line.startswith("# watch:")]
+        assert watch_lines == ["# watch: 0 changed + 0 added re-run, "
+                               "2 reused, 0 dropped, patch prefix 1/2 "
+                               "spliced -> 2 match(es)"]
+        # the patch-edit round emitted only the file the new suffix affects
+        rounds = captured.out.split("--- a/")
+        assert len(rounds) == 3  # initial: hit.c; patch round: hit.c again
+        assert "changed_api" in rounds[-1]
+        assert "quiet.c" not in rounds[-1]
+
+    def test_watch_spfile_edit_never_rewrites_unaffected_files(self, tmp_path,
+                                                               capsys):
+        """--in-place + a patch edit whose outcome is identical must not
+        rewrite anything: emission is gated on *output* changes."""
+        first = tmp_path / "first.cocci"
+        first.write_text(RENAME_A)
+        second = tmp_path / "second.cocci"
+        second.write_text(RENAME_B)
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "hit.c").write_text("void f(void) { old_api(); }\n")
+        (src / "other.c").write_text("int untouched;\n")
+
+        def edit_later():
+            time.sleep(0.6)
+            # rewrites mid_api too — but the initial round already turned
+            # hit.c into new_api form, so no file's output changes
+            second.write_text("@r@ @@\n- mid_api();\n+ other_api();\n")
+
+        editor = threading.Thread(target=edit_later)
+        editor.start()
+        try:
+            rc = spatch_main(["--sp-file", str(first), "--sp-file",
+                              str(second), "--watch", "--in-place",
+                              "--watch-interval", "0.05",
+                              "--watch-polls", "40", str(src)])
+        finally:
+            editor.join()
+        captured = capsys.readouterr()
+        assert rc == 0
+        rewrites = [line for line in captured.err.splitlines()
+                    if line.startswith("rewrote ")]
+        assert len(rewrites) == 1  # the initial round's hit.c — nothing else
+        assert "hit.c" in rewrites[0]
+        assert (src / "hit.c").read_text() == "void f(void) { new_api(); }\n"
+        assert (src / "other.c").read_text() == "int untouched;\n"
+
+    def test_watch_broken_spfile_keeps_previous_patches(self, tmp_path,
+                                                        capsys):
+        """A mid-edit save that fails to parse is reported and skipped; the
+        session keeps running with the previous patches."""
+        cocci = tmp_path / "r.cocci"
+        cocci.write_text(RENAME_A)
+        target = tmp_path / "a.c"
+        target.write_text("void f(void) { old_api(); }\n")
+
+        def break_later():
+            time.sleep(0.4)
+            cocci.write_text("@broken rule without closing\n- nonsense")
+
+        editor = threading.Thread(target=break_later)
+        editor.start()
+        try:
+            rc = spatch_main(["--sp-file", str(cocci), "--watch",
+                              "--watch-interval", "0.05",
+                              "--watch-polls", "30", str(target)])
+        finally:
+            editor.join()
+        captured = capsys.readouterr()
+        assert rc == 0  # the initial round matched
+        assert "keeping the previous patches" in captured.err
 
     def test_watch_ignores_touch_without_content_change(self, tmp_path,
                                                         capsys):
