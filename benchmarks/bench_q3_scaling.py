@@ -485,3 +485,185 @@ def test_q3g_append_patch_to_warm_cookbook(benchmark):
          "output",
          rows, columns=["path", "patches", "patches_spliced", "files_reused",
                         "matches", "seconds", "speedup_vs_cold"])
+
+
+# ---------------------------------------------------------------------------
+# Q3h — warm server request vs a cold CLI process
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ServerRow:
+    path: str
+    files: int
+    rerun: int
+    matches: int
+    seconds: float
+    speedup_vs_cold: float
+
+
+@dataclass
+class ThroughputRow:
+    clients: int
+    requests: int
+    seconds: float
+    requests_per_second: float
+
+
+def _edit_probe(text: str) -> str:
+    return text + ("\nvoid q3h_probe(int n) {\n#pragma omp parallel\n"
+                   "{\nint probe = n;\n}\n}\n")
+
+
+def test_q3h_server_vs_cold_cli(benchmark, tmp_path):
+    """Acceptance: the steady-state server workflow — 1-file edit, delta
+    sync, warm apply of the 12-patch cookbook over the 44-file mixed tree —
+    is >= 5x faster end-to-end (client-observed) than spawning a cold
+    ``repro-spatch`` process for the same work, with byte-identical diffs
+    and exit codes; server results are also byte-identical across
+    prefilter on/off.  Plus a multi-client throughput curve against the
+    warm workspace."""
+    import json
+    import pathlib
+    import subprocess
+    import sys
+    import threading
+
+    import repro
+    from repro.cookbook import full_modernization_pipeline
+    from repro.server.client import RemoteClient
+    from repro.server.daemon import PatchDaemon
+    from repro.server.service import PatchService
+
+    codebase = mixed_workload(scale=1)
+    patches = list(full_modernization_pipeline(mdspan_arrays={"rho": 3,
+                                                              "phi": 3}))
+    if QUICK:
+        patches = patches[:4]
+    tree = tmp_path / "tree"
+    codebase.write_to(tree)
+    patch_args: list[str] = []
+    for index, patch in enumerate(patches):
+        assert patch.ast.source_text, "cookbook patches carry SMPL source"
+        sp_file = tmp_path / f"p{index:02d}.cocci"
+        sp_file.write_text(patch.ast.source_text)
+        patch_args += ["--sp-file", str(sp_file)]
+    cli_env = dict(os.environ)
+    cli_env["PYTHONPATH"] = os.pathsep.join(
+        [str(pathlib.Path(repro.__file__).parent.parent),
+         cli_env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+
+    def cold_cli() -> "tuple[str, int, float]":
+        """One full cold process: interpreter + imports + SMPL parse +
+        whole-tree application — what every request costs without a
+        daemon.  Runs with cwd=tree and target '.' so file names match the
+        server workspace's relative names exactly."""
+        started = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli.spatch", *patch_args, "."],
+            cwd=tree, env=cli_env, capture_output=True, text=True)
+        seconds = time.perf_counter() - started
+        assert proc.returncode in (0, 1), proc.stderr
+        return proc.stdout, proc.returncode, seconds
+
+    daemon = PatchDaemon(f"unix:{tmp_path}/bench.sock", PatchService())
+    daemon.serve_in_thread()
+    try:
+        def measure():
+            with RemoteClient(daemon.address) as client:
+                client.open_workspace("bench")
+                client.sync_codebase("bench", CodeBase.from_dir(tree))
+                client.apply("bench", patches)  # warm the workspace
+
+                # the steady-state request: edit 1 file, delta-sync, apply
+                edited = sorted(name for name in codebase
+                                if name.startswith("omp/"))[0]
+                (tree / edited).write_text(
+                    _edit_probe((tree / edited).read_text()))
+                current = CodeBase.from_dir(tree)
+                started = time.perf_counter()
+                delta = client.sync_codebase("bench", current)
+                payload = client.apply("bench", patches, profile=True)
+                warm_seconds = time.perf_counter() - started
+
+                cli_out, cli_status, cold_seconds = cold_cli()
+
+                throughput = []
+                for n_clients in (1, 2, 4):
+                    barrier = threading.Barrier(n_clients)
+                    done = []
+
+                    def worker():
+                        with RemoteClient(daemon.address) as mine:
+                            barrier.wait()
+                            for _ in range(3):
+                                done.append(mine.query("bench", patches))
+
+                    workers = [threading.Thread(target=worker)
+                               for _ in range(n_clients)]
+                    started = time.perf_counter()
+                    for thread in workers:
+                        thread.start()
+                    for thread in workers:
+                        thread.join()
+                    seconds = time.perf_counter() - started
+                    assert len(done) == 3 * n_clients
+                    throughput.append(ThroughputRow(
+                        n_clients, len(done), seconds,
+                        len(done) / seconds if seconds else 0.0))
+
+                # prefilter off on the same workspace: identical bytes
+                # (runs last — it stores a prefilter=False result, which
+                # would cool the warm state the throughput loop measures)
+                off = client.apply("bench", patches, prefilter=False)
+            return (delta, payload, warm_seconds, cli_out, cli_status,
+                    cold_seconds, off, throughput)
+
+        (delta, payload, warm_seconds, cli_out, cli_status, cold_seconds,
+         off, throughput) = benchmark.pedantic(measure, rounds=1,
+                                               iterations=1)
+    finally:
+        daemon.shutdown()
+
+    # the delta really was one file, spliced against warm state
+    assert delta["uploaded"] == 1
+    incremental = payload["profile"]["incremental"]
+    assert incremental["fallback"] is None
+    assert incremental["files_rerun"] == 1
+    assert incremental["files_reused"] == len(codebase) - 1
+
+    # byte-identical to the cold CLI process: same diffs, same exit code
+    server_diff = "".join(entry.get("diff", "")
+                          for entry in payload["files"].values())
+    assert server_diff == cli_out
+    assert payload["exit_status"] == cli_status == 0
+
+    # prefilter on/off: identical texts, reports, exit codes
+    deterministic = {key: value for key, value in payload.items()
+                     if key not in ("profile", "workspace")}
+    off_deterministic = {key: value for key, value in off.items()
+                         if key not in ("profile", "workspace")}
+    assert json.dumps(deterministic, sort_keys=True) \
+        == json.dumps(off_deterministic, sort_keys=True)
+
+    speedup = cold_seconds / warm_seconds
+    assert speedup >= speedup_floor(5.0), \
+        f"expected >= 5x, measured {speedup:.2f}x"
+
+    rows = [
+        ServerRow("cold repro-spatch process", len(codebase), len(codebase),
+                  payload["summary"]["matches"], cold_seconds, 1.0),
+        ServerRow("warm server request (sync+apply)", len(codebase), 1,
+                  payload["summary"]["matches"], warm_seconds, speedup),
+    ]
+    emit("Q3h server mode (1-file edit against the warm 12-patch cookbook)",
+         "a steady-state daemon request — content-hash delta sync plus a "
+         "spliced incremental apply — beats spawning a cold CLI process "
+         ">= 5x end-to-end, byte-identical diffs and exit codes",
+         rows, columns=["path", "files", "rerun", "matches", "seconds",
+                        "speedup_vs_cold"])
+    emit("Q3h multi-client throughput (warm workspace, match-only queries)",
+         "request throughput as concurrent clients stack onto one warm "
+         "workspace (per-workspace locking serializes applies; the curve "
+         "shows the saturation point)",
+         throughput, columns=["clients", "requests", "seconds",
+                              "requests_per_second"])

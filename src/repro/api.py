@@ -149,6 +149,15 @@ class CodeBase:
         """Total non-blank, non-comment lines across all files."""
         return sum(SourceFile(name=n, text=t).count_loc() for n, t in self.files.items())
 
+    def content_hashes(self) -> dict[str, str]:
+        """``{name: sha1(text)}`` over every file — the manifest the server
+        protocol's ``sync_files`` delta upload compares against, using the
+        same :func:`~repro.engine.cache.content_sha1` the incremental layer
+        keys on, so client and server can never disagree on "changed"."""
+        from .engine.cache import content_sha1
+
+        return {name: content_sha1(text) for name, text in self.files.items()}
+
     def total_lines(self) -> int:
         return sum(t.count("\n") + (0 if t.endswith("\n") or not t else 1)
                    for t in self.files.values())
@@ -187,7 +196,13 @@ class SemanticPatch:
     def from_string(cls, text: str, options: Optional[SpatchOptions] = None,
                     name: str = "<patch>") -> "SemanticPatch":
         ast = parse_semantic_patch(text, options=options)
-        return cls(ast=ast, options=options or ast.options, name=name)
+        # ast.options is the parser's *merged* view: the explicit options
+        # (when given) with `# spatch --c++` pseudo-option lines folded in.
+        # Using the raw ``options`` here instead would silently drop the
+        # language level a patch declares for itself — the CLI always passes
+        # explicit options, so every --sp-file with an embedded option line
+        # used to lose it unless --c++ was also on the command line.
+        return cls(ast=ast, options=ast.options, name=name)
 
     @classmethod
     def from_path(cls, path, options: Optional[SpatchOptions] = None) -> "SemanticPatch":

@@ -43,13 +43,18 @@ do.
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import pathlib
 import sys
-import time
 
 from .. import __version__
 from ..api import C_SUFFIXES, CodeBase, PatchSet, SemanticPatch
 from ..options import SpatchOptions
+from ..server.protocol import (dumps as json_line, nonguard_matches,
+                               options_payload, profile_payload,
+                               result_payload)
+from ..server.watch import BACKENDS
 
 #: pseudo cookbook name expanding to the whole-cookbook pipeline preset
 FULL_PIPELINE = "full_modernization"
@@ -113,6 +118,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="rewrite the target files instead of printing a diff")
     parser.add_argument("--report", action="store_true",
                         help="print per-rule match statistics")
+    parser.add_argument("--json", action="store_true",
+                        help="print the machine-readable result payload "
+                             "(the same schema the server protocol uses) "
+                             "instead of a diff")
+    parser.add_argument("--server", metavar="ADDR", default=None,
+                        help="apply through a running repro-spatchd at ADDR "
+                             "(unix:PATH or HOST:PORT) instead of "
+                             "in-process: same diffs, same exit codes, warm "
+                             "server caches")
+    parser.add_argument("--workspace", metavar="NAME", default=None,
+                        help="server workspace to use with --server "
+                             "(default: a stable name derived from the "
+                             "target paths, so repeated invocations share "
+                             "warm state)")
     parser.add_argument("--no-isos", action="store_true",
                         help="disable the built-in isomorphisms")
     parser.add_argument("--jobs", "-j", type=_parse_jobs, default=1, metavar="N",
@@ -137,6 +156,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="with --watch: exit once the targets have been "
                              "quiet for N consecutive polls (default: run "
                              "until interrupted)")
+    parser.add_argument("--watch-backend", choices=BACKENDS, default="auto",
+                        metavar="NAME",
+                        help="change-detection backend for --watch: auto "
+                             "(watchdog if importable, else inotify, else "
+                             "poll), watchdog, inotify or poll; the "
+                             "REPRO_WATCH_BACKEND environment variable "
+                             "overrides 'auto'")
     parser.add_argument("--profile", action="store_true",
                         help="print a timing/skip-rate breakdown to stderr")
     parser.add_argument("--version", action="version",
@@ -168,13 +194,38 @@ def _build_patches(patch_args: list[tuple[str, str]],
     return patches
 
 
-def _nonguard_matches(patch: SemanticPatch, patch_result) -> int:
-    """Match count excluding the patch's idempotence-guard rules."""
-    guards = patch.ast.guard_rule_names()
-    return sum(report.matches
-               for file_result in patch_result
-               for report in file_result.rule_reports
-               if report.rule not in guards)
+def _print_counter_lines(codebase: CodeBase) -> None:
+    """The cache/prefilter counters ``--profile`` surfaces beyond the run's
+    own stats: process-wide parse-cache traffic (hits/misses/dedup waits/
+    evictions) and token-index scan reuse."""
+    from ..engine.cache import DEFAULT_TREE_CACHE
+
+    cache = DEFAULT_TREE_CACHE.counters()
+    print(f"# parse cache (process): {cache['entries']}/"
+          f"{cache['max_entries']} entries, {cache['hits']} hit(s), "
+          f"{cache['misses']} miss(es), {cache['dedup_waits']} dedup "
+          f"wait(s), {cache['evictions']} eviction(s)", file=sys.stderr)
+    token_index = codebase._token_index
+    if token_index is not None:
+        counters = token_index.counters()
+        print(f"# token index: {counters['scan_hits']} cached scan(s) "
+              f"reused, {counters['scan_misses']} fresh scan(s)",
+              file=sys.stderr)
+
+
+def _print_json(result, patches: list[SemanticPatch], codebase: CodeBase,
+                *, profile: bool) -> None:
+    """Emit the machine-readable payload — the exact serialization the
+    server's ``apply`` response uses, so local and remote runs compare
+    byte-for-byte on the deterministic sections."""
+    from ..engine.cache import DEFAULT_TREE_CACHE
+
+    payload = result_payload(result, patches)
+    if profile:
+        payload["profile"] = profile_payload(result,
+                                             cache=DEFAULT_TREE_CACHE,
+                                             token_index=codebase._token_index)
+    sys.stdout.write(json_line(payload) + "\n")
 
 
 def _load_codebase(targets: list[str], missing_ok: bool = False,
@@ -272,6 +323,19 @@ def main(argv: list[str] | None = None) -> int:
         verbose=args.verbose,
     )
 
+    if args.json and args.watch:
+        parser.error("--json cannot be combined with --watch")
+        return 2
+    if args.server:
+        if args.watch or args.incremental:
+            parser.error("--server cannot be combined with --watch or "
+                         "--incremental (the daemon owns the warm state)")
+        if not args.patch_args:
+            parser.error("one of --sp-file or --cookbook is required")
+        if not args.targets:
+            parser.error("no target files or directories given")
+        return _remote_main(args, options)
+
     try:
         patches = _build_patches(args.patch_args, options)
     except ValueError as exc:
@@ -318,13 +382,20 @@ def main(argv: list[str] | None = None) -> int:
             print(f"# {line}", file=sys.stderr)
         if getattr(result, "incremental", None) is not None:
             print(f"# {result.incremental.describe()}", file=sys.stderr)
+        _print_counter_lines(codebase)
 
     # guard-rule matches mean "already modernized, stood down", not "the
     # patch applied": they must not turn a no-op re-run into exit 0
-    matched = any(_nonguard_matches(patch, patch_result) > 0
+    matched = any(nonguard_matches(patch, patch_result) > 0
                   for patch, patch_result in per_patch)
 
-    rewritten = _emit_output(result, result.files, paths, args)
+    if args.json:
+        _print_json(result, [patch for patch, _ in per_patch], codebase,
+                    profile=args.profile)
+        rewritten = _emit_output(result, result.files, paths, args) \
+            if args.in_place else []
+    else:
+        rewritten = _emit_output(result, result.files, paths, args)
     if not args.watch:
         return 0 if matched else 1
     _fold_rewrites(codebase, result, rewritten)
@@ -356,6 +427,94 @@ def _save_state(args, result) -> None:
     PipelineState(result=result,
                   cache_entries=DEFAULT_TREE_CACHE.snapshot()) \
         .save(args.incremental)
+
+
+def _remote_specs(patch_args: list[tuple[str, str]]) -> list[dict]:
+    """Wire patch specs for --server mode: sp-files ship as inline SMPL
+    (read locally, parsed server-side — no shared filesystem needed),
+    cookbook patches by name (validated server-side)."""
+    specs: list[dict] = []
+    for kind, value in patch_args:
+        if kind == "sp_file":
+            path = pathlib.Path(value)
+            specs.append({"kind": "smpl", "name": path.name,
+                          "text": path.read_text(encoding="utf-8",
+                                                 errors="surrogateescape")})
+        else:
+            specs.append({"kind": "cookbook", "name": value})
+    return specs
+
+
+def _default_workspace_name(targets: list[str]) -> str:
+    """A stable workspace name per target set, so repeated invocations over
+    the same tree land on the same warm server state."""
+    digest = hashlib.sha1("\0".join(
+        str(pathlib.Path(target).resolve()) for target in targets
+    ).encode("utf-8", "surrogatepass")).hexdigest()[:16]
+    return f"cli-{digest}"
+
+
+def _remote_main(args, options: SpatchOptions) -> int:
+    """The --server flow: sync the local tree by content-hash delta, apply
+    on the daemon's warm workspace, and emit the same diffs / reports /
+    exit codes a local run would."""
+    from ..server.client import ConnectionLost, RemoteClient, RemoteError
+
+    try:
+        specs = _remote_specs(args.patch_args)
+    except OSError as exc:
+        print(f"repro-spatch: {exc}", file=sys.stderr)
+        return 2
+    codebase, paths = _load_codebase(args.targets)
+    workspace = args.workspace or _default_workspace_name(args.targets)
+    try:
+        with RemoteClient(args.server) as client:
+            client.open_workspace(workspace)
+            client.sync_codebase(workspace, codebase)
+            payload = client.request(
+                "apply", workspace=workspace, patches=specs,
+                options=options_payload(options), jobs=args.jobs,
+                prefilter=not args.no_prefilter,
+                diff=args.json or not args.in_place,
+                texts=args.in_place or None, profile=args.profile or None)
+    except (ConnectionLost, RemoteError, OSError) as exc:
+        print(f"repro-spatch: server: {exc}", file=sys.stderr)
+        return 2
+
+    if args.report or args.verbose:
+        summary = payload["summary"]
+        print(f"# files: {summary['files']}  "
+              f"changed: {summary['changed_files']}  "
+              f"matches: {summary['matches']}  +{summary['lines_added']} "
+              f"-{summary['lines_removed']}", file=sys.stderr)
+        for name, entry in payload["files"].items():
+            for report in entry["rules"]:
+                print(f"#   {name}: rule {report['rule']} -> "
+                      f"{report['matches']} match(es)", file=sys.stderr)
+    if args.profile and "profile" in payload:
+        print("# --- profile (server) ---", file=sys.stderr)
+        for line in json.dumps(payload["profile"], indent=1,
+                               sort_keys=True).splitlines():
+            print(f"# {line}", file=sys.stderr)
+
+    if args.json:
+        sys.stdout.write(json_line(payload) + "\n")
+    if args.in_place:
+        for name in codebase.names():
+            entry = payload["files"].get(name)
+            if entry and entry.get("changed") and "text" in entry \
+                    and name in paths:
+                paths[name].write_text(entry["text"], encoding="utf-8",
+                                       errors="surrogateescape")
+                print(f"rewrote {name}", file=sys.stderr)
+    elif not args.json:
+        # diffs in the *local* load order, exactly as a local run prints
+        diff = "".join(payload["files"][name].get("diff", "")
+                       for name in codebase.names()
+                       if name in payload["files"])
+        if diff:
+            sys.stdout.write(diff.encode("utf-8", "replace").decode("utf-8"))
+    return payload["exit_status"]
 
 
 def _emit_output(result, names, paths, args) -> list[str]:
@@ -418,12 +577,35 @@ def _watch_loop(args, options: SpatchOptions, patches: list[SemanticPatch],
     next successful save).  With ``--watch-polls N`` the loop exits after N
     consecutive quiet polls (the testing/scripting hook); by default it
     runs until interrupted.
+
+    The wait between sweeps goes through a pluggable backend
+    (``--watch-backend``): watchdog or inotify block on real filesystem
+    events, so a change is noticed in milliseconds instead of at the next
+    poll tick, while the portable fallback just sleeps the interval.  The
+    sweep still runs either way — a backend can only improve latency,
+    never correctness.
     """
+    from ..server.watch import create_watcher
+
+    watched = args.targets + [value for kind, value in args.patch_args
+                              if kind == "sp_file"]
+    watcher = create_watcher(watched, backend=args.watch_backend)
+    try:
+        return _watch_rounds(args, options, patches, codebase, paths,
+                             result, matched, watcher)
+    finally:
+        watcher.close()
+
+
+def _watch_rounds(args, options: SpatchOptions,
+                  patches: list[SemanticPatch], codebase: CodeBase,
+                  paths: dict[str, pathlib.Path], result, matched: bool,
+                  watcher) -> int:
     src_before = _stat_targets(args.targets)
     patch_before = _stat_patch_files(args.patch_args)
     quiet_polls = 0
     while args.watch_polls is None or quiet_polls < args.watch_polls:
-        time.sleep(max(args.watch_interval, 0.01))
+        watcher.wait(max(args.watch_interval, 0.01))
         src_now = _stat_targets(args.targets)
         patch_now = _stat_patch_files(args.patch_args)
         if src_now == src_before and patch_now == patch_before:
@@ -459,7 +641,7 @@ def _watch_loop(args, options: SpatchOptions, patches: list[SemanticPatch],
         elif inc.fallback is not None:
             line += " (cold: " + inc.fallback + ")"
         print(f"{line} -> {result.total_matches} match(es)", file=sys.stderr)
-        matched = matched or any(_nonguard_matches(patch, patch_result) > 0
+        matched = matched or any(nonguard_matches(patch, patch_result) > 0
                                  for patch, patch_result in per_patch)
         emit = [name for name in delta if name in result.files]
         if patches_stale:

@@ -1,0 +1,100 @@
+"""``repro-spatchd`` — serve the patch-application service.
+
+Usage examples::
+
+    repro-spatchd --listen unix:/tmp/spatchd.sock
+    repro-spatchd --listen 127.0.0.1:7878 --max-workspaces 16
+    repro-spatchd --listen unix:/tmp/spatchd.sock --workspace-root proj=src/
+
+Clients connect with ``repro-spatch --server ADDR ...`` (same flags, same
+diffs, same exit codes as a local run, but against the daemon's warm
+caches) or programmatically via
+:class:`~repro.server.client.RemoteClient`.  The protocol and workspace
+lifecycle are documented in :mod:`repro.server` and the README's "Server
+mode" section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .. import __version__
+from ..server.daemon import serve
+from ..server.service import PatchService
+from ..server.watch import BACKENDS
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spatchd",
+        description="Persistent patch-application daemon (warm caches, "
+                    "workspace sessions, JSON wire protocol).")
+    parser.add_argument("--listen", required=True, metavar="ADDR",
+                        help="address to serve: unix:PATH or HOST:PORT "
+                             "(HOST defaults to 127.0.0.1; PORT 0 picks a "
+                             "free port)")
+    parser.add_argument("--max-workspaces", type=int, default=8, metavar="N",
+                        help="LRU bound on concurrently warm workspaces "
+                             "(default 8)")
+    parser.add_argument("--cache-entries", type=int, default=512, metavar="N",
+                        help="parse-tree cache entries per workspace "
+                             "(default 512)")
+    parser.add_argument("--jobs", default=1, metavar="N",
+                        help="default worker processes per apply request "
+                             "(requests may override; default 1 — parallel "
+                             "clients are the expected scaling axis)")
+    parser.add_argument("--workspace-root", action="append", default=[],
+                        metavar="NAME=DIR",
+                        help="pre-open a workspace mirroring a server-side "
+                             "directory (repeatable)")
+    parser.add_argument("--watch-roots", action="store_true",
+                        help="auto-refresh pre-opened workspace roots via a "
+                             "filesystem watcher")
+    parser.add_argument("--watch-backend", choices=BACKENDS, default="auto",
+                        help="watcher backend for --watch-roots (default "
+                             "auto: watchdog if importable, else inotify, "
+                             "else polling)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log request tracebacks to stderr")
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        jobs = args.jobs if args.jobs == "auto" else int(args.jobs)
+    except ValueError:
+        parser.error(f"--jobs expects an integer or 'auto', got {args.jobs!r}")
+        return 2
+
+    log = (lambda message: print(f"spatchd: {message}", file=sys.stderr,
+                                 flush=True)) if args.verbose else None
+    service = PatchService(max_workspaces=args.max_workspaces,
+                           cache_entries=args.cache_entries,
+                           default_jobs=jobs, log=log)
+    for entry in args.workspace_root:
+        name, sep, root = entry.partition("=")
+        if not sep or not name or not root:
+            parser.error(f"--workspace-root expects NAME=DIR, got {entry!r}")
+            return 2
+        service.open_workspace(name, root=root, watch=args.watch_roots,
+                               watch_backend=args.watch_backend)
+        print(f"spatchd: opened workspace {name!r} from {root}",
+              file=sys.stderr, flush=True)
+
+    try:
+        return serve(args.listen, service, verbose=args.verbose)
+    except (OSError, ValueError) as exc:
+        # bad --listen address (ProtocolError is a ValueError), socket in
+        # use, permissions: usage-style failures, spatch-convention exit 2
+        print(f"repro-spatchd: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -66,6 +66,11 @@ class TreeCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        #: hits that were answered by waiting on another caller's in-flight
+        #: parse instead of a stored entry (how much concurrent dedup saved)
+        self.dedup_waits = 0
+        #: entries dropped past the LRU bound since construction/clear
+        self.evictions = 0
 
     @staticmethod
     def _key(text: str, name: str, options: SpatchOptions) -> tuple:
@@ -95,6 +100,7 @@ class TreeCache:
                 raise inflight.error
             with self._lock:
                 self.hits += 1
+                self.dedup_waits += 1
             return inflight.tree
         try:
             tree = parse_source(text, name=name, options=options, tolerant=True)
@@ -118,12 +124,15 @@ class TreeCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.dedup_waits = 0
+            self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -131,6 +140,17 @@ class TreeCache:
     def stats(self) -> tuple[int, int]:
         """``(hits, misses)`` counters since construction/clear."""
         return self.hits, self.misses
+
+    def counters(self) -> dict:
+        """Every counter this cache keeps, as one JSON-able dict — what
+        ``--profile`` and the server's ``stats`` verb report (the hit/miss
+        pair was previously only visible inside ``DriverStats``)."""
+        with self._lock:
+            return {"entries": len(self._entries),
+                    "max_entries": self.max_entries,
+                    "hits": self.hits, "misses": self.misses,
+                    "dedup_waits": self.dedup_waits,
+                    "evictions": self.evictions}
 
     # -- persistence ----------------------------------------------------------
 

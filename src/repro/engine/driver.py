@@ -68,6 +68,15 @@ class DriverStats:
     def skip_rate(self) -> float:
         return self.files_skipped / self.files_total if self.files_total else 0.0
 
+    def as_dict(self) -> dict:
+        """JSON-able view (the ``--json``/server ``profile`` section)."""
+        from dataclasses import asdict
+
+        payload = asdict(self)
+        payload["jobs_requested"] = str(self.jobs_requested)
+        payload["skip_rate"] = self.skip_rate
+        return payload
+
     def describe(self) -> str:
         lines = [
             f"files: {self.files_total}  skipped without parsing: "

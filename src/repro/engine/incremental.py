@@ -128,6 +128,16 @@ class IncrementalStats:
     def reuse_rate(self) -> float:
         return self.files_reused / self.files_total if self.files_total else 0.0
 
+    def as_dict(self) -> dict:
+        """JSON-able view (the ``--json``/server ``profile`` section)."""
+        from dataclasses import asdict
+
+        payload = asdict(self)
+        payload["files_rerun"] = self.files_rerun
+        payload["patches_rerun"] = self.patches_rerun
+        payload["reuse_rate"] = self.reuse_rate
+        return payload
+
     def describe(self) -> str:
         if self.fallback is not None:
             return (f"incremental: fell back to a cold run ({self.fallback}); "

@@ -93,6 +93,16 @@ class PipelineStats:
         total = self.files_total * self.patches
         return self.sessions_run / total if total else 0.0
 
+    def as_dict(self) -> dict:
+        """JSON-able view (the ``--json``/server ``profile`` section)."""
+        from dataclasses import asdict
+
+        payload = asdict(self)
+        payload["jobs_requested"] = str(self.jobs_requested)
+        payload["skip_rate"] = self.skip_rate
+        payload["session_rate"] = self.session_rate
+        return payload
+
     def describe(self) -> str:
         lines = [
             f"patches: {self.patches}  files: {self.files_total}  "

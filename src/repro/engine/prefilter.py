@@ -229,6 +229,10 @@ class TokenIndex:
         #: kept so a stale entry is detected when a caller hands us newer
         #: contents for the same name (files dicts are mutated in place)
         self._scanned: dict[str, tuple[str, frozenset[str]]] = {}
+        #: queries answered from a cached scan vs. fresh regex scans run —
+        #: the prefilter-side counters ``--profile``/``stats`` surface
+        self.scan_hits = 0
+        self.scan_misses = 0
 
     def add(self, name: str, text: str) -> None:
         self._files[name] = text
@@ -250,10 +254,18 @@ class TokenIndex:
         if cached is not None:
             cached_text, tokens = cached
             if cached_text is text or cached_text == text:
+                self.scan_hits += 1
                 return tokens
         tokens = scan_token_set(text)
         self._scanned[name] = (text, tokens)
+        self.scan_misses += 1
         return tokens
+
+    def counters(self) -> dict:
+        """The index's scan-reuse counters as one JSON-able dict (consumed by
+        ``--profile`` and the server's ``stats`` verb)."""
+        return {"files": len(self._files), "scanned": len(self._scanned),
+                "scan_hits": self.scan_hits, "scan_misses": self.scan_misses}
 
     def __len__(self) -> int:
         return len(self._files)

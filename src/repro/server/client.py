@@ -1,0 +1,186 @@
+"""``RemoteClient``: the in-process mirror of the daemon's verbs.
+
+The client speaks the newline-delimited JSON protocol over one socket
+(unix-domain or TCP), one request outstanding at a time (a lock serializes
+callers sharing a client; open several clients for concurrency).  Its
+surface mirrors :class:`~repro.api.PatchSet` where that makes sense —
+``apply(workspace, patches)`` accepts parsed :class:`~repro.api.SemanticPatch`
+objects (shipped as inline SMPL) as well as raw wire specs — which is what
+lets ``repro-spatch --server ADDR`` reuse a warm daemon transparently:
+sync the local tree by content-hash delta, apply, print the same diffs and
+exit the same code a local run would.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional, Sequence
+
+from ..api import CodeBase, SemanticPatch
+from ..errors import ReproError
+from ..options import SpatchOptions
+from .protocol import (ProtocolError, options_payload, parse_address,
+                       patch_specs, read_message, write_message)
+
+
+class RemoteError(ReproError):
+    """A server-reported failure (``ok: false``), carrying the server's
+    stable error ``kind``."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+
+
+class ConnectionLost(ReproError):
+    """The transport died (daemon gone, socket reset, framing violated)."""
+
+
+class RemoteClient:
+    """One connection to a patch daemon."""
+
+    def __init__(self, address: str, *, timeout: Optional[float] = 60.0):
+        self.address = address
+        family, target = parse_address(address)
+        if family == "unix":
+            self._sock = socket.socket(socket.AF_UNIX)
+            self._sock.settimeout(timeout)
+            self._sock.connect(target)
+        else:
+            self._sock = socket.create_connection(target, timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+
+    # -- plumbing ------------------------------------------------------------
+
+    def request(self, verb: str, **params) -> dict:
+        """One request/response round trip; returns the ``result`` object
+        or raises :class:`RemoteError` / :class:`ConnectionLost`."""
+        message = {"verb": verb}
+        message.update({key: value for key, value in params.items()
+                        if value is not None})
+        with self._lock:
+            try:
+                write_message(self._file, message)
+                response = read_message(self._file)
+            except ProtocolError as exc:
+                raise ConnectionLost(f"bad response from server: {exc}") \
+                    from None
+            except OSError as exc:
+                raise ConnectionLost(f"server connection failed: {exc}") \
+                    from None
+        if response is None:
+            raise ConnectionLost("server closed the connection")
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise RemoteError(error.get("type", "unknown"),
+                              error.get("message", "unspecified error"))
+        return response.get("result", {})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "RemoteClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- verbs ---------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def open_workspace(self, workspace: str, *, root: Optional[str] = None,
+                       watch: bool = False,
+                       watch_backend: Optional[str] = None) -> dict:
+        return self.request("open_workspace", workspace=workspace, root=root,
+                            watch=watch or None,
+                            watch_backend=watch_backend)
+
+    def sync_files(self, workspace: str, *, files: Optional[dict] = None,
+                   remove: Optional[Sequence[str]] = None,
+                   hashes: Optional[dict] = None) -> dict:
+        return self.request("sync_files", workspace=workspace, files=files,
+                            remove=list(remove) if remove else None,
+                            hashes=hashes)
+
+    def sync_codebase(self, workspace: str, codebase: CodeBase) -> dict:
+        """Two-phase content-hash delta: ship the manifest, then only the
+        contents the server says it lacks.  An unchanged tree costs one
+        hash round; the steady-state edit costs its changed files only.
+
+        The manifest travels *again* with every upload round: the server
+        applies upserts before evaluating a manifest, so a round that
+        covers everything the server reported missing re-establishes this
+        client's whole tree in one atomic request.  Another client racing
+        its own sync can invalidate a round (its writes show up as fresh
+        ``need`` entries), so rounds repeat until the server reports
+        nothing missing — the workspace then holds one client's whole
+        tree, never a torn mixture of two."""
+        manifest = codebase.content_hashes()
+        delta = self.sync_files(workspace, hashes=manifest)
+        uploaded = 0
+        removed = set(delta["removed"])
+        need = delta.get("need") or []
+        for _ in range(8):  # bounded: pathological contention must not hang
+            if not need:
+                break
+            uploads = {name: codebase[name] for name in need
+                       if name in codebase}
+            response = self.sync_files(workspace, files=uploads,
+                                       hashes=manifest)
+            uploaded += len(uploads)
+            removed |= set(response["removed"])
+            delta = response
+            need = response.get("need") or []
+        return {**delta, "removed": sorted(removed), "need": need,
+                "uploaded": uploaded}
+
+    @staticmethod
+    def _specs(patches) -> list[dict]:
+        """Wire specs from SemanticPatch objects, raw spec dicts, or a mix."""
+        specs: list[dict] = []
+        for patch in patches:
+            if isinstance(patch, SemanticPatch):
+                specs.extend(patch_specs([patch]))
+            elif isinstance(patch, dict):
+                specs.append(patch)
+            else:
+                raise TypeError(f"cannot send {type(patch).__name__} as a "
+                                f"patch; expected SemanticPatch or spec dict")
+        return specs
+
+    def apply(self, workspace: str, patches, *,
+              options: Optional[SpatchOptions] = None,
+              jobs: "int | str | None" = None, prefilter: bool = True,
+              diff: bool = True, texts: bool = False,
+              profile: bool = False) -> dict:
+        """Mirror of ``PatchSet.apply`` against the server's warm workspace;
+        returns the shared result payload (see
+        :func:`~repro.server.protocol.result_payload`)."""
+        return self.request(
+            "apply", workspace=workspace, patches=self._specs(patches),
+            options=options_payload(options) if options else None,
+            jobs=jobs, prefilter=prefilter, diff=diff,
+            texts=texts or None, profile=profile or None)
+
+    def query(self, workspace: str, patches, *,
+              options: Optional[SpatchOptions] = None,
+              jobs: "int | str | None" = None, prefilter: bool = True,
+              profile: bool = False) -> dict:
+        return self.request(
+            "query", workspace=workspace, patches=self._specs(patches),
+            options=options_payload(options) if options else None,
+            jobs=jobs, prefilter=prefilter, profile=profile or None)
+
+    def stats(self, workspace: Optional[str] = None) -> dict:
+        return self.request("stats", workspace=workspace)
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")

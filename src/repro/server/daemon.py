@@ -1,0 +1,225 @@
+"""``spatchd``: the socket layer over :class:`~repro.server.service.PatchService`.
+
+One daemon process serves any number of clients over a unix-domain or TCP
+socket (``socketserver.ThreadingMixIn``: one thread per connection, so a
+slow client never stalls the others — per-workspace consistency is the
+service's job, not the socket layer's).  Framing is newline-delimited JSON
+(see :mod:`repro.server.protocol`); a connection handles requests strictly
+in order, and any number of them.
+
+Failure isolation: a request that cannot be parsed, names an unknown verb,
+or raises inside the service is answered with an ``ok: false`` envelope
+(or, for undecodable framing, dropped with the connection) — the daemon
+itself and every other client's workspace state stay up.  A client that
+dies mid-line just ends its own connection; nothing it half-sent is ever
+executed, because execution starts only after a full line parses.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import socketserver
+import sys
+import threading
+import traceback
+from typing import Optional
+
+from .protocol import ProtocolError, read_message, write_message, parse_address
+from .service import PatchService, ServiceError
+
+#: request fields every verb accepts besides its own parameters
+_ENVELOPE_FIELDS = {"verb", "id"}
+
+#: verb -> (service method, parameter names allowed on the wire)
+_VERBS = {
+    "open_workspace": ("open_workspace",
+                       {"workspace", "root", "watch", "watch_backend",
+                        "watch_interval"}),
+    "sync_files": ("sync_files", {"workspace", "files", "remove", "hashes"}),
+    "apply": ("apply", {"workspace", "patches", "options", "jobs",
+                        "prefilter", "diff", "texts", "profile"}),
+    "query": ("query", {"workspace", "patches", "options", "jobs",
+                        "prefilter", "profile"}),
+    "stats": ("stats", {"workspace"}),
+    "ping": ("ping", set()),
+    "shutdown": (None, set()),
+}
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One client connection: read a line, dispatch, answer, repeat."""
+
+    def handle(self) -> None:
+        while True:
+            try:
+                request = read_message(self.rfile)
+            except ProtocolError as exc:
+                # framing is unrecoverable mid-stream: answer once and hang up
+                self._respond({"ok": False, "error": {
+                    "type": "protocol", "message": str(exc)}})
+                return
+            if request is None:
+                return  # clean EOF
+            response, shutdown = self.server.dispatch(request)
+            if not self._respond(response):
+                return
+            if shutdown:
+                return
+
+    def _respond(self, response: dict) -> bool:
+        try:
+            write_message(self.wfile, response)
+            return True
+        except (BrokenPipeError, ConnectionResetError, ValueError, OSError):
+            return False  # client died mid-request; its problem only
+
+
+class _DaemonMixin:
+    """Verb dispatch shared by the TCP and unix server classes."""
+
+    daemon_threads = True  # a stuck handler must not block process exit
+    block_on_close = False  # an idle connection must not block server_close
+    allow_reuse_address = True
+
+    service: PatchService
+    verbose: bool = False
+
+    def dispatch(self, request: dict) -> tuple[dict, bool]:
+        """``(response, shutdown?)`` for one request envelope."""
+        envelope = {"id": request["id"]} if "id" in request else {}
+        verb = request.get("verb")
+        if verb not in _VERBS:
+            return {**envelope, "ok": False, "error": {
+                "type": "bad-verb",
+                "message": f"unknown verb {verb!r}; expected one of "
+                           f"{', '.join(sorted(_VERBS))}"}}, False
+        method_name, allowed = _VERBS[verb]
+        unknown = set(request) - allowed - _ENVELOPE_FIELDS
+        if unknown:
+            return {**envelope, "ok": False, "error": {
+                "type": "bad-request",
+                "message": f"unknown field(s) for {verb}: "
+                           f"{sorted(unknown)}"}}, False
+        if verb == "shutdown":
+            self.initiate_shutdown()
+            return {**envelope, "ok": True, "result": {"stopping": True}}, True
+        params = {key: value for key, value in request.items()
+                  if key not in _ENVELOPE_FIELDS}
+        workspace = params.pop("workspace", None)
+        args = [workspace] if workspace is not None \
+            else ([] if verb in ("stats", "ping") else [None])
+        try:
+            result = getattr(self.service, method_name)(*args, **params)
+            return {**envelope, "ok": True, "result": result}, False
+        except ServiceError as exc:
+            return {**envelope, "ok": False, "error": {
+                "type": exc.kind, "message": str(exc)}}, False
+        except (ProtocolError, TypeError, ValueError) as exc:
+            return {**envelope, "ok": False, "error": {
+                "type": "bad-request", "message": str(exc)}}, False
+        except Exception as exc:  # a service bug must not kill the daemon
+            if self.verbose:
+                traceback.print_exc()
+            return {**envelope, "ok": False, "error": {
+                "type": "internal",
+                "message": f"{type(exc).__name__}: {exc}"}}, False
+
+    def initiate_shutdown(self) -> None:
+        """Stop ``serve_forever`` from a handler thread (``shutdown()``
+        blocks until the serve loop notices, so it must not run on the
+        handler's own stack frame during the response write)."""
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+class _TcpDaemon(_DaemonMixin, socketserver.ThreadingTCPServer):
+    pass
+
+
+if hasattr(socketserver, "UnixStreamServer"):
+    class _UnixDaemon(_DaemonMixin, socketserver.ThreadingMixIn,
+                      socketserver.UnixStreamServer):
+        pass
+else:  # pragma: no cover - platforms without AF_UNIX
+    _UnixDaemon = None
+
+
+class PatchDaemon:
+    """A listening daemon bound to ``address`` (``unix:PATH`` or
+    ``HOST:PORT``), serving ``service`` until :meth:`shutdown` or the
+    ``shutdown`` verb."""
+
+    def __init__(self, address: str,
+                 service: Optional[PatchService] = None, *,
+                 verbose: bool = False):
+        self.service = service if service is not None else PatchService()
+        self.family, self.bind_address = parse_address(address)
+        self._unix_path: Optional[str] = None
+        if self.family == "unix":
+            if _UnixDaemon is None:  # pragma: no cover
+                raise OSError("unix-domain sockets are unavailable here")
+            self._unix_path = str(self.bind_address)
+            if os.path.exists(self._unix_path):
+                # a previous daemon's stale socket file; refuse to steal a
+                # *live* one
+                probe = socket.socket(socket.AF_UNIX)
+                try:
+                    probe.connect(self._unix_path)
+                except OSError:
+                    os.unlink(self._unix_path)
+                else:
+                    probe.close()
+                    raise OSError(f"{self._unix_path} is already served")
+            self.server = _UnixDaemon(self._unix_path, _Handler)
+        else:
+            self.server = _TcpDaemon(self.bind_address, _Handler)
+        self.server.service = self.service
+        self.server.verbose = verbose
+
+    @property
+    def address(self) -> str:
+        """The connectable address (TCP reports the actually bound port, so
+        ``127.0.0.1:0`` requests resolve to something a client can use)."""
+        if self.family == "unix":
+            return f"unix:{self._unix_path}"
+        host, port = self.server.server_address[:2]
+        return f"{host}:{port}"
+
+    def serve_forever(self) -> None:
+        try:
+            self.server.serve_forever(poll_interval=0.1)
+        finally:
+            self.close()
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Run the serve loop on a background thread (tests, benchmarks)."""
+        thread = threading.Thread(target=self.serve_forever,
+                                  name=f"spatchd:{self.address}", daemon=True)
+        thread.start()
+        return thread
+
+    def shutdown(self) -> None:
+        self.server.shutdown()
+
+    def close(self) -> None:
+        self.server.server_close()
+        self.service.close()
+        if self._unix_path and os.path.exists(self._unix_path):
+            try:
+                os.unlink(self._unix_path)
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+
+
+def serve(address: str, service: Optional[PatchService] = None, *,
+          verbose: bool = False, stderr=None) -> int:
+    """Blocking entry point used by ``repro-spatchd``."""
+    stderr = stderr or sys.stderr
+    daemon = PatchDaemon(address, service, verbose=verbose)
+    print(f"spatchd: listening on {daemon.address}", file=stderr, flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        daemon.close()
+    print("spatchd: stopped", file=stderr, flush=True)
+    return 0

@@ -1,0 +1,503 @@
+"""The framework-free core of the patch daemon: warm named workspaces.
+
+:class:`PatchService` is plain Python — no sockets, no JSON — so it can be
+driven in-process (tests, embedding) exactly as the daemon drives it.  It
+owns a table of named :class:`Workspace` objects, each bundling the warm
+state PRs 3–4 built but which previously died with every CLI process:
+
+* an in-memory :class:`~repro.api.CodeBase` (synced from clients by
+  content-hash delta, or loaded from a server-side directory),
+* a per-workspace :class:`~repro.engine.cache.TreeCache` (so evicting a
+  cold workspace frees its parse trees, and cache counters are
+  attributable per workspace),
+* the lazily built prefilter token index (owned by the code base), and
+* the last :class:`~repro.engine.pipeline.PipelineResult`, seeding every
+  subsequent ``apply`` through
+  :class:`~repro.engine.incremental.IncrementalPipeline` — repeated
+  requests against a workspace automatically splice per-file and
+  patch-prefix results, and a changed patch list or toggled prefilter
+  degrades to a cold run, never to wrong output (the engine's existing
+  ``since=`` guarantees; the service adds no new reuse logic of its own).
+
+Concurrency model
+-----------------
+Every verb that touches a workspace runs under that workspace's lock, so
+concurrent clients serialize per workspace (and parallelize across
+workspaces) — interleaved ``sync_files``/``apply`` streams behave as *some*
+serial order of the same operations, never as a torn mixture.  A request
+that fails (bad patch, mid-request crash, malformed spec) raises before or
+after — never during — a state mutation: ``apply`` builds its patches
+first and only stores the result on success, and ``sync_files`` validates
+its payload before touching the code base, so a poisoned request leaves
+the workspace exactly as the previous successful request did.
+
+Cold workspaces are evicted LRU once ``max_workspaces`` is exceeded
+(busy ones — lock currently held — are skipped in favour of the next
+coldest).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Optional, Sequence
+
+from ..api import CodeBase, SemanticPatch
+from ..engine.cache import TreeCache, content_sha1
+from ..engine.incremental import IncrementalPipeline
+from ..engine.pipeline import PipelineResult
+from ..options import SpatchOptions
+from .protocol import (PROTOCOL_VERSION, options_from_payload,
+                       profile_payload, result_payload)
+
+#: pseudo cookbook name expanding to the whole-cookbook pipeline preset
+#: (mirrors the CLI's ``--cookbook full_modernization``)
+FULL_PIPELINE = "full_modernization"
+
+#: LRU bound on built-patch specs cached per workspace: an authoring loop
+#: ships a fresh SMPL revision per request (new content hash, new key), so
+#: without a bound the cache would grow with every edit ever made
+MAX_CACHED_PATCH_SPECS = 64
+
+
+class ServiceError(Exception):
+    """A request-level failure (unknown workspace, bad patch spec, ...).
+
+    Carries a stable ``kind`` tag so wire clients can dispatch on it
+    without parsing messages."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind
+
+
+class Workspace:
+    """One named unit of warm server state (see the module docstring)."""
+
+    def __init__(self, name: str, *, cache_entries: int = 512,
+                 root: Optional[str] = None):
+        self.name = name
+        self.codebase = CodeBase()
+        self.cache = TreeCache(max_entries=cache_entries)
+        self.lock = threading.RLock()
+        #: the last successful apply's result: the ``since=`` seed
+        self.last: Optional[PipelineResult] = None
+        #: server-side directory this workspace mirrors (``None`` for
+        #: client-synced workspaces)
+        self.root = root
+        self.created_at = time.time()
+        self.last_used = time.time()
+        self.requests = 0
+        self.applies = 0
+        self.syncs = 0
+        #: requests currently executing against this workspace (guarded by
+        #: the service lock); eviction skips any workspace with one in
+        #: flight, so a dispatched request can never lose its workspace
+        #: between lookup and lock acquisition
+        self.in_flight = 0
+        #: per-workspace LRU cache of built patches keyed by spec identity,
+        #: so repeated requests do not re-parse the same SMPL; never shared
+        #: across workspaces (patch ASTs then never cross workspace
+        #: threads), and bounded so an authoring loop saving a new SMPL
+        #: revision per request cannot grow it forever
+        self._patches: "OrderedDict[tuple, tuple[SemanticPatch, ...]]" = \
+            OrderedDict()
+        self._watcher = None
+        self._watch_thread: Optional[threading.Thread] = None
+        self._watch_stop = threading.Event()
+
+    # -- server-side directory mirroring -----------------------------------
+
+    def load_root(self) -> dict[str, list[str]]:
+        """(Re)read the server-side directory into the code base, returning
+        the on-disk delta; caller holds the lock."""
+        if self.root is None:
+            return {"added": [], "changed": [], "removed": []}
+        return self.codebase.refresh_from_dir(self.root)
+
+    def start_auto_refresh(self, backend: str, interval: float,
+                           log) -> None:
+        """Keep a rooted workspace in sync with its directory: a watcher
+        thread folds the on-disk delta in whenever the backend reports
+        change (the next ``apply`` then re-runs exactly the changed
+        files)."""
+        from .watch import create_watcher
+
+        if self._watch_thread is not None or self.root is None:
+            return
+        self._watcher = create_watcher([self.root], backend=backend, log=log)
+
+        def refresh_loop() -> None:
+            while not self._watch_stop.is_set():
+                try:
+                    fired = self._watcher.wait(interval)
+                except Exception:
+                    return  # watcher torn down under us (workspace closed)
+                if not fired or self._watch_stop.is_set():
+                    continue
+                try:
+                    with self.lock:
+                        self.load_root()
+                except OSError:
+                    # racing the editor: rglob saw a path an atomic save
+                    # renamed away before read_text reached it.  The next
+                    # event re-reads; dying here would silently freeze the
+                    # workspace while stats still claim it is watching
+                    continue
+
+        self._watch_thread = threading.Thread(
+            target=refresh_loop, name=f"refresh:{self.name}", daemon=True)
+        self._watch_thread.start()
+
+    def close(self) -> None:
+        self._watch_stop.set()
+        if self._watcher is not None:
+            self._watcher.close()
+        # the thread is a daemon and checks the stop flag after every wait;
+        # don't join (a poll backend may be mid-sleep)
+
+    # -- stats --------------------------------------------------------------
+
+    def stats_payload(self) -> dict:
+        token_index = self.codebase._token_index
+        return {
+            "name": self.name,
+            "files": len(self.codebase),
+            "root": self.root,
+            "watching": self._watch_thread is not None,
+            "requests": self.requests,
+            "applies": self.applies,
+            "syncs": self.syncs,
+            "last_used": self.last_used,
+            "has_result": self.last is not None,
+            "patches_cached": len(self._patches),
+            "parse_cache": self.cache.counters(),
+            "token_index": token_index.counters()
+            if token_index is not None else None,
+        }
+
+
+class PatchService:
+    """Thread-safe implementation of every daemon verb (the daemon layer
+    only adds sockets and JSON framing on top)."""
+
+    def __init__(self, *, max_workspaces: int = 8, cache_entries: int = 512,
+                 default_jobs: "int | str" = 1, log=None):
+        self.max_workspaces = max_workspaces
+        self.cache_entries = cache_entries
+        self.default_jobs = default_jobs
+        self.log = log or (lambda message: None)
+        self._workspaces: "OrderedDict[str, Workspace]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self.requests_total = 0
+        self.evictions = 0
+
+    # -- workspace table -----------------------------------------------------
+
+    def workspace(self, name: str) -> Workspace:
+        """The named workspace, LRU-touched; unknown names are an error (a
+        client must ``open_workspace`` first — auto-creating here would turn
+        a typo into a silently empty tree)."""
+        with self._lock:
+            return self._touch_locked(name)
+
+    def _touch_locked(self, name: str) -> Workspace:
+        workspace = self._workspaces.get(name)
+        if workspace is None:
+            raise ServiceError("unknown-workspace",
+                               f"no workspace named {name!r}; "
+                               f"open_workspace first")
+        self._workspaces.move_to_end(name)
+        workspace.last_used = time.time()
+        workspace.requests += 1
+        self.requests_total += 1
+        return workspace
+
+    @contextmanager
+    def _checkout(self, name: str):
+        """A workspace pinned for the duration of one request: the
+        in-flight count keeps eviction away between the table lookup and
+        the workspace-lock acquisition (the lock alone cannot — a workspace
+        returned but not yet locked would look idle to the evictor)."""
+        with self._lock:
+            workspace = self._touch_locked(name)
+            workspace.in_flight += 1
+        try:
+            yield workspace
+        finally:
+            with self._lock:
+                workspace.in_flight -= 1
+
+    def open_workspace(self, name: str, *, root: Optional[str] = None,
+                       watch: bool = False, watch_backend: str = "auto",
+                       watch_interval: float = 0.5) -> dict:
+        """Create (or re-open) a named workspace.
+
+        ``root`` points the workspace at a server-side directory, loaded
+        now and — with ``watch=True`` — auto-refreshed by a filesystem
+        watcher; without a root the workspace starts empty and is populated
+        by ``sync_files``.  Opening an existing name is idempotent and
+        never drops warm state (a differing ``root`` is an error)."""
+        if not name or not isinstance(name, str):
+            raise ServiceError("bad-request", "workspace name must be a "
+                                              "non-empty string")
+        with self._lock:
+            workspace = self._workspaces.get(name)
+            created = workspace is None
+            if created:
+                workspace = Workspace(name, cache_entries=self.cache_entries,
+                                      root=root)
+                self._workspaces[name] = workspace
+                self._evict_cold_locked()
+            self._workspaces.move_to_end(name)
+            self.requests_total += 1
+        if not created and root is not None and workspace.root != root:
+            raise ServiceError("bad-request",
+                               f"workspace {name!r} is already open with "
+                               f"root {workspace.root!r}")
+        with workspace.lock:
+            workspace.last_used = time.time()
+            if created and root is not None:
+                workspace.load_root()
+            if watch and root is not None:
+                workspace.start_auto_refresh(watch_backend, watch_interval,
+                                             self.log)
+            return {"workspace": name, "created": created,
+                    "files": len(workspace.codebase),
+                    "protocol": PROTOCOL_VERSION}
+
+    def _evict_cold_locked(self) -> None:
+        """Drop LRU-coldest workspaces past the bound; busy ones — a
+        request in flight (checked out but possibly not yet holding the
+        workspace lock) or the lock held — are skipped for the
+        next-coldest, so eviction never interrupts a client mid-request."""
+        names = list(self._workspaces)
+        for name in names:
+            if len(self._workspaces) <= self.max_workspaces:
+                break
+            workspace = self._workspaces[name]
+            if workspace.in_flight > 0:
+                continue
+            if not workspace.lock.acquire(blocking=False):
+                continue
+            try:
+                del self._workspaces[name]
+                self.evictions += 1
+                workspace.close()
+            finally:
+                workspace.lock.release()
+
+    # -- verbs ---------------------------------------------------------------
+
+    def sync_files(self, name: str, *, files: Optional[dict] = None,
+                   remove: Optional[Sequence[str]] = None,
+                   hashes: Optional[dict] = None) -> dict:
+        """Content-hash delta upload.
+
+        ``hashes`` — the client's full ``{name: sha1}`` manifest — makes
+        the sync *authoritative*: the response's ``need`` lists files whose
+        content the server lacks (missing or hash-mismatched), and server
+        files absent from the manifest are removed.  ``files`` upserts
+        contents (typically the previous response's ``need``); ``remove``
+        deletes explicitly.  All three can be combined; a manifest-only
+        round followed by a contents round is the two-phase delta the
+        client uses, so an unchanged tree uploads nothing but its hashes.
+        Upserts are applied *before* a manifest is evaluated, so one
+        request carrying both atomically re-establishes a client's whole
+        tree (the anti-torn-mixture half of the client's sync loop)."""
+        if files is not None and not all(
+                isinstance(k, str) and isinstance(v, str)
+                for k, v in files.items()):
+            raise ServiceError("bad-request",
+                               "sync_files files must map names to text")
+        with self._checkout(name) as workspace, workspace.lock:
+            workspace.syncs += 1
+            codebase = workspace.codebase
+            added: list[str] = []
+            changed: list[str] = []
+            removed: list[str] = []
+            for filename in list(remove or ()):
+                if filename in codebase:
+                    del codebase[filename]
+                    removed.append(filename)
+            if files:
+                for filename, text in files.items():
+                    if filename not in codebase:
+                        codebase[filename] = text
+                        added.append(filename)
+                    elif codebase[filename] != text:
+                        codebase[filename] = text
+                        changed.append(filename)
+            need: list[str] = []
+            if hashes is not None:
+                for filename, digest in hashes.items():
+                    if filename not in codebase \
+                            or content_sha1(codebase[filename]) != digest:
+                        need.append(filename)
+                for filename in [n for n in codebase.names()
+                                 if n not in hashes]:
+                    del codebase[filename]
+                    removed.append(filename)
+            return {"workspace": name, "files": len(codebase),
+                    "added": added, "changed": changed, "removed": removed,
+                    "need": need}
+
+    def apply(self, name: str, patches: Sequence[dict], *,
+              options: Optional[dict] = None, jobs: "int | str | None" = None,
+              prefilter: bool = True, diff: bool = True, texts: bool = False,
+              profile: bool = False, store: bool = True) -> dict:
+        """Apply a patch list to a workspace, reusing warm state.
+
+        ``patches`` is a list of wire specs (``{"kind": "cookbook",
+        "name": ...}`` or ``{"kind": "smpl", "text": ..., "name": ...}``,
+        applied in order as one pipeline).  The run goes through
+        :class:`~repro.engine.incremental.IncrementalPipeline` seeded with
+        the workspace's last result — the engine splices unchanged files
+        and patch prefixes, or degrades to a cold run when nothing is
+        reusable.  The response is the shared :mod:`result payload
+        <repro.server.protocol>` (diffs and changed texts on request,
+        volatile profile section under ``"profile"``)."""
+        with self._checkout(name) as workspace, workspace.lock:
+            built = self._build_patches(workspace, patches,
+                                        options_from_payload(options))
+            workspace.applies += 1
+            pipeline = IncrementalPipeline(
+                [patch.ast for patch in built],
+                options=[patch.options for patch in built],
+                names=[patch.name for patch in built],
+                jobs=self.default_jobs if jobs is None else jobs,
+                prefilter=prefilter, tree_cache=workspace.cache)
+            token_index = workspace.codebase.token_index() if prefilter \
+                else None
+            result = pipeline.run(workspace.codebase.files,
+                                  since=workspace.last,
+                                  token_index=token_index)
+            if store:
+                workspace.last = result
+            payload = result_payload(result, built, include_diff=diff,
+                                     include_texts=texts)
+            payload["workspace"] = name
+            if profile:
+                payload["profile"] = profile_payload(
+                    result, cache=workspace.cache,
+                    token_index=workspace.codebase._token_index)
+            return payload
+
+    def query(self, name: str, patches: Sequence[dict], *,
+              options: Optional[dict] = None, jobs: "int | str | None" = None,
+              prefilter: bool = True, profile: bool = False) -> dict:
+        """Match-only reporting: an ``apply`` that ships no diffs or texts
+        and never replaces the workspace's warm result (so an exploratory
+        query against a different patch list cannot cool the primary
+        cookbook's reuse chain).  It still *reads* the warm state: an
+        identical patch list splices everything and answers instantly."""
+        return self.apply(name, patches, options=options, jobs=jobs,
+                          prefilter=prefilter, diff=False, texts=False,
+                          profile=profile, store=False)
+
+    def stats(self, name: Optional[str] = None) -> dict:
+        """Service- and per-workspace counters (cache hit/miss/dedup and
+        prefilter scan reuse included — the satellite's user-visible
+        surface for numbers that previously died with the process)."""
+        with self._lock:
+            workspaces = list(self._workspaces.values())
+            payload = {
+                "protocol": PROTOCOL_VERSION,
+                "uptime_seconds": time.time() - self.started_at,
+                "workspaces": len(workspaces),
+                "max_workspaces": self.max_workspaces,
+                "requests_total": self.requests_total,
+                "evictions": self.evictions,
+            }
+        if name is not None:
+            with self._checkout(name) as workspace, workspace.lock:
+                payload["workspace"] = workspace.stats_payload()
+        else:
+            rows = []
+            for workspace in workspaces:
+                with workspace.lock:
+                    rows.append(workspace.stats_payload())
+            payload["per_workspace"] = rows
+        return payload
+
+    def ping(self) -> dict:
+        return {"protocol": PROTOCOL_VERSION, "pid": os.getpid()}
+
+    def close(self) -> None:
+        """Stop watcher threads and drop all workspaces (daemon shutdown)."""
+        with self._lock:
+            workspaces = list(self._workspaces.values())
+            self._workspaces.clear()
+        for workspace in workspaces:
+            workspace.close()
+
+    # -- patch building ------------------------------------------------------
+
+    def _build_patches(self, workspace: Workspace, specs: Sequence[dict],
+                       options: Optional[SpatchOptions],
+                       ) -> list[SemanticPatch]:
+        """The ordered patch list a request's wire specs name, cached per
+        workspace by spec identity (kind, name, content hash, options) so
+        steady-state requests skip SMPL re-parsing; caller holds the lock."""
+        if not specs:
+            raise ServiceError("bad-request", "no patches given")
+        built: list[SemanticPatch] = []
+        options_key = repr(options)
+        for spec in specs:
+            if not isinstance(spec, dict) or "kind" not in spec:
+                raise ServiceError("bad-patch",
+                                   "patch specs must be objects with a "
+                                   "'kind' field")
+            kind = spec["kind"]
+            if kind == "cookbook":
+                key = ("cookbook", spec.get("name"), options_key)
+            elif kind == "smpl":
+                text = spec.get("text")
+                if not isinstance(text, str):
+                    raise ServiceError("bad-patch",
+                                       "smpl specs need a 'text' string")
+                key = ("smpl", spec.get("name"), content_sha1(text),
+                       options_key)
+            else:
+                raise ServiceError("bad-patch",
+                                   f"unknown patch spec kind {kind!r}")
+            cached = workspace._patches.get(key)
+            if cached is None:
+                cached = tuple(self._parse_spec(spec, options))
+                workspace._patches[key] = cached
+                while len(workspace._patches) > MAX_CACHED_PATCH_SPECS:
+                    workspace._patches.popitem(last=False)
+            else:
+                workspace._patches.move_to_end(key)
+            built.extend(cached)
+        return built
+
+    @staticmethod
+    def _parse_spec(spec: dict, options: Optional[SpatchOptions],
+                    ) -> list[SemanticPatch]:
+        from ..cookbook import builders
+
+        if spec["kind"] == "smpl":
+            try:
+                return [SemanticPatch.from_string(
+                    spec["text"], options=options,
+                    name=spec.get("name", "<smpl>"))]
+            except Exception as exc:
+                raise ServiceError("bad-patch",
+                                   f"unparsable SMPL "
+                                   f"({spec.get('name', '<smpl>')}): {exc}") \
+                    from None
+        name = spec.get("name")
+        if name == FULL_PIPELINE:
+            from ..cookbook import full_modernization_pipeline
+
+            return list(full_modernization_pipeline())
+        table = builders()
+        if name not in table:
+            raise ServiceError("bad-patch",
+                               f"unknown cookbook patch {name!r}")
+        return [table[name]()]

@@ -50,6 +50,21 @@ class TestSemanticPatchApi:
         assert patch.rule_names == ["tomultiindex"]
         assert patch.options.cxx == 23
 
+    def test_embedded_option_lines_survive_explicit_options(self, tmp_path):
+        """A `# spatch --c++=N` line inside the patch must raise the
+        language level even when explicit options are passed (the CLI
+        always passes some) — it used to be silently dropped, so every
+        --sp-file run lost the patch's declared C++ level."""
+        from repro import SpatchOptions
+
+        p = tmp_path / "x.cocci"
+        p.write_text(mdspan.PAPER_LISTING)
+        patch = SemanticPatch.from_path(p, options=SpatchOptions())
+        assert patch.options.cxx == 23
+        # an explicit command-line level still wins over the embedded one
+        patch = SemanticPatch.from_path(p, options=SpatchOptions(cxx=17))
+        assert patch.options.cxx == 17
+
     def test_apply_and_transform(self, tiny_codebase):
         patch = instrumentation.likwid_patch()
         result = patch.apply(tiny_codebase)

@@ -241,3 +241,60 @@ class TestContentSha1:
         # a Latin-1 byte read with surrogateescape must hash, not crash
         text = b"// caf\xe9\nint x;\n".decode("utf-8", "surrogateescape")
         assert content_sha1(text)
+
+
+class TestCounters:
+    """The user-visible counter surface added for --profile / server stats."""
+
+    def test_dedup_waits_counted(self, monkeypatch):
+        _install_counting_parser(monkeypatch, delay=0.05)
+        cache = TreeCache()
+        barrier = threading.Barrier(4)
+
+        def worker():
+            barrier.wait()
+            cache.get_or_parse("int c;\n", "c.c", DEFAULT_OPTIONS)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        counters = cache.counters()
+        assert counters["misses"] == 1
+        assert counters["hits"] == 3
+        # every hit was answered by waiting on the in-flight parse
+        assert counters["dedup_waits"] == 3
+        # a later plain hit does not count as a dedup wait
+        cache.get_or_parse("int c;\n", "c.c", DEFAULT_OPTIONS)
+        assert cache.counters()["dedup_waits"] == 3
+        assert cache.counters()["hits"] == 4
+
+    def test_evictions_counted_and_reset(self):
+        cache = TreeCache(max_entries=2)
+        for index in range(4):
+            cache.get_or_parse(f"int e{index};\n", f"e{index}.c",
+                               DEFAULT_OPTIONS)
+        counters = cache.counters()
+        assert counters["evictions"] == 2
+        assert counters["entries"] == 2 and counters["max_entries"] == 2
+        cache.clear()
+        fresh = cache.counters()
+        assert fresh["evictions"] == fresh["dedup_waits"] == 0
+        assert fresh["hits"] == fresh["misses"] == 0
+
+
+class TestTokenIndexCounters:
+    def test_scan_reuse_counted(self):
+        from repro.engine.prefilter import TokenIndex
+
+        index = TokenIndex({"a.c": "int alpha;\n"})
+        index.tokens_of("a.c")
+        index.tokens_of("a.c")
+        counters = index.counters()
+        assert counters["scan_misses"] == 1
+        assert counters["scan_hits"] == 1
+        # new content for the same name forces a fresh scan
+        index.add("a.c", "int beta;\n")
+        assert "beta" in index.tokens_of("a.c")
+        assert index.counters()["scan_misses"] == 2

@@ -1,0 +1,155 @@
+"""Tests for ``repro-spatch --json`` and the shared result serialization.
+
+The ``--json`` payload *is* the server protocol's apply response (minus
+the workspace echo): one schema, produced by
+:func:`repro.server.protocol.result_payload`, so most parity coverage
+lives in ``test_server_daemon.py`` — here we pin the local semantics:
+schema shape, exit-status agreement, determinism across prefilter on/off
+and incremental warm runs, and the ``--profile`` counter surfacing.
+"""
+
+import json
+
+import pytest
+
+from repro import CodeBase, PatchSet, SemanticPatch
+from repro.cli.spatch import main as spatch_main
+from repro.server.protocol import RESULT_SCHEMA, result_payload
+
+RENAME_SMPL = "@r@ @@\n- old();\n+ new_call();\n"
+
+
+@pytest.fixture
+def project(tmp_path):
+    (tmp_path / "hit.c").write_text("void f(void) { old(); }\n")
+    (tmp_path / "miss.c").write_text("int unrelated;\n")
+    cocci = tmp_path / "r.cocci"
+    cocci.write_text(RENAME_SMPL)
+    return tmp_path, cocci
+
+
+def run_json(capsys, argv):
+    rc = spatch_main(argv)
+    out = capsys.readouterr().out
+    return rc, json.loads(out)
+
+
+class TestJsonFlag:
+    def test_schema_and_contents(self, project, capsys):
+        tmp_path, cocci = project
+        rc, payload = run_json(capsys, ["--json", "--sp-file", str(cocci),
+                                        str(tmp_path)])
+        assert rc == 0
+        assert payload["schema"] == RESULT_SCHEMA
+        assert payload["exit_status"] == 0 and payload["matched"]
+        assert payload["patches"] == ["r.cocci"]
+        assert payload["summary"]["changed_files"] == 1
+        hit = payload["files"][str(tmp_path / "hit.c")]
+        assert hit["changed"] and hit["matches"] == 1
+        (rule_row,) = hit["rules"]
+        assert rule_row["rule"] == "r" and rule_row["matches"] == 1
+        assert rule_row["deletions"] > 0 and rule_row["insertions"] > 0
+        assert "new_call" in hit["diff"]
+        miss = payload["files"][str(tmp_path / "miss.c")]
+        assert not miss["changed"] and "diff" not in miss
+        assert payload["per_patch"][0]["patch"] == "r.cocci"
+        assert "profile" not in payload  # volatile bits only on request
+
+    def test_exit_status_agreement_on_no_match(self, tmp_path, capsys):
+        (tmp_path / "code.c").write_text("int nothing;\n")
+        cocci = tmp_path / "r.cocci"
+        cocci.write_text(RENAME_SMPL)
+        rc, payload = run_json(capsys, ["--json", "--sp-file", str(cocci),
+                                        str(tmp_path)])
+        assert rc == 1
+        assert payload["exit_status"] == 1 and not payload["matched"]
+
+    def test_deterministic_across_prefilter_toggle(self, project, capsys):
+        tmp_path, cocci = project
+        _, on = run_json(capsys, ["--json", "--sp-file", str(cocci),
+                                  str(tmp_path)])
+        _, off = run_json(capsys, ["--json", "--sp-file", str(cocci),
+                                   "--no-prefilter", str(tmp_path)])
+        assert json.dumps(on, sort_keys=True) == json.dumps(off,
+                                                            sort_keys=True)
+
+    def test_deterministic_across_incremental_warm_run(self, project,
+                                                       capsys):
+        tmp_path, cocci = project
+        state = tmp_path / ".state"
+        argv = ["--json", "--sp-file", str(cocci), "--incremental",
+                str(state), str(tmp_path)]
+        _, cold = run_json(capsys, argv)
+        _, warm = run_json(capsys, argv)  # splices everything
+        assert json.dumps(cold, sort_keys=True) == json.dumps(warm,
+                                                              sort_keys=True)
+
+    def test_profile_section_carries_counters(self, project, capsys):
+        tmp_path, cocci = project
+        rc = spatch_main(["--json", "--profile", "--sp-file", str(cocci),
+                          str(tmp_path)])
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert rc == 0
+        profile = payload["profile"]
+        assert profile["stats"]["files_total"] == 2
+        assert {"hits", "misses", "dedup_waits", "evictions"} \
+            <= set(profile["parse_cache"])
+        assert profile["token_index"]["scan_misses"] >= 1
+        # the human-readable --profile lines surface the same counters
+        assert "parse cache (process):" in captured.err
+        assert "token index:" in captured.err
+
+    def test_pipeline_payload_has_per_patch_rows(self, tmp_path, capsys):
+        (tmp_path / "a.c").write_text("void f(void) { old(); gone(); }\n")
+        one = tmp_path / "one.cocci"
+        one.write_text(RENAME_SMPL)
+        two = tmp_path / "two.cocci"
+        two.write_text("@s@ @@\n- gone();\n+ kept();\n")
+        rc, payload = run_json(capsys, ["--json", "--sp-file", str(one),
+                                        "--sp-file", str(two),
+                                        str(tmp_path)])
+        assert rc == 0
+        assert [row["patch"] for row in payload["per_patch"]] \
+            == ["one.cocci", "two.cocci"]
+        assert all(row["matches"] == 1 for row in payload["per_patch"])
+        rules = [r["rule"]
+                 for r in payload["files"][str(tmp_path / "a.c")]["rules"]]
+        assert rules == ["r", "s"]
+
+    def test_json_watch_conflict(self, project):
+        tmp_path, cocci = project
+        with pytest.raises(SystemExit):
+            spatch_main(["--json", "--watch", "--sp-file", str(cocci),
+                         str(tmp_path)])
+
+    def test_json_in_place_rewrites_and_reports(self, project, capsys):
+        tmp_path, cocci = project
+        rc, payload = run_json(capsys, ["--json", "--in-place", "--sp-file",
+                                        str(cocci), str(tmp_path)])
+        assert rc == 0
+        assert "new_call" in (tmp_path / "hit.c").read_text()
+        assert payload["summary"]["changed_files"] == 1
+
+
+class TestResultPayloadApi:
+    def test_single_patch_result_serializes_like_pipeline(self):
+        files = {"a.c": "void f(void) { old(); }\n"}
+        patch = SemanticPatch.from_string(RENAME_SMPL, name="inline")
+        single = patch.apply(CodeBase.from_files(files))
+        pipeline = PatchSet([patch]).apply(CodeBase.from_files(files))
+        assert json.dumps(result_payload(single, [patch]), sort_keys=True) \
+            == json.dumps(result_payload(pipeline, [patch]), sort_keys=True)
+
+    def test_surrogate_bytes_survive_the_json_round_trip(self):
+        # Latin-1 comment bytes load as lone surrogates; the payload must
+        # carry them through dumps/loads unchanged (ensure_ascii escapes)
+        text = "int x; /* caf\udce9 */ void f(void) { old(); }\n"
+        patch = SemanticPatch.from_string(RENAME_SMPL, name="inline")
+        result = patch.apply(CodeBase.from_files({"a.c": text}))
+        payload = result_payload(result, [patch], include_texts=True)
+        line = json.dumps(payload, sort_keys=True, ensure_ascii=True)
+        restored = json.loads(line)
+        assert restored["files"]["a.c"]["text"] \
+            == result.files["a.c"].text
+        assert "\udce9" in restored["files"]["a.c"]["text"]
