@@ -240,13 +240,16 @@ class SemanticPatch:
         return self.engine().apply_to_file(filename, text)
 
     def apply(self, codebase: "CodeBase | dict[str, str]", *,
-              jobs: "int | str" = 1, prefilter: bool = True) -> PatchResult:
+              jobs: "int | str" = 1, prefilter: bool = True,
+              compile: Optional[bool] = None) -> PatchResult:
         """Apply the patch to a whole code base; returns per-file results.
 
         ``jobs`` applies files in that many worker processes (``"auto"`` =
         one per CPU); ``prefilter`` skips files the required-token analysis
-        proves cannot match (behaviour-preserving, on by default).  The
-        returned result carries the driver's timing breakdown in ``.stats``.
+        proves cannot match (behaviour-preserving, on by default);
+        ``compile`` selects the compiled matcher backend (``None`` defers to
+        ``REPRO_MATCHER``, which defaults to compiled).  The returned result
+        carries the driver's timing breakdown in ``.stats``.
         """
         from .engine.driver import Driver
 
@@ -257,15 +260,17 @@ class SemanticPatch:
             files = dict(codebase)
             index = None
         driver = Driver(self.ast, options=self.options, jobs=jobs,
-                        prefilter=prefilter)
+                        prefilter=prefilter, compile=compile)
         return driver.run(files, token_index=index)
 
     def transform(self, codebase: "CodeBase", *,
-                  jobs: "int | str" = 1, prefilter: bool = True) -> "CodeBase":
+                  jobs: "int | str" = 1, prefilter: bool = True,
+                  compile: Optional[bool] = None) -> "CodeBase":
         """Apply the patch and return the transformed code base (the
         'replayable refactoring' workflow of the paper: the original tree is
         the maintained source of truth, the refactored copy is regenerated)."""
-        result = self.apply(codebase, jobs=jobs, prefilter=prefilter)
+        result = self.apply(codebase, jobs=jobs, prefilter=prefilter,
+                            compile=compile)
         return CodeBase(files={name: fr.text for name, fr in result.files.items()})
 
 
@@ -314,16 +319,18 @@ class PatchSet:
 
     # -- application -------------------------------------------------------------
 
-    def pipeline(self, *, jobs: "int | str" = 1, prefilter: bool = True):
+    def pipeline(self, *, jobs: "int | str" = 1, prefilter: bool = True,
+                 compile: Optional[bool] = None):
         """A fresh :class:`~repro.engine.pipeline.PatchPipeline` (one per run)."""
         from .engine.pipeline import PatchPipeline
 
         return PatchPipeline([patch.ast for patch in self.patches],
                              options=[patch.options for patch in self.patches],
                              names=self.patch_names,
-                             jobs=jobs, prefilter=prefilter)
+                             jobs=jobs, prefilter=prefilter, compile=compile)
 
-    def incremental(self, *, jobs: "int | str" = 1, prefilter: bool = True):
+    def incremental(self, *, jobs: "int | str" = 1, prefilter: bool = True,
+                    compile: Optional[bool] = None):
         """A fresh :class:`~repro.engine.incremental.IncrementalPipeline`
         (one per run), for callers that drive ``run(files, since=...)``
         themselves."""
@@ -333,10 +340,12 @@ class PatchSet:
                                    options=[patch.options
                                             for patch in self.patches],
                                    names=self.patch_names,
-                                   jobs=jobs, prefilter=prefilter)
+                                   jobs=jobs, prefilter=prefilter,
+                                   compile=compile)
 
     def apply(self, codebase: "CodeBase | dict[str, str]", *,
-              jobs: "int | str" = 1, prefilter: bool = True, since=None):
+              jobs: "int | str" = 1, prefilter: bool = True, since=None,
+              compile: Optional[bool] = None):
         """Apply every patch, in order, to a whole code base in one pass.
 
         Returns a :class:`~repro.engine.pipeline.PipelineResult`: a
@@ -370,17 +379,19 @@ class PatchSet:
             files = dict(codebase)
             index = None
         if since is None:
-            return self.pipeline(jobs=jobs, prefilter=prefilter) \
+            return self.pipeline(jobs=jobs, prefilter=prefilter,
+                                 compile=compile) \
                 .run(files, token_index=index)
-        return self.incremental(jobs=jobs, prefilter=prefilter) \
+        return self.incremental(jobs=jobs, prefilter=prefilter,
+                                compile=compile) \
             .run(files, since=since, token_index=index)
 
     def transform(self, codebase: "CodeBase", *,
                   jobs: "int | str" = 1, prefilter: bool = True,
-                  since=None) -> "CodeBase":
+                  since=None, compile: Optional[bool] = None) -> "CodeBase":
         """Apply the whole set and return the transformed code base."""
         result = self.apply(codebase, jobs=jobs, prefilter=prefilter,
-                            since=since)
+                            since=since, compile=compile)
         return CodeBase(files={name: fr.text for name, fr in result.files.items()})
 
 

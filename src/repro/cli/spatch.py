@@ -197,8 +197,9 @@ def _build_patches(patch_args: list[tuple[str, str]],
 def _print_counter_lines(codebase: CodeBase) -> None:
     """The cache/prefilter counters ``--profile`` surfaces beyond the run's
     own stats: process-wide parse-cache traffic (hits/misses/dedup waits/
-    evictions) and token-index scan reuse."""
+    evictions), token-index scan reuse and the compiled-matcher counters."""
     from ..engine.cache import DEFAULT_TREE_CACHE
+    from ..engine.compile import matcher_counters
 
     cache = DEFAULT_TREE_CACHE.counters()
     print(f"# parse cache (process): {cache['entries']}/"
@@ -211,6 +212,16 @@ def _print_counter_lines(codebase: CodeBase) -> None:
         print(f"# token index: {counters['scan_hits']} cached scan(s) "
               f"reused, {counters['scan_misses']} fresh scan(s)",
               file=sys.stderr)
+    matcher = matcher_counters()
+    print(f"# matcher (process): {matcher['rules_compiled']} rule(s) "
+          f"compiled, {matcher['rules_fallback']} interpreted fallback(s), "
+          f"{matcher['compile_cache_hits']} compile-cache hit(s), "
+          f"{matcher['match_calls']} match call(s)", file=sys.stderr)
+    print(f"# matcher candidates: {matcher['candidates_filtered']} of "
+          f"{matcher['candidates_filtered'] + matcher['candidates_visited']} "
+          f"pruned ({100.0 * matcher['filter_rate']:.1f}%), "
+          f"{matcher['trees_indexed']} tree(s) indexed, "
+          f"{matcher['index_reuses']} index reuse(s)", file=sys.stderr)
 
 
 def _print_json(result, patches: list[SemanticPatch], codebase: CodeBase,

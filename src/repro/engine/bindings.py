@@ -107,7 +107,9 @@ class Env:
             return self if existing.equivalent(value) else None
         new = dict(self._values)
         new[name] = value
-        return Env(new)
+        env = Env.__new__(Env)
+        env._values = new
+        return env
 
     def bind_all(self, pairs: dict[str, BoundValue]) -> Optional["Env"]:
         env: Optional[Env] = self

@@ -148,14 +148,16 @@ def ast_from_payload(payload, options: Optional[SpatchOptions]) -> SemanticPatch
 
 
 def _worker_init(payload, options: Optional[SpatchOptions],
-                 cache_max_entries: int) -> None:
+                 cache_max_entries: int,
+                 compile_flag: Optional[bool] = None) -> None:
     from .engine import Engine
 
     ast = ast_from_payload(payload, options)
     # caches are per-process (a TreeCache's lock cannot cross exec/pickle),
     # so each worker gets a fresh one honouring the parent cache's bound
     engine = Engine(ast, options=options,
-                    tree_cache=TreeCache(max_entries=cache_max_entries))
+                    tree_cache=TreeCache(max_entries=cache_max_entries),
+                    compile=compile_flag)
     if has_per_file_scripts(ast):
         # script rules read the globals initialize rules set up; patches
         # without per-file scripts get their single initialize in the parent
@@ -214,7 +216,8 @@ class Driver:
                  options: Optional[SpatchOptions] = None, *,
                  jobs: "int | str" = 1, prefilter: bool = True,
                  engine: "Optional[Engine]" = None,
-                 tree_cache: Optional[TreeCache] = None):
+                 tree_cache: Optional[TreeCache] = None,
+                 compile: Optional[bool] = None):
         from .engine import Engine
 
         self.patch = patch
@@ -222,9 +225,11 @@ class Driver:
         self.jobs = resolve_jobs(jobs)
         self.jobs_requested = jobs
         self.prefilter_enabled = prefilter
+        self.compile_flag = compile
         self.tree_cache = tree_cache if tree_cache is not None else DEFAULT_TREE_CACHE
         self.engine = engine or Engine(patch, options=self.options,
-                                       tree_cache=self.tree_cache)
+                                       tree_cache=self.tree_cache,
+                                       compile=compile)
         self.prefilter = PatchPrefilter(patch) if prefilter else None
         self.stats = DriverStats()
 
@@ -326,7 +331,8 @@ class Driver:
     def _run_parallel(self, session_files, jobs: int) -> dict[str, FileResult]:
         file_results = run_fork_pool(
             session_files, jobs, _worker_init,
-            (self._payload(), self.options, self.tree_cache.max_entries),
+            (self._payload(), self.options, self.tree_cache.max_entries,
+             self.compile_flag),
             _worker_apply)
         return {file_result.filename: file_result
                 for file_result in file_results}

@@ -23,6 +23,7 @@ from typing import Optional
 from ..options import SpatchOptions
 from ..smpl.ast import ScriptRule, SemanticPatchAST
 from .cache import TreeCache
+from .compile import CompiledPatch, backend_enabled, compiled_patch_for
 from .report import FileResult, PatchResult
 from .scripting import ScriptRunner
 from .session import FileSession
@@ -33,14 +34,23 @@ class Engine:
 
     def __init__(self, patch: SemanticPatchAST,
                  options: Optional[SpatchOptions] = None,
-                 tree_cache: Optional[TreeCache] = None):
+                 tree_cache: Optional[TreeCache] = None,
+                 compile: Optional[bool] = None):
         self.patch = patch
         self.options = options or patch.options
         self.runner = ScriptRunner(enabled=self.options.python_scripting)
         self.tree_cache = tree_cache
+        self.compile_enabled = backend_enabled(compile)
         self._initialize_done = False
 
     # -- public API -----------------------------------------------------------
+
+    def compiled(self) -> Optional[CompiledPatch]:
+        """The patch's compiled matchers (globally cached by fingerprint), or
+        ``None`` when the interpreted reference backend is selected."""
+        if not self.compile_enabled:
+            return None
+        return compiled_patch_for(self.patch, self.options)
 
     def session_for(self, filename: str, text: str,
                     allowed_rules: Optional[frozenset[str]] = None) -> FileSession:
@@ -48,7 +58,8 @@ class Engine:
         engine's script namespace and parse cache)."""
         return FileSession(self.patch, self.options, self.runner,
                            filename, text, allowed_rules=allowed_rules,
-                           tree_cache=self.tree_cache)
+                           tree_cache=self.tree_cache,
+                           compiled=self.compiled())
 
     def apply_to_file(self, filename: str, text: str) -> FileResult:
         """Apply the whole patch to one file's contents."""

@@ -166,10 +166,12 @@ class IncrementalPipeline:
                  options: Optional[Sequence[Optional[SpatchOptions]]] = None, *,
                  names: Optional[Sequence[str]] = None,
                  jobs: "int | str" = 1, prefilter: bool = True,
-                 tree_cache: Optional[TreeCache] = None):
+                 tree_cache: Optional[TreeCache] = None,
+                 compile: Optional[bool] = None):
         self.pipeline = PatchPipeline(patches, options, names=names,
                                       jobs=jobs, prefilter=prefilter,
-                                      tree_cache=tree_cache)
+                                      tree_cache=tree_cache,
+                                      compile=compile)
 
     @property
     def fingerprint(self) -> str:

@@ -36,33 +36,46 @@ from .bindings import BoundValue, Env, Position, EMPTY_ENV
 # match state
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
 class Correspondence:
-    kind: str                      # "node" | "binding" | "dots"
-    pattern: A.Node
-    code: tuple[A.Node, ...]       # one node for node/binding, 0..n for dots/lists
+    """Immutable by convention; a plain slotted class because states are
+    created once per partial match step — the matcher's hottest allocation."""
+
+    __slots__ = ("kind", "pattern", "code")
+
+    def __init__(self, kind: str, pattern: A.Node,
+                 code: "tuple[A.Node, ...]"):
+        self.kind = kind               # "node" | "binding" | "dots"
+        self.pattern = pattern
+        self.code = code               # one node for node/binding, 0..n for dots/lists
 
     @property
     def single(self) -> Optional[A.Node]:
         return self.code[0] if self.code else None
 
 
-@dataclass(frozen=True)
 class MState:
-    env: Env
-    corr: tuple[Correspondence, ...] = ()
+    __slots__ = ("env", "corr")
+
+    def __init__(self, env: Env, corr: "tuple[Correspondence, ...]" = ()):
+        self.env = env
+        self.corr = corr
 
     def bind(self, name: str, value: BoundValue) -> Optional["MState"]:
         env = self.env.bind(name, value)
         if env is None:
             return None
-        return MState(env=env, corr=self.corr)
+        return MState(env, self.corr)
 
     def add(self, kind: str, pattern: A.Node, code) -> "MState":
-        nodes = tuple(code) if isinstance(code, (list, tuple)) else (code,)
-        return MState(env=self.env,
-                      corr=self.corr + (Correspondence(kind=kind, pattern=pattern,
-                                                       code=nodes),))
+        nodes = tuple(code) if code.__class__ in (list, tuple) else (code,)
+        corr = Correspondence.__new__(Correspondence)
+        corr.kind = kind
+        corr.pattern = pattern
+        corr.code = nodes
+        state = MState.__new__(MState)
+        state.env = self.env
+        state.corr = self.corr + (corr,)
+        return state
 
 
 @dataclass

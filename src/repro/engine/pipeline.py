@@ -307,8 +307,16 @@ def _apply_patches_to_file(engines, prefilters, filename: str, text: str,
         n_rules = len(engine.patch.patch_rules())
         if prefilter is not None:
             if tokens is None:
-                tokens = scan_token_set(text)
-            plan = prefilter.plan_for(tokens)
+                # patch-boundary re-scan: an earlier patch edited the text,
+                # so the shared token set is stale.  Each patch only ever
+                # asks whether its own required tokens are present, so one
+                # vectorized pass over the patch's query alternation answers
+                # its plan without re-scanning every word of the file; the
+                # shared set stays unset and the next edited boundary scans
+                # its own (typically different) query.
+                plan = prefilter.plan_for(prefilter.scan_query(text))
+            else:
+                plan = prefilter.plan_for(tokens)
             if not plan.needs_session:
                 results.append(FileResult(filename=filename,
                                           original_text=text, text=text))
@@ -338,7 +346,8 @@ _PIPELINE_WORKER: dict = {}
 
 
 def _pipeline_worker_init(payloads, options_list, prefilter_enabled: bool,
-                          cache_max_entries: int) -> None:
+                          cache_max_entries: int,
+                          compile_flag: Optional[bool] = None) -> None:
     from .engine import Engine
 
     # one parse cache per worker, shared across every patch of the pipeline
@@ -347,7 +356,8 @@ def _pipeline_worker_init(payloads, options_list, prefilter_enabled: bool,
     prefilters = []
     for payload, options in zip(payloads, options_list):
         ast = ast_from_payload(payload, options)
-        engine = Engine(ast, options=options, tree_cache=cache)
+        engine = Engine(ast, options=options, tree_cache=cache,
+                        compile=compile_flag)
         if has_per_file_scripts(ast):
             # per-file scripts read the globals initialize rules set up
             engine._run_initialize_rules()
@@ -377,7 +387,8 @@ class PatchPipeline:
                  options: Optional[Sequence[Optional[SpatchOptions]]] = None, *,
                  names: Optional[Sequence[str]] = None,
                  jobs: "int | str" = 1, prefilter: bool = True,
-                 tree_cache: Optional[TreeCache] = None):
+                 tree_cache: Optional[TreeCache] = None,
+                 compile: Optional[bool] = None):
         from .engine import Engine
 
         self.patches = list(patches)
@@ -393,8 +404,10 @@ class PatchPipeline:
         self.jobs = resolve_jobs(jobs)
         self.jobs_requested = jobs
         self.prefilter_enabled = prefilter
+        self.compile_flag = compile
         self.tree_cache = tree_cache if tree_cache is not None else DEFAULT_TREE_CACHE
-        self.engines = [Engine(patch, options=opts, tree_cache=self.tree_cache)
+        self.engines = [Engine(patch, options=opts, tree_cache=self.tree_cache,
+                               compile=compile)
                         for patch, opts in zip(self.patches, self.options)]
         self.prefilter = PipelinePrefilter(self.patches) if prefilter else None
         self.patch_fingerprints = [
@@ -593,6 +606,6 @@ class PatchPipeline:
         outcomes = run_fork_pool(
             work, jobs, _pipeline_worker_init,
             (payloads, self.options, self.prefilter_enabled,
-             self.tree_cache.max_entries),
+             self.tree_cache.max_entries, self.compile_flag),
             _pipeline_worker_apply)
         return {outcome.filename: outcome for outcome in outcomes}

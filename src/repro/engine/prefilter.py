@@ -61,6 +61,8 @@ from ..smpl.ast import PatchRule, ScriptRule, SemanticPatchAST
 #: can rewrite into another spelling
 _SAFE_PUNCT = ("<<<", ">>>")
 
+_IDENT_SHAPE_RE = re.compile(r"[A-Za-z_$][A-Za-z0-9_$]*\Z")
+
 
 def scan_token_set(text: str) -> frozenset[str]:
     """Over-approximate the token set of a source file: every identifier-like
@@ -70,6 +72,65 @@ def scan_token_set(text: str) -> frozenset[str]:
         if punct in text:
             tokens.add(punct)
     return frozenset(tokens)
+
+
+class TokenQuery:
+    """Membership scan for a *fixed* token universe, vectorized into one
+    compiled regex alternation.
+
+    ``scan_token_set`` materializes every identifier-like word of a file —
+    fine when the full set is cached and reused, wasteful when a caller only
+    needs to know which of a patch's few dozen required tokens are present
+    (the per-patch re-scan at pipeline patch boundaries).  A ``TokenQuery``
+    answers exactly that question in a single ``finditer`` pass that exits
+    early once every queried word has been seen.
+
+    Membership is equivalent to ``word in scan_token_set(text)``: the word
+    lexer (``[A-Za-z_$][A-Za-z0-9_$]*``) starts a token at the first letter
+    after any non-token character *or digit run* (``12foo`` scans as ``foo``,
+    ``a1foo`` scans as ``a1foo``), which the alternation mirrors with a
+    one-character lookbehind plus an optional leading digit run.  Chevron
+    punctuators are plain substring tests, exactly as in
+    ``scan_token_set``.  Queried words that are neither identifier-shaped
+    nor safe punctuators cannot be compiled into the alternation; they are
+    conservatively reported *present* (over-approximation keeps prefilter
+    gating sound — the requirement extractor never produces such words, so
+    this is a defensive corner only).
+    """
+
+    def __init__(self, words: Iterable[str]):
+        universe = frozenset(words)
+        self.words: tuple[str, ...] = tuple(sorted(
+            w for w in universe if _IDENT_SHAPE_RE.match(w)))
+        self.puncts: tuple[str, ...] = tuple(
+            p for p in _SAFE_PUNCT if p in universe)
+        #: queried words the alternation cannot express → always "present"
+        self.unfilterable: frozenset[str] = universe.difference(
+            self.words, self.puncts)
+        if self.words:
+            alt = "|".join(re.escape(w) for w in self.words)
+            self._re: Optional[re.Pattern[str]] = re.compile(
+                r"(?:^|(?<=[^A-Za-z0-9_$]))[0-9]*(" + alt
+                + r")(?![A-Za-z0-9_$])")
+        else:
+            self._re = None
+
+    def scan(self, text: str) -> frozenset[str]:
+        """The subset of the queried universe present in ``text``."""
+        found: set[str] = set(self.unfilterable)
+        if self._re is not None:
+            remaining = len(self.words)
+            for match in self._re.finditer(text):
+                word = match.group(1)
+                if word not in found:
+                    found.add(word)
+                    remaining -= 1
+                    if not remaining:
+                        break
+        for punct in self.puncts:
+            if punct in text:
+                found.add(punct)
+        return frozenset(found)
 
 
 def required_tokens(rule: PatchRule) -> frozenset[str]:
@@ -179,6 +240,12 @@ class PatchPrefilter:
             added, wildcard = addable_tokens(rule)
             addable_so_far |= added
             unbounded = unbounded or wildcard
+        #: one alternation over the union of all rule requirements — every
+        #: rule's requirement is a subset of this universe, so a plan built
+        #: from ``scan_query`` tokens equals one built from the full token set
+        self.query = TokenQuery(
+            frozenset().union(*self.requirements.values())
+            if self.requirements else frozenset())
 
     def allowed_rules(self, file_tokens: Iterable[str]) -> frozenset[str]:
         tokens = file_tokens if isinstance(file_tokens, (set, frozenset)) \
@@ -191,8 +258,16 @@ class PatchPrefilter:
         return FilePlan(allowed_rules=allowed,
                         needs_session=self._needs_session(allowed))
 
+    def scan_query(self, text: str) -> frozenset[str]:
+        """Which of this patch's required tokens appear in ``text`` — a
+        single-pass vectorized scan that, fed to :meth:`plan_for`, yields
+        the same plan as the full ``scan_token_set`` would (each rule's
+        requirement is a subset of the query universe, so tokens outside it
+        can never change a ``req <= tokens`` test)."""
+        return self.query.scan(text)
+
     def plan_for_text(self, text: str) -> FilePlan:
-        return self.plan_for(scan_token_set(text))
+        return self.plan_for(self.scan_query(text))
 
     # -- whole-file skipping --------------------------------------------------
 

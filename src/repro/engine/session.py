@@ -18,7 +18,7 @@ environment of the latest rule in its inheritance chain.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from ..errors import Diagnostic
 from ..lang.parser import ParseTree, parse_source
@@ -32,6 +32,9 @@ from .report import FileResult, RuleReport
 from .scripting import ScriptRunner
 from .transform import FreshNameRegistry, Transformer
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .compile import CompiledPatch
+
 
 class FileSession:
     """Applies the rule sequence of one semantic patch to one file."""
@@ -39,7 +42,8 @@ class FileSession:
     def __init__(self, patch: SemanticPatchAST, options: SpatchOptions,
                  runner: ScriptRunner, filename: str, text: str,
                  allowed_rules: Optional[frozenset[str]] = None,
-                 tree_cache: Optional[TreeCache] = None):
+                 tree_cache: Optional[TreeCache] = None,
+                 compiled: "Optional[CompiledPatch]" = None):
         self.patch = patch
         self.options = options
         self.runner = runner
@@ -56,6 +60,8 @@ class FileSession:
         #: matching nothing (no report, no export, no applied-rule entry).
         self.allowed_rules = allowed_rules
         self.tree_cache = tree_cache
+        #: compiled matchers for this patch (None → interpreted reference)
+        self.compiled = compiled
 
     # -- public API -----------------------------------------------------------
 
@@ -143,14 +149,25 @@ class FileSession:
         inherited = {d.name: (d.source_rule, d.source_name)
                      for d in rule.metavars.inherited()}
 
+        # the compiled patch may come from the global fingerprint-keyed cache
+        # and therefore hold a *twin* of this rule (an identical AST parsed
+        # from the same source); everything downstream of matching — the
+        # transformer and the exported-metavar names — must consistently use
+        # the twin the match instances reference
+        crule = self.compiled.rule_for(rule) if self.compiled is not None else None
+        mrule = crule.rule if crule is not None else rule
+
         instances: list[MatchInstance] = []
         seen_signatures: set = set()
         for base_env in base_envs:
             seeded = base_env.locals_from_inherited(inherited)
             if seeded is None:
                 continue
-            matcher = Matcher(rule, tree, options=self.options)
-            for inst in matcher.match_all(seeded):
+            if crule is not None:
+                found = crule.match_all(tree, seeded)
+            else:
+                found = Matcher(rule, tree, options=self.options).match_all(seeded)
+            for inst in found:
                 sig = inst.signature()
                 if sig in seen_signatures:
                     continue
@@ -163,10 +180,10 @@ class FileSession:
         self.applied_rules.add(rule.name)
 
         edit_set = EditSet(source=tree.source)
-        transformer = Transformer(rule, tree, options=self.options,
+        transformer = Transformer(mrule, tree, options=self.options,
                                   fresh_registry=FreshNameRegistry.for_tree(tree))
         exported_envs: list[Env] = []
-        local_names = rule.exported_metavars
+        local_names = mrule.exported_metavars
         for inst in instances:
             fresh = transformer.apply_instance(inst, edit_set)
             env = inst.env

@@ -45,12 +45,25 @@ class Node:
         return self
 
 
+#: semantic field names per node class — ``dataclasses.fields`` re-derives
+#: the tuple on every call, which made generic traversal the hottest part of
+#: tree walking; the field list of a class never changes, so cache it
+_CHILD_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
+
+
+def _field_names(cls: type) -> tuple[str, ...]:
+    names = _CHILD_FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(f.name for f in dc_fields(cls)
+                      if f.name not in ("start", "end", "pos_metavars"))
+        _CHILD_FIELD_NAMES[cls] = names
+    return names
+
+
 def iter_child_nodes(node: Node) -> Iterator[Node]:
     """Yield the direct child nodes of ``node`` in field order."""
-    for f in dc_fields(node):
-        if f.name in ("start", "end", "pos_metavars"):
-            continue
-        value = getattr(node, f.name)
+    for name in _field_names(type(node)):
+        value = getattr(node, name)
         if isinstance(value, Node):
             yield value
         elif isinstance(value, (list, tuple)):
@@ -61,17 +74,27 @@ def iter_child_nodes(node: Node) -> Iterator[Node]:
 
 def walk(node: Node) -> Iterator[Node]:
     """Pre-order traversal of ``node`` and all its descendants."""
-    yield node
-    for child in iter_child_nodes(node):
-        yield from walk(child)
+    stack = [node]
+    pop = stack.pop
+    while stack:
+        n = pop()
+        yield n
+        children = []
+        for name in _field_names(type(n)):
+            value = getattr(n, name)
+            if isinstance(value, Node):
+                children.append(value)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Node):
+                        children.append(item)
+        stack.extend(reversed(children))
 
 
 def child_fields(node: Node) -> Iterator[tuple[str, object]]:
     """Yield ``(field_name, value)`` pairs for the node's semantic fields."""
-    for f in dc_fields(node):
-        if f.name in ("start", "end", "pos_metavars"):
-            continue
-        yield f.name, getattr(node, f.name)
+    for name in _field_names(type(node)):
+        yield name, getattr(node, name)
 
 
 # ---------------------------------------------------------------------------

@@ -243,4 +243,7 @@ def profile_payload(result, *, cache=None, token_index=None) -> dict:
         payload["parse_cache"] = cache.counters()
     if token_index is not None:
         payload["token_index"] = token_index.counters()
+    from ..engine.compile import matcher_counters
+
+    payload["matcher"] = matcher_counters()
     return payload

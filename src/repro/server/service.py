@@ -413,6 +413,10 @@ class PatchService:
                 "requests_total": self.requests_total,
                 "evictions": self.evictions,
             }
+        from ..engine.compile import compile_cache_info, matcher_counters
+
+        payload["matcher"] = matcher_counters()
+        payload["compile_cache"] = compile_cache_info()
         if name is not None:
             with self._checkout(name) as workspace, workspace.lock:
                 payload["workspace"] = workspace.stats_payload()
@@ -470,7 +474,14 @@ class PatchService:
                 cached = tuple(self._parse_spec(spec, options))
                 workspace._patches[key] = cached
                 while len(workspace._patches) > MAX_CACHED_PATCH_SPECS:
-                    workspace._patches.popitem(last=False)
+                    _key, evicted = workspace._patches.popitem(last=False)
+                    # an evicted spec's compiled matchers would only be
+                    # rebuilt on a cache miss anyway; dropping them keeps
+                    # the compile cache bounded by the specs still live
+                    from ..engine.compile import evict_compiled
+
+                    for patch in evicted:
+                        evict_compiled(patch.ast, patch.options)
             else:
                 workspace._patches.move_to_end(key)
             built.extend(cached)
