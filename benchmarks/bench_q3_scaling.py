@@ -786,3 +786,113 @@ def test_q3i_compiled_matcher_vs_interpreter(benchmark):
          "identical match signatures and byte-identical pipeline output",
          rows, columns=["backend", "rules", "files", "pairs", "matches",
                         "seconds", "speedup_vs_interp"])
+
+
+# ---------------------------------------------------------------------------
+# Q3j — transform memo: duplicated vendored trees and fresh-process warm-start
+# ---------------------------------------------------------------------------
+
+#: vendored copies of the mixed tree (the monorepo pattern the memo targets:
+#: byte-identical sources under several prefixes)
+Q3J_VENDOR_COPIES = 3
+
+
+@dataclass
+class MemoRow:
+    path: str
+    files: int
+    memo_hits: int
+    matches: int
+    seconds: float
+    speedup_vs_cold: float
+
+
+def vendored_workload(copies: int = Q3J_VENDOR_COPIES) -> CodeBase:
+    """The mixed tree vendored ``copies`` times — identical contents under
+    ``vendor{k}/`` prefixes, as a monorepo carrying the same third-party
+    sources in several places does."""
+    base = mixed_workload(scale=1)
+    files = {f"vendor{index}/{name}": text
+             for index in range(copies)
+             for name, text in base.files.items()}
+    return CodeBase.from_files(files)
+
+
+def test_q3j_transform_memo(benchmark, tmp_path):
+    """Acceptance: with a warm transform memo, re-applying the modernization
+    patches over the vendored tree is >= 5x faster than a cold pass — and a
+    *fresh-process* warm start (a brand-new memo instance over the same
+    ``--memo-dir``, nothing but the on-disk tier) clears the same bar —
+    byte-identical texts both ways.  The memo answers every session from
+    content, so both the duplicate-heavy tree (one transform per unique
+    text, not per file) and the restarted process (entry files instead of
+    re-transforms) collapse to hash-lookup cost."""
+    from repro.engine.memo import TransformMemo
+
+    codebase = vendored_workload()
+    patches = modernization_patches()
+    patchset = PatchSet(patches)
+    memo_dir = tmp_path / "memo"
+
+    def compare():
+        DEFAULT_TREE_CACHE.clear()
+        started = time.perf_counter()
+        cold = patchset.apply(codebase, jobs=1, prefilter=True)
+        cold_seconds = time.perf_counter() - started
+
+        memo = TransformMemo(path=memo_dir)
+        DEFAULT_TREE_CACHE.clear()
+        patchset.apply(codebase, jobs=1, prefilter=True, memo=memo)  # fill
+        DEFAULT_TREE_CACHE.clear()
+        started = time.perf_counter()
+        warm = patchset.apply(codebase, jobs=1, prefilter=True, memo=memo)
+        warm_seconds = time.perf_counter() - started
+
+        # a brand-new instance over the same directory: what a restarted
+        # process (spatch --memo-dir / a rebooted daemon) starts from
+        fresh = TransformMemo(path=memo_dir)
+        DEFAULT_TREE_CACHE.clear()
+        started = time.perf_counter()
+        restarted = patchset.apply(codebase, jobs=1, prefilter=True,
+                                   memo=fresh)
+        fresh_seconds = time.perf_counter() - started
+        return (cold, cold_seconds, warm, warm_seconds, restarted,
+                fresh_seconds, fresh)
+
+    (cold, cold_seconds, warm, warm_seconds, restarted, fresh_seconds,
+     fresh) = benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    # byte-identical both ways, and the warm runs never ran a real session
+    assert _texts(warm) == _texts(cold)
+    assert _texts(restarted) == _texts(cold)
+    assert warm.total_matches == restarted.total_matches \
+        == cold.total_matches > 0
+    assert warm.stats.memo_misses == 0
+    assert restarted.stats.memo_misses == 0
+    assert fresh.disk_hits > 0  # the restart really came off the disk tier
+    assert warm.stats.sessions_run == cold.stats.sessions_run
+
+    warm_speedup = cold_seconds / warm_seconds
+    fresh_speedup = cold_seconds / fresh_seconds
+    assert warm_speedup >= speedup_floor(5.0), \
+        f"expected >= 5x warm, measured {warm_speedup:.2f}x"
+    assert fresh_speedup >= speedup_floor(5.0), \
+        f"expected >= 5x from disk, measured {fresh_speedup:.2f}x"
+
+    rows = [
+        MemoRow("cold pipeline pass", len(codebase), 0,
+                cold.total_matches, cold_seconds, 1.0),
+        MemoRow("warm memo (memory tier)", len(codebase),
+                warm.stats.memo_hits, warm.total_matches, warm_seconds,
+                warm_speedup),
+        MemoRow("fresh process (--memo-dir disk tier)", len(codebase),
+                restarted.stats.memo_hits, restarted.total_matches,
+                fresh_seconds, fresh_speedup),
+    ]
+    emit("Q3j transform memo (vendored mixed tree, modernization patches)",
+         "a warm content-addressed memo answers every session without "
+         "parsing >= 5x faster than cold, and a fresh process warm-starts "
+         "off the --memo-dir entry files to the same bar, byte-identical "
+         "output",
+         rows, columns=["path", "files", "memo_hits", "matches", "seconds",
+                        "speedup_vs_cold"])

@@ -320,17 +320,18 @@ class PatchSet:
     # -- application -------------------------------------------------------------
 
     def pipeline(self, *, jobs: "int | str" = 1, prefilter: bool = True,
-                 compile: Optional[bool] = None):
+                 compile: Optional[bool] = None, memo=None):
         """A fresh :class:`~repro.engine.pipeline.PatchPipeline` (one per run)."""
         from .engine.pipeline import PatchPipeline
 
         return PatchPipeline([patch.ast for patch in self.patches],
                              options=[patch.options for patch in self.patches],
                              names=self.patch_names,
-                             jobs=jobs, prefilter=prefilter, compile=compile)
+                             jobs=jobs, prefilter=prefilter, compile=compile,
+                             memo=memo)
 
     def incremental(self, *, jobs: "int | str" = 1, prefilter: bool = True,
-                    compile: Optional[bool] = None):
+                    compile: Optional[bool] = None, memo=None):
         """A fresh :class:`~repro.engine.incremental.IncrementalPipeline`
         (one per run), for callers that drive ``run(files, since=...)``
         themselves."""
@@ -341,11 +342,11 @@ class PatchSet:
                                             for patch in self.patches],
                                    names=self.patch_names,
                                    jobs=jobs, prefilter=prefilter,
-                                   compile=compile)
+                                   compile=compile, memo=memo)
 
     def apply(self, codebase: "CodeBase | dict[str, str]", *,
               jobs: "int | str" = 1, prefilter: bool = True, since=None,
-              compile: Optional[bool] = None):
+              compile: Optional[bool] = None, memo=None):
         """Apply every patch, in order, to a whole code base in one pass.
 
         Returns a :class:`~repro.engine.pipeline.PipelineResult`: a
@@ -367,6 +368,12 @@ class PatchSet:
         degrade to a cold run, never to wrong output.  The returned result
         carries the reuse breakdown in ``.incremental`` and can seed the
         next ``since=`` in an edit-apply loop.
+
+        ``memo`` — a :class:`~repro.engine.memo.TransformMemo` — adds
+        content-addressed reuse on top: every (file state, patch) session is
+        keyed on content hash + patch fingerprint, so repeated applies,
+        duplicated files and (with a disk-backed memo) fresh processes skip
+        transforms whose outcome is already known, byte-identically.
         """
         from .engine.incremental import PipelineState
 
@@ -380,10 +387,10 @@ class PatchSet:
             index = None
         if since is None:
             return self.pipeline(jobs=jobs, prefilter=prefilter,
-                                 compile=compile) \
+                                 compile=compile, memo=memo) \
                 .run(files, token_index=index)
         return self.incremental(jobs=jobs, prefilter=prefilter,
-                                compile=compile) \
+                                compile=compile, memo=memo) \
             .run(files, since=since, token_index=index)
 
     def transform(self, codebase: "CodeBase", *,

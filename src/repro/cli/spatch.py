@@ -145,6 +145,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "STATE_FILE and, when it already holds a prior "
                              "run of the same patches and options, re-run "
                              "only content-changed files")
+    parser.add_argument("--memo-dir", metavar="DIR", default=None,
+                        help="content-addressed transform memo directory: "
+                             "every (file state, patch) session outcome is "
+                             "stored by content hash + patch fingerprint, so "
+                             "repeated invocations (and duplicated files "
+                             "within one run) skip transforms whose result "
+                             "is already known, byte-identically")
     parser.add_argument("--watch", action="store_true",
                         help="stay alive after the first application: poll "
                              "the targets for changes (mtime+size, then "
@@ -194,10 +201,11 @@ def _build_patches(patch_args: list[tuple[str, str]],
     return patches
 
 
-def _print_counter_lines(codebase: CodeBase) -> None:
+def _print_counter_lines(codebase: CodeBase, memo=None) -> None:
     """The cache/prefilter counters ``--profile`` surfaces beyond the run's
     own stats: process-wide parse-cache traffic (hits/misses/dedup waits/
-    evictions), token-index scan reuse and the compiled-matcher counters."""
+    evictions), token-index scan reuse, the compiled-matcher counters and —
+    with ``--memo-dir`` — the transform memo's two-tier traffic."""
     from ..engine.cache import DEFAULT_TREE_CACHE
     from ..engine.compile import matcher_counters
 
@@ -222,10 +230,16 @@ def _print_counter_lines(codebase: CodeBase) -> None:
           f"pruned ({100.0 * matcher['filter_rate']:.1f}%), "
           f"{matcher['trees_indexed']} tree(s) indexed, "
           f"{matcher['index_reuses']} index reuse(s)", file=sys.stderr)
+    if memo is not None:
+        counters = memo.counters()
+        print(f"# transform memo: {counters['hits']} hit(s) "
+              f"({counters['disk_hits']} from disk), {counters['misses']} "
+              f"miss(es), {counters['stores']} store(s), "
+              f"{counters['entries']} entr(ies) in memory", file=sys.stderr)
 
 
 def _print_json(result, patches: list[SemanticPatch], codebase: CodeBase,
-                *, profile: bool) -> None:
+                *, profile: bool, memo=None) -> None:
     """Emit the machine-readable payload — the exact serialization the
     server's ``apply`` response uses, so local and remote runs compare
     byte-for-byte on the deterministic sections."""
@@ -235,7 +249,8 @@ def _print_json(result, patches: list[SemanticPatch], codebase: CodeBase,
     if profile:
         payload["profile"] = profile_payload(result,
                                              cache=DEFAULT_TREE_CACHE,
-                                             token_index=codebase._token_index)
+                                             token_index=codebase._token_index,
+                                             memo=memo)
     sys.stdout.write(json_line(payload) + "\n")
 
 
@@ -362,6 +377,14 @@ def main(argv: list[str] | None = None) -> int:
 
     codebase, paths = _load_codebase(args.targets)
 
+    # --memo-dir: a disk-backed transform memo; its persistent tier is what
+    # lets a fresh process warm-start from a previous invocation's sessions
+    memo = None
+    if args.memo_dir:
+        from ..engine.memo import TransformMemo
+
+        memo = TransformMemo(path=args.memo_dir)
+
     # --incremental: a prior state seeds the run; a stale/foreign one is
     # detected by the engine's fingerprint check and degrades to a cold run
     since = None
@@ -374,7 +397,7 @@ def main(argv: list[str] | None = None) -> int:
             since = state.result
             DEFAULT_TREE_CACHE.restore(state.cache_entries)
 
-    result, per_patch = _apply(patches, codebase, args, since)
+    result, per_patch = _apply(patches, codebase, args, since, memo=memo)
     _save_state(args, result)
 
     if args.report or args.verbose:
@@ -393,7 +416,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"# {line}", file=sys.stderr)
         if getattr(result, "incremental", None) is not None:
             print(f"# {result.incremental.describe()}", file=sys.stderr)
-        _print_counter_lines(codebase)
+        _print_counter_lines(codebase, memo=memo)
 
     # guard-rule matches mean "already modernized, stood down", not "the
     # patch applied": they must not turn a no-op re-run into exit 0
@@ -402,7 +425,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.json:
         _print_json(result, [patch for patch, _ in per_patch], codebase,
-                    profile=args.profile)
+                    profile=args.profile, memo=memo)
         rewritten = _emit_output(result, result.files, paths, args) \
             if args.in_place else []
     else:
@@ -411,21 +434,22 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if matched else 1
     _fold_rewrites(codebase, result, rewritten)
     return _watch_loop(args, options, patches, codebase, paths, result,
-                       matched)
+                       matched, memo)
 
 
 def _apply(patches: list[SemanticPatch], codebase: CodeBase, args,
-           since=None):
-    """One application pass; incremental/watch runs always go through the
-    PatchSet pipeline so the result carries reuse records."""
-    if len(patches) == 1 and since is None and not (args.incremental
-                                                    or args.watch):
+           since=None, memo=None):
+    """One application pass; incremental/watch/memo runs always go through
+    the PatchSet pipeline so the result carries reuse records (the memo
+    lives at the pipeline's patch boundaries)."""
+    if len(patches) == 1 and since is None and memo is None \
+            and not (args.incremental or args.watch):
         result = patches[0].apply(codebase, jobs=args.jobs,
                                   prefilter=not args.no_prefilter)
         return result, [(patches[0], result)]
     result = PatchSet(patches).apply(codebase, jobs=args.jobs,
                                      prefilter=not args.no_prefilter,
-                                     since=since)
+                                     since=since, memo=memo)
     return result, list(zip(patches, result.per_patch))
 
 
@@ -572,7 +596,7 @@ def _fold_rewrites(codebase: CodeBase, result, rewritten: list[str]) -> None:
 
 def _watch_loop(args, options: SpatchOptions, patches: list[SemanticPatch],
                 codebase: CodeBase, paths: dict[str, pathlib.Path],
-                result, matched: bool) -> int:
+                result, matched: bool, memo=None) -> int:
     """Poll the targets *and* the sp-files, re-applying incrementally on
     every content change.
 
@@ -603,7 +627,7 @@ def _watch_loop(args, options: SpatchOptions, patches: list[SemanticPatch],
     watcher = create_watcher(watched, backend=args.watch_backend)
     try:
         return _watch_rounds(args, options, patches, codebase, paths,
-                             result, matched, watcher)
+                             result, matched, watcher, memo)
     finally:
         watcher.close()
 
@@ -611,7 +635,7 @@ def _watch_loop(args, options: SpatchOptions, patches: list[SemanticPatch],
 def _watch_rounds(args, options: SpatchOptions,
                   patches: list[SemanticPatch], codebase: CodeBase,
                   paths: dict[str, pathlib.Path], result, matched: bool,
-                  watcher) -> int:
+                  watcher, memo=None) -> int:
     src_before = _stat_targets(args.targets)
     patch_before = _stat_patch_files(args.patch_args)
     quiet_polls = 0
@@ -640,7 +664,8 @@ def _watch_rounds(args, options: SpatchOptions,
         if not delta and not patches_stale:
             continue  # e.g. a touch that left the contents identical
         previous = result
-        result, per_patch = _apply(patches, codebase, args, since=result)
+        result, per_patch = _apply(patches, codebase, args, since=result,
+                                   memo=memo)
         _save_state(args, result)
         inc = result.incremental
         line = (f"# watch: {inc.files_changed} changed + {inc.files_added} "

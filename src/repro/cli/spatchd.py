@@ -20,6 +20,7 @@ import argparse
 import sys
 
 from .. import __version__
+from ..engine.memo import DEFAULT_MEMO_ENTRIES
 from ..server.daemon import serve
 from ..server.service import PatchService
 from ..server.watch import BACKENDS
@@ -40,6 +41,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-entries", type=int, default=512, metavar="N",
                         help="parse-tree cache entries per workspace "
                              "(default 512)")
+    parser.add_argument("--memo-dir", default=None, metavar="DIR",
+                        help="persistent tier for the fleet-wide transform "
+                             "memo: content-addressed entry files that let a "
+                             "restarted daemon warm-start from a previous "
+                             "run's sessions (default: memory tier only)")
+    parser.add_argument("--memo-entries", type=int,
+                        default=DEFAULT_MEMO_ENTRIES, metavar="N",
+                        help="in-memory transform-memo entries shared across "
+                             "all workspaces (default "
+                             f"{DEFAULT_MEMO_ENTRIES})")
     parser.add_argument("--jobs", default=1, metavar="N",
                         help="default worker processes per apply request "
                              "(requests may override; default 1 — parallel "
@@ -76,7 +87,9 @@ def main(argv: "list[str] | None" = None) -> int:
                                  flush=True)) if args.verbose else None
     service = PatchService(max_workspaces=args.max_workspaces,
                            cache_entries=args.cache_entries,
-                           default_jobs=jobs, log=log)
+                           default_jobs=jobs, log=log,
+                           memo_entries=args.memo_entries,
+                           memo_dir=args.memo_dir)
     for entry in args.workspace_root:
         name, sep, root = entry.partition("=")
         if not sep or not name or not root:

@@ -14,6 +14,7 @@ from .transform import Transformer, FreshNameRegistry
 from .scripting import CocciHelpers, ScriptRunner, TaggedValue
 from .report import FileResult, PatchResult, RuleReport
 from .cache import DEFAULT_TREE_CACHE, TreeCache, content_sha1
+from .memo import MemoEntry, TransformMemo
 from .session import FileSession
 from .prefilter import PatchPrefilter, TokenIndex, required_tokens, scan_token_set
 from .engine import Engine
@@ -32,6 +33,7 @@ __all__ = [
     "CocciHelpers", "ScriptRunner", "TaggedValue",
     "FileResult", "PatchResult", "RuleReport",
     "DEFAULT_TREE_CACHE", "TreeCache", "content_sha1",
+    "MemoEntry", "TransformMemo",
     "FileSession",
     "PatchPrefilter", "TokenIndex", "required_tokens", "scan_token_set",
     "Engine",

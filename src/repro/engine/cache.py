@@ -101,6 +101,11 @@ class TreeCache:
             with self._lock:
                 self.hits += 1
                 self.dedup_waits += 1
+                # a dedup-answered caller is a *use* of the entry like any
+                # other hit: refresh its recency so the snapshot cap and the
+                # LRU bound see the true access order
+                if key in self._entries:
+                    self._entries.move_to_end(key)
             return inflight.tree
         try:
             tree = parse_source(text, name=name, options=options, tolerant=True)
@@ -164,11 +169,18 @@ class TreeCache:
 
     def restore(self, entries) -> int:
         """Merge ``snapshot()``-shaped entries into this cache; returns how
-        many were merged (the LRU bound still applies)."""
+        many were merged (the LRU bound still applies).  Keys already live
+        in this cache keep their current recency — a stale snapshot must
+        never promote its copy over entries the running process has been
+        using more recently."""
+        merged = 0
         with self._lock:
             for key, tree in entries:
+                if key in self._entries:
+                    continue
                 self._store(key, tree)
-        return len(entries)
+                merged += 1
+        return merged
 
     def save(self, path) -> int:
         """Pickle the ``(name, sha1, options) → tree`` entries to ``path``

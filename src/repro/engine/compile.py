@@ -1429,6 +1429,14 @@ def _compile_key(patch: SemanticPatchAST, options: SpatchOptions) -> str:
     return patch_fingerprint(patch, options, "<compiled>")
 
 
+def compile_key(patch: SemanticPatchAST, options: SpatchOptions) -> str:
+    """The cache identity of ``patch``'s compiled form — what
+    :func:`evict_compiled` would drop.  Holders that share the global cache
+    (the server's workspaces refcount these keys) use it to agree on when an
+    eviction is actually safe."""
+    return _compile_key(patch, options)
+
+
 def compiled_patch_for(patch: SemanticPatchAST,
                        options: SpatchOptions) -> CompiledPatch:
     """The (globally cached) compiled form of ``patch`` under ``options``,

@@ -167,11 +167,12 @@ class IncrementalPipeline:
                  names: Optional[Sequence[str]] = None,
                  jobs: "int | str" = 1, prefilter: bool = True,
                  tree_cache: Optional[TreeCache] = None,
-                 compile: Optional[bool] = None):
+                 compile: Optional[bool] = None,
+                 memo=None):
         self.pipeline = PatchPipeline(patches, options, names=names,
                                       jobs=jobs, prefilter=prefilter,
                                       tree_cache=tree_cache,
-                                      compile=compile)
+                                      compile=compile, memo=memo)
 
     @property
     def fingerprint(self) -> str:
@@ -293,6 +294,7 @@ class IncrementalPipeline:
             prefilter=pipeline.prefilter_enabled,
             jobs_requested=pipeline.jobs_requested)
         cache_hits0, cache_misses0 = pipeline.tree_cache.stats()
+        memo0 = pipeline.memo.stats() if pipeline.memo is not None else (0, 0)
         outcomes, skipped = pipeline._plan_and_apply(rerun, token_index, stats)
         if files and not rerun:
             # a cold run over a non-empty code base runs initialize rules
@@ -317,7 +319,7 @@ class IncrementalPipeline:
 
         pipeline._run_finalize(result, per_patch_stats)
         return self._seal(result, stats, incremental, started,
-                          cache_hits0, cache_misses0)
+                          cache_hits0, cache_misses0, memo0)
 
     def _run_prefix(self, files: dict[str, str], since: PipelineResult,
                     prefix_len: int, token_index: Optional[TokenIndex],
@@ -335,6 +337,7 @@ class IncrementalPipeline:
             prefilter=pipeline.prefilter_enabled,
             jobs_requested=pipeline.jobs_requested)
         cache_hits0, cache_misses0 = pipeline.tree_cache.stats()
+        memo0 = pipeline.memo.stats() if pipeline.memo is not None else (0, 0)
         prior_boundary = since.per_patch[prefix_len - 1].files
 
         # ---- plan: hash-diff the tree and union-scan against the new list
@@ -413,17 +416,22 @@ class IncrementalPipeline:
 
         pipeline._run_finalize(result, per_patch_stats)
         return self._seal(result, stats, incremental, started,
-                          cache_hits0, cache_misses0)
+                          cache_hits0, cache_misses0, memo0)
 
     def _seal(self, result: PipelineResult, stats: PipelineStats,
               incremental: IncrementalStats, started: float,
-              cache_hits0: int, cache_misses0: int) -> PipelineResult:
+              cache_hits0: int, cache_misses0: int,
+              memo0: tuple[int, int] = (0, 0)) -> PipelineResult:
         """Shared run epilogue: cache counters, timings, stat attachment."""
         pipeline = self.pipeline
         if stats.jobs_used == 1:
             cache_hits1, cache_misses1 = pipeline.tree_cache.stats()
             stats.cache_hits = cache_hits1 - cache_hits0
             stats.cache_misses = cache_misses1 - cache_misses0
+        if pipeline.memo is not None:
+            memo_hits1, memo_misses1 = pipeline.memo.stats()
+            stats.memo_hits = memo_hits1 - memo0[0]
+            stats.memo_misses = memo_misses1 - memo0[1]
         stats.total_seconds = time.perf_counter() - started
         incremental.total_seconds = time.perf_counter() - started
         result.stats = stats

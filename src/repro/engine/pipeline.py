@@ -52,9 +52,11 @@ from typing import Optional, Sequence
 from ..options import SpatchOptions
 from ..smpl.ast import SemanticPatchAST
 from .cache import DEFAULT_TREE_CACHE, TreeCache, content_sha1
+from .compile import backend_enabled
 from .driver import (DriverStats, ast_from_payload, has_per_file_scripts,
                      parallel_preserves_semantics, patch_payload, resolve_jobs,
                      run_fork_pool)
+from .memo import TransformMemo, memo_flags
 from .prefilter import PatchPrefilter, TokenIndex, scan_token_set
 from .report import FileResult, PatchResult
 
@@ -83,6 +85,11 @@ class PipelineStats:
     total_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: (file, patch) sessions answered from the transform memo instead of
+    #: running (counted inside ``sessions_run`` — a memo hit is a logical
+    #: session, so coverage counters match a cold run exactly)
+    memo_hits: int = 0
+    memo_misses: int = 0
 
     @property
     def skip_rate(self) -> float:
@@ -119,6 +126,9 @@ class PipelineStats:
             else f"parse cache: {self.cache_hits} hit(s), "
                  f"{self.cache_misses} miss(es)",
         ]
+        if self.memo_hits or self.memo_misses:
+            lines.append(f"transform memo: {self.memo_hits} hit(s), "
+                         f"{self.memo_misses} miss(es)")
         return "\n".join(lines)
 
 
@@ -290,7 +300,11 @@ class PipelinePrefilter:
 
 
 def _apply_patches_to_file(engines, prefilters, filename: str, text: str,
-                           tokens: Optional[frozenset[str]]) -> _FileOutcome:
+                           tokens: Optional[frozenset[str]],
+                           memo: Optional[TransformMemo] = None,
+                           memo_keys=None,
+                           resolve_only: bool = False,
+                           ) -> Optional[_FileOutcome]:
     """Run every patch's session over one file's evolving text.
 
     This is byte-for-byte the work a sequential per-patch application would
@@ -298,11 +312,23 @@ def _apply_patches_to_file(engines, prefilters, filename: str, text: str,
     (re-scanned only after an edit) and either runs a session with the
     prefilter's ``allowed_rules`` or is answered with an untouched result.
     Shared between the serial path and the worker processes.
+
+    With a ``memo``, each surviving session is first looked up by content
+    hash; ``memo_keys`` carries one ``(fingerprint, flags)`` per patch
+    (``None`` for unmemoizable script-bearing patches).  Note what is and is
+    not memoized: the *skip/gating* decision is always re-planned above from
+    the current text — only the session outcome itself is served from the
+    memo, so a hit changes no counter a cold run would report.  With
+    ``resolve_only`` the chain must resolve entirely without running a
+    session (memo hits and gated patches only); the first would-be session
+    returns ``None`` instead, letting a parent process answer warm files
+    before fanning the rest out to workers.
     """
     results: list[FileResult] = []
     ran: list[bool] = []
     rules_gated: list[int] = []
-    for engine, prefilter in zip(engines, prefilters):
+    text_sha: Optional[str] = None  # hash of ``text``, computed lazily
+    for index, (engine, prefilter) in enumerate(zip(engines, prefilters)):
         allowed = None
         n_rules = len(engine.patch.patch_rules())
         if prefilter is not None:
@@ -327,13 +353,33 @@ def _apply_patches_to_file(engines, prefilters, filename: str, text: str,
             rules_gated.append(n_rules - len(plan.allowed_rules))
         else:
             rules_gated.append(0)
+        key = memo_keys[index] if memo is not None and memo_keys is not None \
+            else None
+        if key is not None:
+            if text_sha is None:
+                text_sha = content_sha1(text)
+            entry = memo.lookup(text_sha, key[0], key[1], filename)
+            if entry is not None:
+                file_result = entry.to_file_result(filename, text)
+                results.append(file_result)
+                ran.append(True)  # a hit is a logical session (see PipelineStats)
+                if entry.changed:
+                    text = file_result.text
+                    tokens = None
+                    text_sha = entry.output_sha
+                continue
+        if resolve_only:
+            return None
         file_result = engine.session_for(filename, text,
                                          allowed_rules=allowed).run()
+        output_sha = memo.store_result(text_sha, key[0], key[1], file_result) \
+            if key is not None else None
         results.append(file_result)
         ran.append(True)
         if file_result.text != text:
             text = file_result.text
             tokens = None  # force a re-scan for the next patch
+            text_sha = output_sha  # None when unmemoized: rehash lazily
     return _FileOutcome(filename=filename, results=results, ran=ran,
                         rules_gated=rules_gated)
 
@@ -347,7 +393,8 @@ _PIPELINE_WORKER: dict = {}
 
 def _pipeline_worker_init(payloads, options_list, prefilter_enabled: bool,
                           cache_max_entries: int,
-                          compile_flag: Optional[bool] = None) -> None:
+                          compile_flag: Optional[bool] = None,
+                          memo_spec=None, memo_keys=None) -> None:
     from .engine import Engine
 
     # one parse cache per worker, shared across every patch of the pipeline
@@ -365,17 +412,29 @@ def _pipeline_worker_init(payloads, options_list, prefilter_enabled: bool,
         prefilters.append(PatchPrefilter(ast) if prefilter_enabled else None)
     _PIPELINE_WORKER["engines"] = engines
     _PIPELINE_WORKER["prefilters"] = prefilters
+    # the parent's TransformMemo holds a lock and must not cross the fork
+    # boundary as shared state; each worker builds its own memory tier and —
+    # when a disk tier is configured — shares the content-addressed
+    # directory, where atomic entry files make concurrent writers safe
+    _PIPELINE_WORKER["memo"] = (
+        TransformMemo(max_entries=memo_spec[0], path=memo_spec[1])
+        if memo_spec is not None else None)
+    _PIPELINE_WORKER["memo_keys"] = memo_keys
 
 
 def _pipeline_worker_apply(batch) -> list[_FileOutcome]:
     engines = _PIPELINE_WORKER["engines"]
     prefilters = _PIPELINE_WORKER["prefilters"]
+    memo = _PIPELINE_WORKER.get("memo")
+    memo_keys = _PIPELINE_WORKER.get("memo_keys")
     # ``start`` slices the patch chain: an incremental run replaying only
     # the suffix patches of a shared patch-list prefix ships items whose
     # text is the cached prefix-boundary state and whose start is the
     # divergence index (0 for whole-chain runs)
-    return [_apply_patches_to_file(engines[start:], prefilters[start:],
-                                   filename, text, tokens)
+    return [_apply_patches_to_file(
+                engines[start:], prefilters[start:], filename, text, tokens,
+                memo=memo,
+                memo_keys=memo_keys[start:] if memo_keys is not None else None)
             for filename, text, tokens, start in batch]
 
 
@@ -388,7 +447,8 @@ class PatchPipeline:
                  names: Optional[Sequence[str]] = None,
                  jobs: "int | str" = 1, prefilter: bool = True,
                  tree_cache: Optional[TreeCache] = None,
-                 compile: Optional[bool] = None):
+                 compile: Optional[bool] = None,
+                 memo: Optional[TransformMemo] = None):
         from .engine import Engine
 
         self.patches = list(patches)
@@ -419,6 +479,21 @@ class PatchPipeline:
         # fixed after construction; the assemble path reads it per file
         self._n_rules_per_patch = [len(patch.patch_rules())
                                    for patch in self.patches]
+        self.memo = memo
+        if memo is not None:
+            # one (fingerprint, flags) per patch; None marks the patches a
+            # memo hit could not soundly answer: per-file script rules may
+            # read state mutated across files, so their sessions are not
+            # pure functions of the file text
+            flags = memo_flags(prefilter, backend_enabled(compile))
+            self._memo_keys: Optional[list] = [
+                (fingerprint, flags)
+                if not (has_per_file_scripts(patch) and opts.python_scripting)
+                else None
+                for fingerprint, patch, opts in zip(self.patch_fingerprints,
+                                                    self.patches, self.options)]
+        else:
+            self._memo_keys = None
         self.stats = PipelineStats()
 
     # -- public API -----------------------------------------------------------
@@ -432,6 +507,8 @@ class PatchPipeline:
             prefilter=self.prefilter_enabled,
             jobs_requested=self.jobs_requested)
         cache_hits0, cache_misses0 = self.tree_cache.stats()
+        memo_hits0, memo_misses0 = self.memo.stats() if self.memo is not None \
+            else (0, 0)
 
         outcomes, skipped = self._plan_and_apply(files, token_index, stats)
 
@@ -451,6 +528,10 @@ class PatchPipeline:
             cache_hits1, cache_misses1 = self.tree_cache.stats()
             stats.cache_hits = cache_hits1 - cache_hits0
             stats.cache_misses = cache_misses1 - cache_misses0
+        if self.memo is not None:
+            memo_hits1, memo_misses1 = self.memo.stats()
+            stats.memo_hits = memo_hits1 - memo_hits0
+            stats.memo_misses = memo_misses1 - memo_misses0
         stats.total_seconds = time.perf_counter() - started
         result.stats = stats
         return result
@@ -506,13 +587,70 @@ class PatchPipeline:
         over worker processes; ``start`` is the index of the first patch to
         apply (non-zero only for incremental suffix replays)."""
         if jobs_used > 1:
-            return self._run_parallel(work, jobs_used)
+            if self.memo is None:
+                return self._run_parallel(work, jobs_used)
+            # answer fully-warm files in this process (no fork round-trip),
+            # fan out the rest, then publish what the workers computed: the
+            # workers are forked children, so their memory-tier stores die
+            # with them and only the shared disk tier (if any) persists
+            resolved: dict[str, _FileOutcome] = {}
+            remaining = self._resolve_from_memo(work, resolved)
+            outcomes = self._run_parallel(remaining, jobs_used) \
+                if remaining else {}
+            inputs = {name: (text, start)
+                      for name, text, tokens, start in remaining}
+            for name, outcome in outcomes.items():
+                text, start = inputs[name]
+                self._memo_store_outcome(text, outcome, start)
+            outcomes.update(resolved)
+            return outcomes
         prefilters = self.prefilter.prefilters if self.prefilter is not None \
             else [None] * len(self.patches)
-        return {name: _apply_patches_to_file(self.engines[start:],
-                                             prefilters[start:],
-                                             name, text, tokens)
+        memo_keys = self._memo_keys
+        return {name: _apply_patches_to_file(
+                    self.engines[start:], prefilters[start:],
+                    name, text, tokens, memo=self.memo,
+                    memo_keys=memo_keys[start:] if memo_keys is not None
+                    else None)
                 for name, text, tokens, start in work}
+
+    def _resolve_from_memo(self, work, resolved: dict) -> list:
+        """Try to answer each work item entirely from the memo (hits and
+        prefilter-gated patches only — no sessions); fully-resolved outcomes
+        land in ``resolved``, the rest come back for the workers."""
+        prefilters = self.prefilter.prefilters if self.prefilter is not None \
+            else [None] * len(self.patches)
+        remaining = []
+        for name, text, tokens, start in work:
+            outcome = _apply_patches_to_file(
+                self.engines[start:], prefilters[start:], name, text, tokens,
+                memo=self.memo, memo_keys=self._memo_keys[start:],
+                resolve_only=True)
+            if outcome is None:
+                remaining.append((name, text, tokens, start))
+            else:
+                resolved[name] = outcome
+        return remaining
+
+    def _memo_store_outcome(self, text: str, outcome: _FileOutcome,
+                            start: int = 0) -> None:
+        """Memoize the sessions of one worker-computed outcome, threading
+        boundary hashes exactly as the in-loop store does."""
+        keys = self._memo_keys
+        if keys is None:
+            return
+        text_sha: Optional[str] = None
+        for index, file_result in enumerate(outcome.results):
+            key = keys[start + index]
+            output_sha = None
+            if outcome.ran[index] and key is not None:
+                if text_sha is None:
+                    text_sha = content_sha1(text)
+                output_sha = self.memo.store_result(text_sha, key[0], key[1],
+                                                    file_result)
+            if file_result.text != text:
+                text = file_result.text
+                text_sha = output_sha  # None when unmemoized: rehash lazily
 
     def _fresh_result(self, n_files: int, jobs_used: int,
                       ) -> tuple[PipelineResult, list[DriverStats]]:
@@ -603,9 +741,12 @@ class PatchPipeline:
 
     def _run_parallel(self, work, jobs: int) -> dict[str, _FileOutcome]:
         payloads = [patch_payload(patch) for patch in self.patches]
+        memo_spec = (self.memo.max_entries, self.memo.path) \
+            if self.memo is not None else None
         outcomes = run_fork_pool(
             work, jobs, _pipeline_worker_init,
             (payloads, self.options, self.prefilter_enabled,
-             self.tree_cache.max_entries, self.compile_flag),
+             self.tree_cache.max_entries, self.compile_flag,
+             memo_spec, self._memo_keys),
             _pipeline_worker_apply)
         return {outcome.filename: outcome for outcome in outcomes}

@@ -227,11 +227,13 @@ def result_payload(result, patches: Sequence[SemanticPatch], *,
     return payload
 
 
-def profile_payload(result, *, cache=None, token_index=None) -> dict:
+def profile_payload(result, *, cache=None, token_index=None,
+                    memo=None) -> dict:
     """The volatile companion of :func:`result_payload`: timings and
     coverage from the run's stats, the incremental reuse breakdown, and the
-    cache/prefilter counters the satellite surfaces (pass the
-    :class:`~repro.engine.cache.TreeCache` / token index actually used)."""
+    cache/prefilter/memo counters the satellite surfaces (pass the
+    :class:`~repro.engine.cache.TreeCache` / token index /
+    :class:`~repro.engine.memo.TransformMemo` actually used)."""
     payload: dict = {}
     stats = getattr(result, "stats", None)
     if stats is not None:
@@ -243,6 +245,8 @@ def profile_payload(result, *, cache=None, token_index=None) -> dict:
         payload["parse_cache"] = cache.counters()
     if token_index is not None:
         payload["token_index"] = token_index.counters()
+    if memo is not None:
+        payload["memo"] = memo.counters()
     from ..engine.compile import matcher_counters
 
     payload["matcher"] = matcher_counters()

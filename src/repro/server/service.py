@@ -48,6 +48,7 @@ from typing import Optional, Sequence
 from ..api import CodeBase, SemanticPatch
 from ..engine.cache import TreeCache, content_sha1
 from ..engine.incremental import IncrementalPipeline
+from ..engine.memo import DEFAULT_MEMO_ENTRIES, TransformMemo
 from ..engine.pipeline import PipelineResult
 from ..options import SpatchOptions
 from .protocol import (PROTOCOL_VERSION, options_from_payload,
@@ -185,13 +186,26 @@ class PatchService:
     only adds sockets and JSON framing on top)."""
 
     def __init__(self, *, max_workspaces: int = 8, cache_entries: int = 512,
-                 default_jobs: "int | str" = 1, log=None):
+                 default_jobs: "int | str" = 1, log=None,
+                 memo_entries: int = DEFAULT_MEMO_ENTRIES,
+                 memo_dir=None):
         self.max_workspaces = max_workspaces
         self.cache_entries = cache_entries
         self.default_jobs = default_jobs
         self.log = log or (lambda message: None)
         self._workspaces: "OrderedDict[str, Workspace]" = OrderedDict()
         self._lock = threading.Lock()
+        #: ONE transform memo shared by every workspace: identical vendored
+        #: files across workspaces transform once, fleet-wide (parse trees
+        #: stay per-workspace; memo entries are plain text + counters, so
+        #: sharing them crosses no thread-affinity boundary).  ``memo_dir``
+        #: adds the persistent tier, so a restarted daemon warm-starts.
+        self.memo = TransformMemo(max_entries=memo_entries, path=memo_dir)
+        #: how many live cached specs (across all workspaces) pin each
+        #: compiled-patch cache key; the global compile cache is only told
+        #: to evict when the last holder lets go
+        self._compile_refs: dict[str, int] = {}
+        self._compile_lock = threading.Lock()
         self.started_at = time.time()
         self.requests_total = 0
         self.evictions = 0
@@ -288,6 +302,7 @@ class PatchService:
                 del self._workspaces[name]
                 self.evictions += 1
                 workspace.close()
+                self._release_workspace_specs(workspace)
             finally:
                 workspace.lock.release()
 
@@ -370,7 +385,8 @@ class PatchService:
                 options=[patch.options for patch in built],
                 names=[patch.name for patch in built],
                 jobs=self.default_jobs if jobs is None else jobs,
-                prefilter=prefilter, tree_cache=workspace.cache)
+                prefilter=prefilter, tree_cache=workspace.cache,
+                memo=self.memo)
             token_index = workspace.codebase.token_index() if prefilter \
                 else None
             result = pipeline.run(workspace.codebase.files,
@@ -384,7 +400,8 @@ class PatchService:
             if profile:
                 payload["profile"] = profile_payload(
                     result, cache=workspace.cache,
-                    token_index=workspace.codebase._token_index)
+                    token_index=workspace.codebase._token_index,
+                    memo=self.memo)
             return payload
 
     def query(self, name: str, patches: Sequence[dict], *,
@@ -417,6 +434,7 @@ class PatchService:
 
         payload["matcher"] = matcher_counters()
         payload["compile_cache"] = compile_cache_info()
+        payload["memo"] = self.memo.counters()
         if name is not None:
             with self._checkout(name) as workspace, workspace.lock:
                 payload["workspace"] = workspace.stats_payload()
@@ -438,6 +456,7 @@ class PatchService:
             self._workspaces.clear()
         for workspace in workspaces:
             workspace.close()
+            self._release_workspace_specs(workspace)
 
     # -- patch building ------------------------------------------------------
 
@@ -473,19 +492,56 @@ class PatchService:
             if cached is None:
                 cached = tuple(self._parse_spec(spec, options))
                 workspace._patches[key] = cached
+                self._retain_compiled(cached)
                 while len(workspace._patches) > MAX_CACHED_PATCH_SPECS:
                     _key, evicted = workspace._patches.popitem(last=False)
                     # an evicted spec's compiled matchers would only be
                     # rebuilt on a cache miss anyway; dropping them keeps
-                    # the compile cache bounded by the specs still live
-                    from ..engine.compile import evict_compiled
-
-                    for patch in evicted:
-                        evict_compiled(patch.ast, patch.options)
+                    # the compile cache bounded by the specs still live.
+                    # Bounded per *service*, not per workspace: the compile
+                    # cache is global and fingerprint-keyed, so the drop is
+                    # refcounted — another workspace whose cached spec
+                    # shares the fingerprint keeps the compiled form hot
+                    self._release_compiled(evicted)
             else:
                 workspace._patches.move_to_end(key)
             built.extend(cached)
         return built
+
+    def _retain_compiled(self, patches: Sequence[SemanticPatch]) -> None:
+        """Pin the compiled-cache keys of one freshly cached spec's patches
+        (one reference per live spec-cache entry holding them)."""
+        from ..engine.compile import compile_key
+
+        with self._compile_lock:
+            for patch in patches:
+                key = compile_key(patch.ast, patch.options)
+                self._compile_refs[key] = self._compile_refs.get(key, 0) + 1
+
+    def _release_compiled(self, patches: Sequence[SemanticPatch]) -> None:
+        """Unpin one evicted spec's patches; a compiled form is only evicted
+        from the global cache when no workspace's spec cache holds its
+        fingerprint any more."""
+        from ..engine.compile import compile_key, evict_compiled
+
+        for patch in patches:
+            key = compile_key(patch.ast, patch.options)
+            with self._compile_lock:
+                remaining = self._compile_refs.get(key, 0) - 1
+                if remaining > 0:
+                    self._compile_refs[key] = remaining
+                    continue
+                self._compile_refs.pop(key, None)
+                last_holder = remaining == 0
+            if last_holder:
+                evict_compiled(patch.ast, patch.options)
+
+    def _release_workspace_specs(self, workspace: Workspace) -> None:
+        """Unpin everything a dying workspace's spec cache holds (LRU
+        eviction and shutdown), letting now-orphaned compiled forms go."""
+        for cached in workspace._patches.values():
+            self._release_compiled(cached)
+        workspace._patches.clear()
 
     @staticmethod
     def _parse_spec(spec: dict, options: Optional[SpatchOptions],

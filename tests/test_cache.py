@@ -298,3 +298,118 @@ class TestTokenIndexCounters:
         index.add("a.c", "int beta;\n")
         assert "beta" in index.tokens_of("a.c")
         assert index.counters()["scan_misses"] == 2
+
+
+class TestRecencyExactness:
+    """The LRU order the cache reports (and persists) is true recency."""
+
+    def test_dedup_wait_hit_refreshes_recency(self, monkeypatch):
+        """A hit answered by waiting on an in-flight parse is still a use:
+        the key must move to the hot end, exactly like a plain hit."""
+        import time
+
+        calls = _install_counting_parser(monkeypatch, delay=0.05)
+        cache = TreeCache(max_entries=2)
+        cache.get_or_parse("int a;\n", "a.c", DEFAULT_OPTIONS)
+
+        started = threading.Event()
+
+        def slow_parse_b():
+            cache.get_or_parse("int b;\n", "b.c", DEFAULT_OPTIONS)
+
+        def waiting_hit_b():
+            started.wait()
+            time.sleep(0.01)  # land inside b's in-flight window
+            cache.get_or_parse("int b;\n", "b.c", DEFAULT_OPTIONS)
+            # now touch a so the snapshot order is decided by recency
+            cache.get_or_parse("int a;\n", "a.c", DEFAULT_OPTIONS)
+
+        threads = [threading.Thread(target=slow_parse_b),
+                   threading.Thread(target=waiting_hit_b)]
+        threads[1].start()
+        started.set()
+        threads[0].start()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 2
+        # snapshot is coldest-first: b (dedup-wait hit), then a (last touch)
+        names = [key[0] for key, _ in cache.snapshot()]
+        assert names == ["b.c", "a.c"]
+
+    def test_restore_does_not_steal_recency_from_live_entries(self):
+        """Restoring a stale snapshot must not re-order keys the cache has
+        used since the snapshot was taken."""
+        cache = TreeCache()
+        cache.get_or_parse("int a;\n", "a.c", DEFAULT_OPTIONS)
+        cache.get_or_parse("int b;\n", "b.c", DEFAULT_OPTIONS)
+        stale = cache.snapshot()  # order: a, b
+
+        cache.get_or_parse("int a;\n", "a.c", DEFAULT_OPTIONS)  # a is hottest
+        merged = cache.restore(stale)
+        assert merged == 0  # every key was already live
+        names = [key[0] for key, _ in cache.snapshot()]
+        assert names == ["b.c", "a.c"]  # a kept its post-snapshot recency
+
+    def test_restore_merges_only_unknown_keys(self):
+        donor = TreeCache()
+        donor.get_or_parse("int a;\n", "a.c", DEFAULT_OPTIONS)
+        donor.get_or_parse("int b;\n", "b.c", DEFAULT_OPTIONS)
+
+        cache = TreeCache()
+        cache.get_or_parse("int a;\n", "a.c", DEFAULT_OPTIONS)
+        merged = cache.restore(donor.snapshot())
+        assert merged == 1  # only b was new
+        assert len(cache) == 2
+
+
+class TestMemoCounterExactness:
+    """--profile / server-stats counter audit: when the transform memo
+    short-circuits a session, the layers it bypassed record *nothing* — a
+    memo hit must not double-count as parse-cache traffic."""
+
+    RENAME = "@r@ @@\n- old_api();\n+ mid_api();\n"
+    FILES = {"hit.c": "void f(void) { old_api(); }\n",
+             "miss.c": "int zero(void) { return 0; }\n"}
+
+    def _run(self, cache, memo):
+        from repro import SemanticPatch
+        from repro.engine.pipeline import PatchPipeline
+
+        ast = SemanticPatch.from_string(self.RENAME, name="p0").ast
+        pipeline = PatchPipeline([ast], tree_cache=cache, memo=memo)
+        return pipeline.run(dict(self.FILES))
+
+    def test_memo_hit_records_no_tree_cache_traffic(self):
+        from repro.engine.memo import TransformMemo
+
+        cache = TreeCache()
+        memo = TransformMemo()
+        cold = self._run(cache, memo)
+        cold_traffic = cache.stats()
+        assert cold.stats.memo_misses == 1  # hit.c ran; miss.c was gated
+
+        warm = self._run(cache, memo)
+        assert warm.stats.memo_hits == 1 and warm.stats.memo_misses == 0
+        # the short-circuited session never consulted the parse cache: its
+        # counters are byte-for-byte what the cold run left behind
+        assert cache.stats() == cold_traffic
+        assert warm.stats.cache_hits == 0
+        assert warm.stats.cache_misses == 0
+        # and coverage counters still match the cold run (logical session)
+        assert warm.stats.sessions_run == cold.stats.sessions_run
+
+    def test_memo_counters_and_cache_counters_partition_the_work(self):
+        """Over any run: sessions_run == memo hits + real sessions; the
+        parse traffic belongs only to the real sessions."""
+        from repro.engine.memo import TransformMemo
+
+        cache = TreeCache()
+        memo = TransformMemo()
+        first = self._run(cache, memo)
+        assert first.stats.sessions_run == \
+            first.stats.memo_hits + first.stats.memo_misses
+        second = self._run(cache, memo)
+        assert second.stats.sessions_run == second.stats.memo_hits
+        counters = memo.counters()
+        assert counters["hits"] == 1 and counters["misses"] == 1
+        assert counters["stores"] == 1

@@ -7,10 +7,22 @@ drop / reorder / modify-SMPL) — and replays it as an edit-apply loop where
 each step's result seeds the next step's ``since=``.  After every step the
 incremental result must be **byte-identical** to a cold run over the same
 tree and patch list: texts, per-rule reports (combined and per patch),
-coverage stats and reuse records, across prefilter on/off × jobs 1/4.  The
-chaining matters: a step may exercise whole-set splicing, prefix splicing
-with suffix replay, per-file demotion or a cold fallback, and any state a
-previous step corrupted would surface here.
+coverage stats, exit codes and reuse records, across prefilter on/off ×
+jobs 1/4.  The chaining matters: a step may exercise whole-set splicing,
+prefix splicing with suffix replay, per-file demotion or a cold fallback,
+and any state a previous step corrupted would surface here.
+
+Every step additionally re-runs with the **transform memo** enabled — a
+fresh :class:`~repro.engine.memo.TransformMemo` instance over one on-disk
+directory shared by the *whole* sweep (every seed, step and configuration
+writes and reads the same entry files, like fleet processes sharing a
+cache dir).  Each such run exercises both tiers — cold memory tier warm
+disk tier on entry, promote-to-memory plus duplicate-content hits within
+the step — and must be byte-identical to the cold run: if the memo key
+(content hash, patch fingerprint, mode flags) ever under-discriminated,
+cross-seed or cross-config contamination would surface here as a
+differential failure.  ``REPRO_FUZZ_MEMO_DIR`` pins the directory (the CI
+smoke/nightly jobs do; default: a per-test temporary directory).
 
 The patch pool is a rename lattice — ``{token}_{g}() -> {token}_{g+1}()``
 — so patches compose into order-sensitive chains (a reorder or a dropped
@@ -57,6 +69,8 @@ SMOKE_SEEDS = 10
 FUZZ_SECONDS = float(os.environ.get("REPRO_FUZZ_SECONDS", "0") or 0)
 #: replay hook: run exactly this seed (printed by a failing sweep)
 FUZZ_SEED = os.environ.get("REPRO_FUZZ_SEED")
+#: pin the shared memo directory (CI does; default: per-test tmp dir)
+FUZZ_MEMO_DIR = os.environ.get("REPRO_FUZZ_MEMO_DIR")
 
 CONFIGS = [(True, 1), (False, 1), (True, 4), (False, 4)]
 CONFIG_IDS = [f"prefilter_{'on' if p else 'off'}-jobs{j}" for p, j in CONFIGS]
@@ -135,7 +149,11 @@ def _mutate(rng: random.Random, files: dict[str, str],
 # the differential loop
 # ---------------------------------------------------------------------------
 
-def _run_fuzz_case(seed: int, prefilter: bool, jobs: int) -> None:
+def _run_fuzz_case(seed: int, prefilter: bool, jobs: int,
+                   memo_dir: str) -> None:
+    from repro.engine.memo import TransformMemo
+    from repro.server.protocol import exit_status
+
     rng = random.Random(seed)
     files, descs = _init_case(rng)
     history: list[str] = []
@@ -148,12 +166,21 @@ def _run_fuzz_case(seed: int, prefilter: bool, jobs: int) -> None:
         incremental = patchset.apply(CodeBase.from_files(dict(files)),
                                      jobs=jobs, prefilter=prefilter,
                                      since=result)
+        # a fresh memo instance per step = a fresh process warm-starting
+        # from the sweep-shared disk tier (memory tier fills within the run)
+        memo = TransformMemo(path=memo_dir)
+        memoized = patchset.apply(CodeBase.from_files(dict(files)),
+                                  jobs=jobs, prefilter=prefilter, memo=memo)
         try:
             # a None since (first step) is a plain cold run, no wrapper
             assert (incremental.incremental is not None) == (result is not None)
-            assert_results_identical(
-                incremental, cold,
-                f"seed={seed} step={step} ops={history} descs={descs}")
+            context = f"seed={seed} step={step} ops={history} descs={descs}"
+            assert_results_identical(incremental, cold, context)
+            assert_results_identical(memoized, cold, "memo " + context)
+            patches = list(patchset)
+            assert exit_status(memoized, patches) \
+                == exit_status(incremental, patches) \
+                == exit_status(cold, patches), context
         except AssertionError:
             print(f"\nFUZZ FAILURE: seed={seed} prefilter={prefilter} "
                   f"jobs={jobs} step={step} ops={history} descs={descs}\n"
@@ -164,15 +191,16 @@ def _run_fuzz_case(seed: int, prefilter: bool, jobs: int) -> None:
 
 
 @pytest.mark.parametrize("prefilter,jobs", CONFIGS, ids=CONFIG_IDS)
-def test_fuzz_edit_scripts(prefilter, jobs):
+def test_fuzz_edit_scripts(prefilter, jobs, tmp_path):
+    memo_dir = FUZZ_MEMO_DIR or str(tmp_path / "memo")
     if FUZZ_SEED is not None:
-        _run_fuzz_case(int(FUZZ_SEED), prefilter, jobs)
+        _run_fuzz_case(int(FUZZ_SEED), prefilter, jobs, memo_dir)
         return
     if FUZZ_SECONDS > 0:
         deadline = time.monotonic() + FUZZ_SECONDS / len(CONFIGS)
         seed = 0
         while time.monotonic() < deadline:
-            _run_fuzz_case(seed, prefilter, jobs)
+            _run_fuzz_case(seed, prefilter, jobs, memo_dir)
             seed += 1
         assert seed >= SMOKE_SEEDS, \
             f"budget {FUZZ_SECONDS}s too small to beat the quick sweep"
@@ -180,7 +208,7 @@ def test_fuzz_edit_scripts(prefilter, jobs):
               f"{seed} seeds x {STEPS_PER_SEED} steps within budget")
     else:
         for seed in range(SMOKE_SEEDS):
-            _run_fuzz_case(seed, prefilter, jobs)
+            _run_fuzz_case(seed, prefilter, jobs, memo_dir)
 
 
 def test_fuzz_ops_all_reachable():

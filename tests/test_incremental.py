@@ -670,6 +670,36 @@ class TestPipelineState:
         target.write_bytes(pickle.dumps({"version": -1, "result": None}))
         assert PipelineState.load(target) is None
 
+    def test_save_cap_keeps_most_recently_used_not_newest_inserted(
+            self, tmp_path):
+        """The capped snapshot is *recency* order: an old entry touched just
+        before saving must survive the cap, and the true-coldest entry —
+        not the oldest-inserted — is what gets dropped."""
+        from repro.engine.cache import TreeCache
+
+        patchset = PatchSet(_patches(RENAME_A, RENAME_B))
+        cache = TreeCache()
+        for index in range(4):
+            cache.get_or_parse(f"int cached_{index};\n", f"f{index}.c",
+                               patchset[0].options)
+        # touch the oldest-inserted entry: it is now the hottest
+        cache.get_or_parse("int cached_0;\n", "f0.c", patchset[0].options)
+
+        result = patchset.apply({"a.c": "void f(void) { old_api(); }\n"})
+        target = tmp_path / "state.bin"
+        PipelineState(result=result, cache_entries=cache.snapshot(),
+                      max_cache_entries=2).save(target)
+
+        loaded = PipelineState.load(target)
+        kept = TreeCache()
+        kept.restore(loaded.cache_entries)
+        kept.get_or_parse("int cached_0;\n", "f0.c", patchset[0].options)
+        kept.get_or_parse("int cached_3;\n", "f3.c", patchset[0].options)
+        assert kept.stats() == (2, 0)  # the touched-old + last-inserted hit
+        # cached_1 was the true LRU-coldest: it fell past the cap
+        kept.get_or_parse("int cached_1;\n", "f1.c", patchset[0].options)
+        assert kept.stats() == (2, 1)
+
 
 # ---------------------------------------------------------------------------
 # CLI: --incremental and --watch

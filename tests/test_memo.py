@@ -1,0 +1,378 @@
+"""TransformMemo: content-addressed transform memoization.
+
+The soundness contract under test: a memo hit is byte-for-byte equivalent
+to running the session cold — same output text, same per-rule reports,
+same diagnostics, same coverage counters — across processes (the on-disk
+tier), across workspaces (the service's shared memo) and across the
+serial/parallel apply paths.  Corrupt or stale persisted entries degrade
+to a miss, never to wrong output or an error.
+"""
+
+import pickle
+
+import pytest
+
+from repro import CodeBase, PatchSet, SemanticPatch
+from repro.engine.cache import TreeCache, content_sha1
+from repro.engine.memo import (DEFAULT_MEMO_ENTRIES, MemoEntry,
+                               TransformMemo, memo_flags)
+from repro.engine.report import FileResult, RuleReport
+
+RENAME_A = "@r@ @@\n- old_api();\n+ mid_api();\n"
+RENAME_B = "@r@ @@\n- mid_api();\n+ new_api();\n"
+
+HIT_TEXT = "void f(void) { old_api(); }\n"
+MISS_TEXT = "int zero(void) { return 0; }\n"
+
+
+def _patches(*texts):
+    return [SemanticPatch.from_string(text, name=f"p{i}")
+            for i, text in enumerate(texts)]
+
+
+def _entry(filename="a.c", text=None, diagnostics=()):
+    return MemoEntry(filename=filename, text=text,
+                     output_sha=content_sha1(text) if text else None,
+                     reports=(("r", 1, 1, 1),), diagnostics=diagnostics)
+
+
+def _texts(result):
+    return {name: file_result.text
+            for name, file_result in result.files.items()}
+
+
+def _reports(result):
+    return {name: [(r.rule, r.matches, r.deletions, r.insertions)
+                   for r in file_result.rule_reports]
+            for name, file_result in result.files.items()}
+
+
+class TestMemoEntry:
+    def test_round_trips_a_changed_file_result(self):
+        original = FileResult(
+            filename="a.c", original_text="int a;\n", text="int b;\n",
+            rule_reports=[RuleReport(rule="r", matches=2, deletions=1,
+                                     insertions=1)],
+            diagnostics=["a.c: note"])
+        entry = MemoEntry.from_file_result(original)
+        assert entry.changed
+        assert entry.output_sha == content_sha1("int b;\n")
+        rebuilt = entry.to_file_result("a.c", "int a;\n")
+        assert rebuilt.text == original.text
+        assert rebuilt.original_text == original.original_text
+        assert rebuilt.diagnostics == original.diagnostics
+        assert [(r.rule, r.matches) for r in rebuilt.rule_reports] == \
+            [("r", 2)]
+
+    def test_unchanged_entry_stores_no_text(self):
+        untouched = FileResult(filename="a.c", original_text="int a;\n",
+                               text="int a;\n", rule_reports=[],
+                               diagnostics=[])
+        entry = MemoEntry.from_file_result(untouched)
+        assert not entry.changed
+        assert entry.text is None and entry.output_sha is None
+        rebuilt = entry.to_file_result("other.c", "int a;\n")
+        assert rebuilt.text == "int a;\n"
+        assert not rebuilt.changed
+
+
+class TestMemoFlags:
+    def test_every_mode_combination_is_distinct(self):
+        flags = {memo_flags(prefilter, compiled)
+                 for prefilter in (True, False)
+                 for compiled in (True, False)}
+        assert len(flags) == 4
+
+
+class TestMemoryTier:
+    def test_lookup_miss_then_store_then_hit(self):
+        memo = TransformMemo()
+        assert memo.lookup("sha", "fp", "pc", "a.c") is None
+        memo.store("sha", "fp", "pc", _entry())
+        entry = memo.lookup("sha", "fp", "pc", "a.c")
+        assert entry is not None and entry.reports == (("r", 1, 1, 1),)
+        assert memo.stats() == (1, 1)
+        assert memo.stores == 1
+
+    def test_keys_distinguish_every_component(self):
+        memo = TransformMemo()
+        memo.store("sha", "fp", "pc", _entry())
+        assert memo.lookup("other", "fp", "pc", "a.c") is None
+        assert memo.lookup("sha", "other", "pc", "a.c") is None
+        assert memo.lookup("sha", "fp", "-c", "a.c") is None
+
+    def test_lru_eviction_drops_least_recently_used(self):
+        memo = TransformMemo(max_entries=2)
+        memo.store("s1", "fp", "pc", _entry())
+        memo.store("s2", "fp", "pc", _entry())
+        memo.lookup("s1", "fp", "pc", "a.c")  # refresh s1: s2 is coldest
+        memo.store("s3", "fp", "pc", _entry())
+        assert memo.evictions == 1
+        assert memo.lookup("s2", "fp", "pc", "a.c") is None  # evicted
+        assert memo.lookup("s1", "fp", "pc", "a.c") is not None
+        assert memo.lookup("s3", "fp", "pc", "a.c") is not None
+        assert len(memo) == 2
+
+    def test_restore_of_known_key_does_not_recount_stores(self):
+        memo = TransformMemo()
+        memo.store("sha", "fp", "pc", _entry())
+        memo.store("sha", "fp", "pc", _entry())
+        assert memo.stores == 1
+
+    def test_diagnostics_pin_the_filename(self):
+        # diagnostics embed the filename they were produced under: an entry
+        # carrying them must not answer an identically-hashed other file
+        memo = TransformMemo()
+        memo.store("sha", "fp", "pc",
+                   _entry(filename="a.c", diagnostics=("a.c: warn",)))
+        assert memo.lookup("sha", "fp", "pc", "b.c") is None
+        assert memo.lookup("sha", "fp", "pc", "a.c") is not None
+        # ...while diagnostic-free entries are filename-portable
+        memo.store("sha2", "fp", "pc", _entry(filename="a.c"))
+        assert memo.lookup("sha2", "fp", "pc", "b.c") is not None
+
+    def test_clear_resets_memory_tier_and_counters(self):
+        memo = TransformMemo()
+        memo.store("sha", "fp", "pc", _entry())
+        memo.lookup("sha", "fp", "pc", "a.c")
+        memo.clear()
+        assert len(memo) == 0
+        assert memo.stats() == (0, 0)
+        assert memo.counters()["stores"] == 0
+
+
+class TestDiskTier:
+    def test_round_trip_across_instances(self, tmp_path):
+        first = TransformMemo(path=tmp_path / "memo")
+        first.store("sha", "fp", "pc", _entry(text="int b;\n"))
+        assert first.disk_stores == 1
+
+        fresh = TransformMemo(path=tmp_path / "memo")  # a "new process"
+        entry = fresh.lookup("sha", "fp", "pc", "a.c")
+        assert entry is not None and entry.text == "int b;\n"
+        assert fresh.disk_hits == 1 and fresh.stats() == (1, 0)
+        # promoted into the memory tier: the next lookup skips the disk
+        fresh.lookup("sha", "fp", "pc", "a.c")
+        assert fresh.disk_hits == 1 and fresh.hits == 2
+
+    def test_entries_are_sharded_content_addressed_files(self, tmp_path):
+        memo = TransformMemo(path=tmp_path / "memo")
+        memo.store("sha", "fp", "pc", _entry())
+        files = list((tmp_path / "memo").rglob("*.memo"))
+        assert len(files) == 1
+        assert files[0].parent.name == files[0].name[:2]  # 2-hex shard dir
+
+    def test_corrupt_entry_degrades_to_a_miss_and_is_unlinked(self, tmp_path):
+        memo = TransformMemo(path=tmp_path / "memo")
+        memo.store("sha", "fp", "pc", _entry())
+        entry_file = next((tmp_path / "memo").rglob("*.memo"))
+        entry_file.write_bytes(b"not a pickle at all")
+
+        fresh = TransformMemo(path=tmp_path / "memo")
+        assert fresh.lookup("sha", "fp", "pc", "a.c") is None
+        assert fresh.disk_errors == 1 and fresh.disk_misses == 1
+        assert not entry_file.exists()  # dropped so the next store heals it
+        # ...and a store after the miss does heal it
+        fresh.store("sha", "fp", "pc", _entry())
+        again = TransformMemo(path=tmp_path / "memo")
+        assert again.lookup("sha", "fp", "pc", "a.c") is not None
+
+    def test_stale_version_and_key_mismatch_rejected(self, tmp_path):
+        memo = TransformMemo(path=tmp_path / "memo")
+        memo.store("sha", "fp", "pc", _entry())
+        entry_file = next((tmp_path / "memo").rglob("*.memo"))
+
+        payload = pickle.loads(entry_file.read_bytes())
+        payload["version"] = 999
+        entry_file.write_bytes(pickle.dumps(payload))
+        fresh = TransformMemo(path=tmp_path / "memo")
+        assert fresh.lookup("sha", "fp", "pc", "a.c") is None
+
+        fresh.store("sha", "fp", "pc", _entry())  # re-publish, corrupt the key
+        entry_file = next((tmp_path / "memo").rglob("*.memo"))
+        payload = pickle.loads(entry_file.read_bytes())
+        payload["key"] = ("other", "fp", "pc")
+        entry_file.write_bytes(pickle.dumps(payload))
+        again = TransformMemo(path=tmp_path / "memo")
+        assert again.lookup("sha", "fp", "pc", "a.c") is None
+        assert again.disk_errors == 1
+
+    def test_write_failure_degrades_to_memory_only(self, tmp_path,
+                                                   monkeypatch):
+        # a full or read-only disk must never break the apply (chmod is not
+        # a usable simulation under root, so fail the publish itself)
+        import tempfile
+
+        from repro.engine import memo as memo_module
+
+        memo = TransformMemo(path=tmp_path / "memo")
+
+        def failing_mkstemp(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(memo_module.tempfile, "mkstemp", failing_mkstemp)
+        memo.store("sha", "fp", "pc", _entry())
+        assert memo.disk_errors == 1 and memo.disk_stores == 0
+        # the memory tier still answers
+        assert memo.lookup("sha", "fp", "pc", "a.c") is not None
+
+
+class TestPipelineIntegration:
+    def test_warm_run_is_byte_identical_without_parsing(self):
+        files = {"hit.c": HIT_TEXT, "miss.c": MISS_TEXT}
+        patches = _patches(RENAME_A, RENAME_B)
+        cold = PatchSet(patches).apply(CodeBase.from_files(files))
+
+        memo = TransformMemo()
+        first = PatchSet(patches).apply(CodeBase.from_files(files),
+                                        memo=memo)
+        warm = PatchSet(patches).apply(CodeBase.from_files(files),
+                                       memo=memo)
+        assert _texts(warm) == _texts(first) == _texts(cold)
+        assert _reports(warm) == _reports(cold)
+        assert warm.stats.memo_hits == 2  # both patches on hit.c
+        assert warm.stats.memo_misses == 0
+        # coverage counters match the cold run exactly: a memo hit is a
+        # logical session, and skip decisions are re-planned, not memoized
+        assert warm.stats.sessions_run == cold.stats.sessions_run
+        assert warm.stats.files_skipped == cold.stats.files_skipped
+
+    def test_duplicate_files_hit_within_one_cold_run(self):
+        files = {"a.c": HIT_TEXT, "b.c": HIT_TEXT, "c.c": HIT_TEXT}
+        memo = TransformMemo()
+        result = PatchSet(_patches(RENAME_A)).apply(
+            CodeBase.from_files(files), memo=memo)
+        assert result.stats.memo_misses == 1  # one real session...
+        assert result.stats.memo_hits == 2    # ...answers the duplicates
+        assert len(set(_texts(result).values())) == 1
+
+    def test_disk_tier_warms_a_fresh_process(self, tmp_path):
+        files = {"hit.c": HIT_TEXT}
+        patches = _patches(RENAME_A, RENAME_B)
+        cold = PatchSet(patches).apply(CodeBase.from_files(files))
+        PatchSet(patches).apply(CodeBase.from_files(files),
+                                memo=TransformMemo(path=tmp_path / "m"))
+
+        fresh = TransformMemo(path=tmp_path / "m")  # simulates a new process
+        warm = PatchSet(patches).apply(CodeBase.from_files(files),
+                                       memo=fresh)
+        assert _texts(warm) == _texts(cold)
+        assert warm.stats.memo_hits == 2 and warm.stats.memo_misses == 0
+        assert fresh.disk_hits == 2
+
+    def test_parallel_apply_uses_and_fills_the_memo(self, tmp_path):
+        files = {f"f{i}.c": HIT_TEXT.replace("f(", f"f{i}(")
+                 for i in range(6)}
+        patches = _patches(RENAME_A, RENAME_B)
+        cold = PatchSet(patches).apply(CodeBase.from_files(files))
+
+        memo = TransformMemo(path=tmp_path / "m")
+        first = PatchSet(patches).apply(CodeBase.from_files(files),
+                                        jobs=3, memo=memo)
+        assert _texts(first) == _texts(cold)
+        # worker outcomes were folded back into the parent memo...
+        warm = PatchSet(patches).apply(CodeBase.from_files(files),
+                                       jobs=3, memo=memo)
+        assert _texts(warm) == _texts(cold)
+        assert warm.stats.memo_hits == len(files) * len(patches)
+        assert warm.stats.memo_misses == 0
+        # ...and the disk tier carries them to a fresh process
+        fresh = TransformMemo(path=tmp_path / "m")
+        rewarm = PatchSet(patches).apply(CodeBase.from_files(files),
+                                         jobs=3, memo=fresh)
+        assert _texts(rewarm) == _texts(cold)
+        assert rewarm.stats.memo_misses == 0
+
+    def test_per_file_script_patches_are_never_memoized(self):
+        scripted = ("@a@\nidentifier f;\n@@\nmarked(f);\n\n"
+                    "@script:python s@\nf << a.f;\n@@\nprint(f)\n")
+        patches = [SemanticPatch.from_string(scripted, name="scripted")]
+        memo = TransformMemo()
+        files = {"a.c": "void t(void) { marked(x); }\n"}
+        for _ in range(2):
+            PatchSet(patches).apply(CodeBase.from_files(files), memo=memo)
+        assert memo.stats() == (0, 0)  # never consulted, never stored
+        assert len(memo) == 0
+
+    def test_prefilter_toggle_does_not_cross_contaminate(self):
+        files = {"hit.c": HIT_TEXT}
+        patches = _patches(RENAME_A)
+        memo = TransformMemo()
+        on = PatchSet(patches).apply(CodeBase.from_files(files),
+                                     prefilter=True, memo=memo)
+        off = PatchSet(patches).apply(CodeBase.from_files(files),
+                                      prefilter=False, memo=memo)
+        assert off.stats.memo_hits == 0  # different flags: a fresh session
+        assert _texts(on) == _texts(off)
+
+    def test_incremental_pipeline_falls_through_to_memo(self):
+        from repro.engine.incremental import IncrementalPipeline
+
+        files = {"hit.c": HIT_TEXT, "miss.c": MISS_TEXT}
+        asts = [p.ast for p in _patches(RENAME_A, RENAME_B)]
+        memo = TransformMemo()
+        cache = TreeCache()
+        cold = IncrementalPipeline(asts, tree_cache=cache,
+                                   memo=memo).run(files)
+        # an edited file cannot splice from the prior result, but its
+        # *unchanged boundary content* can still hit the memo if seen before
+        edited = dict(files, **{"miss.c": MISS_TEXT + "int more;\n"})
+        warm = IncrementalPipeline(asts, tree_cache=cache, memo=memo).run(
+            edited, since=cold)
+        assert warm.files["hit.c"].text == cold.files["hit.c"].text
+        assert warm.incremental.files_reused == 1  # splice path won
+        assert warm.stats.memo_misses == 0  # edited miss.c is still gated
+
+
+class TestServiceSharing:
+    def test_one_memo_spans_workspaces(self):
+        from repro.server.service import PatchService
+
+        service = PatchService()
+        files = {"dup.c": HIT_TEXT}
+        spec = {"kind": "smpl", "name": "rename", "text": RENAME_A}
+        for name in ("w1", "w2"):
+            service.open_workspace(name)
+            service.sync_files(name, files=dict(files))
+
+        service.apply("w1", [spec])
+        assert service.memo.stats() == (0, 1)
+        # the second workspace holds identical content: pure memo hit
+        payload = service.apply("w2", [spec], profile=True)
+        assert service.memo.stats() == (1, 1)
+        assert payload["files"]["dup.c"]["changed"]
+        assert payload["profile"]["memo"]["hits"] == 1
+
+    def test_stats_verb_reports_memo_counters(self):
+        from repro.server.service import PatchService
+
+        service = PatchService(memo_entries=7)
+        payload = service.stats()
+        assert payload["memo"]["max_entries"] == 7
+        assert payload["memo"]["hits"] == 0
+        assert payload["memo"]["path"] is None
+
+    def test_service_memo_disk_tier(self, tmp_path):
+        from repro.server.service import PatchService
+
+        first = PatchService(memo_dir=str(tmp_path / "memo"))
+        name = "w"
+        first.open_workspace(name)
+        first.sync_files(name, files={"a.c": HIT_TEXT})
+        first.apply(name, [{"kind": "smpl", "name": "r", "text": RENAME_A}])
+        assert first.memo.counters()["disk_stores"] >= 1
+
+        restarted = PatchService(memo_dir=str(tmp_path / "memo"))
+        restarted.open_workspace(name)
+        restarted.sync_files(name, files={"a.c": HIT_TEXT})
+        restarted.apply(name, [{"kind": "smpl", "name": "r",
+                                "text": RENAME_A}])
+        counters = restarted.memo.counters()
+        assert counters["disk_hits"] >= 1 and counters["misses"] == 0
+
+
+class TestDefaults:
+    def test_default_bound_is_advertised(self):
+        memo = TransformMemo()
+        assert memo.max_entries == DEFAULT_MEMO_ENTRIES
+        assert memo.path is None

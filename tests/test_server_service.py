@@ -288,3 +288,77 @@ class TestPatchCacheBound:
             service.apply(name, [smpl_spec(smpl)])
         stats = service.stats(name)["workspace"]
         assert stats["patches_cached"] <= MAX_CACHED_PATCH_SPECS
+
+
+class TestCompileCacheRefcounting:
+    """One workspace's spec-LRU eviction must not evict a compiled patch
+    another workspace's cached spec still holds (the compile cache is
+    global and fingerprint-keyed, so the service refcounts keys across
+    workspaces and only drops the compiled form with the last holder)."""
+
+    def _shared_key(self, service, spec):
+        from repro.engine.compile import compile_key
+
+        patch = service._parse_spec(spec, None)[0]
+        return compile_key(patch.ast, patch.options)
+
+    def test_flooding_one_workspace_does_not_force_a_recompile(self):
+        from repro.engine.compile import MATCHER_STATS, backend_enabled
+        from repro.server.service import MAX_CACHED_PATCH_SPECS
+
+        if not backend_enabled(None):
+            pytest.skip("compile cache inactive under REPRO_MATCHER=interp")
+
+        service = make_service()
+        shared = smpl_spec(RENAME_SMPL, name="shared")
+        for name in ("w1", "w2"):
+            service.open_workspace(name)
+            service.sync_files(name, files={
+                f"{name}.c": f"void {name}(void) {{ old(); }}\n"})
+            service.apply(name, [shared])
+        key = self._shared_key(service, shared)
+        assert service._compile_refs[key] == 2
+
+        # flood w1's spec LRU until the shared spec falls out of it; w2's
+        # cached spec must keep the compiled form pinned in the global cache
+        for revision in range(MAX_CACHED_PATCH_SPECS):
+            service.apply("w1", [smpl_spec(
+                f"@f@ @@\n- flood_{revision}();\n", name=f"f{revision}")])
+        assert key not in service.workspace("w1")._patches
+        assert service._compile_refs[key] == 1
+
+        # w2 re-applies over fresh content (new content so the transform
+        # memo cannot answer without a session): zero new compile misses
+        service.sync_files("w2", files={
+            "w2.c": "void h(void) { int z; old(); }\n"})
+        misses_before = MATCHER_STATS.compile_cache_misses
+        payload = service.apply("w2", [shared])
+        assert payload["files"]["w2.c"]["changed"]
+        assert MATCHER_STATS.compile_cache_misses == misses_before
+
+    def test_last_holder_eviction_drops_the_compiled_form(self):
+        from repro.engine import compile as compile_module
+        from repro.engine.compile import backend_enabled
+
+        if not backend_enabled(None):
+            pytest.skip("compile cache inactive under REPRO_MATCHER=interp")
+
+        service = make_service(max_workspaces=2)
+        shared = smpl_spec(OTHER_SMPL, name="shared")
+        for name in ("w1", "w2"):
+            service.open_workspace(name)
+            service.sync_files(name, files={
+                f"{name}.c": f"void {name}(void) {{ gone(); }}\n"})
+            service.apply(name, [shared])
+        key = self._shared_key(service, shared)
+        assert key in compile_module._COMPILE_CACHE
+
+        # evicting w1 releases one reference; the compiled form survives
+        service.open_workspace("w3")  # LRU pushes w1 out
+        assert service._compile_refs[key] == 1
+        assert key in compile_module._COMPILE_CACHE
+
+        # closing the service releases the last one; the form is dropped
+        service.close()
+        assert key not in service._compile_refs
+        assert key not in compile_module._COMPILE_CACHE
