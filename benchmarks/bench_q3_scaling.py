@@ -896,3 +896,153 @@ def test_q3j_transform_memo(benchmark, tmp_path):
          "output",
          rows, columns=["path", "files", "memo_hits", "matches", "seconds",
                         "speedup_vs_cold"])
+
+
+# ---------------------------------------------------------------------------
+# Q3k — apply-fleet saturation: 64 clients across sharded workspaces
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FleetRow:
+    config: str
+    clients: int
+    workspaces: int
+    applies: int
+    seconds: float
+    speedup_vs_one: float
+
+
+def _q3k_states(n_workspaces: int, files_per_ws: int):
+    """Per-workspace A/B file states.  Contents are *unique per workspace*
+    (the function names carry the workspace index) so the shared transform
+    memo cannot answer one workspace's applies with another's sessions —
+    the comparison must measure apply execution, not memo cross-talk."""
+    states = {}
+    for ws in range(n_workspaces):
+        state_a = {
+            f"k{index}.c":
+                ("void k%d_%d(void) {\n"
+                 "  for (int i = 0; i < 64; ++i) { old(); use(i); }\n"
+                 "}\n") % (ws, index)
+            for index in range(files_per_ws)}
+        state_b = {name: text + ("void extra_%d(void) { old(); }\n" % ws)
+                   for name, text in state_a.items()}
+        states[f"q3k-{ws}"] = (state_a, state_b)
+    return states
+
+
+def test_q3k_fleet_saturation(benchmark, tmp_path):
+    """Acceptance: 64 concurrent clients hammering sharded workspaces
+    through real sockets — every apply byte-identical to its serial
+    reference under both configurations, and (on a >= 8-CPU host, outside
+    smoke mode) ``--workers 8`` sustains >= 3x the end-to-end throughput
+    of ``--workers 1``: the fleet moves applies onto N CPUs while the
+    single-process daemon serializes them behind one GIL."""
+    import json as json_mod
+    import threading
+
+    from repro.server.client import RemoteClient
+    from repro.server.daemon import PatchDaemon
+    from repro.server.protocol import result_payload
+    from repro.server.service import PatchService
+
+    n_clients = 8 if QUICK else 64
+    n_workspaces = 4 if QUICK else 8
+    files_per_ws = 2 if QUICK else 4
+    rounds = 2
+    fleet_workers = 2 if QUICK else 8
+    rename = "@r@ @@\n- old();\n+ new_call();\n"
+    spec = {"kind": "smpl", "name": "q3k", "text": rename}
+    patch = SemanticPatch.from_string(rename, name="q3k")
+    states = _q3k_states(n_workspaces, files_per_ws)
+
+    def canonical(payload):
+        trimmed = {key: value for key, value in payload.items()
+                   if key not in ("profile", "workspace")}
+        return json_mod.dumps(trimmed, sort_keys=True)
+
+    # serial references: each workspace state applied locally, once
+    references = {
+        name: {canonical(result_payload(
+            PatchSet([patch]).apply(CodeBase.from_files(state)), [patch]))
+            for state in pair}
+        for name, pair in states.items()}
+
+    def run_config(workers: int, label: str):
+        service = PatchService(workers=workers)
+        daemon = PatchDaemon(f"unix:{tmp_path}/{label}.sock", service)
+        daemon.serve_in_thread()
+        try:
+            with RemoteClient(daemon.address) as setup:
+                for name, (state_a, _state_b) in states.items():
+                    setup.open_workspace(name)
+                    setup.sync_files(name, files=state_a)
+            payloads, errors = [], []
+            barrier = threading.Barrier(n_clients + 1)
+
+            def client_loop(index: int):
+                name = f"q3k-{index % n_workspaces}"
+                state_a, state_b = states[name]
+                try:
+                    with RemoteClient(daemon.address) as client:
+                        barrier.wait()
+                        for round_index in range(rounds):
+                            state = (state_a, state_b)[round_index % 2]
+                            client.sync_files(name, files=state)
+                            payloads.append(
+                                (name, client.apply(name, [spec])))
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+                    try:
+                        barrier.abort()
+                    except BaseException:
+                        pass
+
+            threads = [threading.Thread(target=client_loop, args=(index,))
+                       for index in range(n_clients)]
+            for thread in threads:
+                thread.start()
+            barrier.wait()  # all clients connected: timing starts here
+            started = time.perf_counter()
+            for thread in threads:
+                thread.join(timeout=600.0)
+            seconds = time.perf_counter() - started
+        finally:
+            daemon.shutdown()
+        assert not errors, errors[:1]
+        assert len(payloads) == n_clients * rounds
+        # byte-identity: every response equals one of its workspace's
+        # serial references (a concurrent sync may interleave, but an
+        # apply must never see a torn or wrong-process state)
+        for name, payload in payloads:
+            assert canonical(payload) in references[name], \
+                f"{name}: fleet apply diverged from the serial reference"
+        return seconds, len(payloads)
+
+    def compare():
+        one_seconds, one_applies = run_config(1, "one")
+        fleet_seconds, fleet_applies = run_config(fleet_workers, "fleet")
+        return one_seconds, one_applies, fleet_seconds, fleet_applies
+
+    one_seconds, one_applies, fleet_seconds, fleet_applies = \
+        benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    speedup = one_seconds / fleet_seconds if fleet_seconds else 0.0
+    cpus = os.cpu_count() or 1
+    if not QUICK and cpus >= 8:
+        assert speedup >= 3.0, \
+            f"expected >= 3x with {fleet_workers} workers on {cpus} CPUs, " \
+            f"measured {speedup:.2f}x"
+
+    rows = [
+        FleetRow("--workers 1 (in-process)", n_clients, n_workspaces,
+                 one_applies, one_seconds, 1.0),
+        FleetRow(f"--workers {fleet_workers} (apply fleet)", n_clients,
+                 n_workspaces, fleet_applies, fleet_seconds, speedup),
+    ]
+    emit("Q3k fleet saturation (64 clients, sharded workspaces)",
+         "concurrent applies across workspaces scale with the worker "
+         "fleet (>= 3x at 8 workers on >= 8 CPUs); every response stays "
+         "byte-identical to its serial reference",
+         rows, columns=["config", "clients", "workspaces", "applies",
+                        "seconds", "speedup_vs_one"])

@@ -47,6 +47,7 @@ import hashlib
 import json
 import pathlib
 import sys
+import time
 
 from .. import __version__
 from ..api import C_SUFFIXES, CodeBase, PatchSet, SemanticPatch
@@ -152,6 +153,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "repeated invocations (and duplicated files "
                              "within one run) skip transforms whose result "
                              "is already known, byte-identically")
+    parser.add_argument("--memo-prune", action="store_true",
+                        help="one-shot GC of --memo-dir: delete entries past "
+                             "--memo-max-mb/--memo-max-age (oldest first), "
+                             "print a summary, and exit")
+    parser.add_argument("--memo-max-mb", type=float, default=None,
+                        metavar="MB",
+                        help="with --memo-prune: keep the memo directory "
+                             "under MB megabytes (oldest entries go first)")
+    parser.add_argument("--memo-max-age", type=float, default=None,
+                        metavar="SECONDS",
+                        help="with --memo-prune: delete memo entries older "
+                             "than SECONDS")
+    parser.add_argument("--auth-token", metavar="TOKEN", default=None,
+                        help="with --server over TCP: shared-secret token "
+                             "presented in the protocol hello (daemons "
+                             "started with --auth-token refuse TCP clients "
+                             "without it)")
     parser.add_argument("--watch", action="store_true",
                         help="stay alive after the first application: poll "
                              "the targets for changes (mtime+size, then "
@@ -343,6 +361,26 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
+    if args.memo_prune:
+        if not args.memo_dir:
+            parser.error("--memo-prune needs --memo-dir")
+            return 2
+        if args.memo_max_mb is None and args.memo_max_age is None:
+            parser.error("--memo-prune needs --memo-max-mb and/or "
+                         "--memo-max-age")
+            return 2
+        from ..engine.memo import TransformMemo
+
+        max_bytes = int(args.memo_max_mb * 1024 * 1024) \
+            if args.memo_max_mb is not None else None
+        summary = TransformMemo(path=args.memo_dir).prune(
+            max_bytes=max_bytes, max_age=args.memo_max_age)
+        print(f"memo-prune: scanned {summary['scanned']} entries "
+              f"({summary['scanned_bytes']} bytes), removed "
+              f"{summary['removed']} ({summary['removed_bytes']} bytes)",
+              file=sys.stderr)
+        return 0
+
     options = SpatchOptions(
         cxx=int(args.cxx) if args.cxx is not None else None,
         apply_isomorphisms=not args.no_isos,
@@ -502,19 +540,40 @@ def _remote_main(args, options: SpatchOptions) -> int:
         return 2
     codebase, paths = _load_codebase(args.targets)
     workspace = args.workspace or _default_workspace_name(args.targets)
-    try:
-        with RemoteClient(args.server) as client:
+
+    def one_attempt() -> dict:
+        # the whole flow is idempotent (content-hash sync, stateless apply
+        # verb), so a retry redoes connect+open+sync+apply from scratch
+        with RemoteClient(args.server, token=args.auth_token) as client:
             client.open_workspace(workspace)
             client.sync_codebase(workspace, codebase)
-            payload = client.request(
+            return client.request(
                 "apply", workspace=workspace, patches=specs,
                 options=options_payload(options), jobs=args.jobs,
                 prefilter=not args.no_prefilter,
                 diff=args.json or not args.in_place,
                 texts=args.in_place or None, profile=args.profile or None)
-    except (ConnectionLost, RemoteError, OSError) as exc:
-        print(f"repro-spatch: server: {exc}", file=sys.stderr)
-        return 2
+
+    payload = None
+    for attempt in range(2):
+        try:
+            payload = one_attempt()
+            break
+        except (ConnectionLost, ConnectionRefusedError, OSError) as exc:
+            # transient transport failures (daemon restarting, socket
+            # reset mid-request) get one retry after a short backoff;
+            # server-reported errors (RemoteError) never do
+            if attempt == 0:
+                delay = 0.25 * (2 ** attempt)
+                print(f"repro-spatch: server: {exc}; retrying in "
+                      f"{delay:.2f}s", file=sys.stderr)
+                time.sleep(delay)
+                continue
+            print(f"repro-spatch: server: {exc}", file=sys.stderr)
+            return 2
+        except RemoteError as exc:
+            print(f"repro-spatch: server: {exc}", file=sys.stderr)
+            return 2
 
     if args.report or args.verbose:
         summary = payload["summary"]

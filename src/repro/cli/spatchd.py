@@ -55,6 +55,29 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="default worker processes per apply request "
                              "(requests may override; default 1 — parallel "
                              "clients are the expected scaling axis)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="apply-fleet worker processes: each workspace "
+                             "is pinned to one worker, so N workers serve N "
+                             "concurrent applies across workspaces (default "
+                             "1: in-process execution)")
+    parser.add_argument("--state-root", default=None, metavar="DIR",
+                        help="snapshot workspaces (files, last result, parse "
+                             "cache) to DIR after every apply and restore "
+                             "them lazily after a restart (default: state "
+                             "dies with the process)")
+    parser.add_argument("--auth-token", default=None, metavar="TOKEN",
+                        help="shared-secret token TCP clients must present "
+                             "in their hello before any other verb "
+                             "(unix sockets stay auth-free)")
+    parser.add_argument("--memo-max-mb", type=float, default=None,
+                        metavar="MB",
+                        help="size bound for the --memo-dir disk tier: GC "
+                             "prunes oldest entries past this every 64 "
+                             "applies (default: unbounded)")
+    parser.add_argument("--memo-max-age", type=float, default=None,
+                        metavar="SECONDS",
+                        help="age bound for --memo-dir entries, enforced by "
+                             "the same GC (default: unbounded)")
     parser.add_argument("--workspace-root", action="append", default=[],
                         metavar="NAME=DIR",
                         help="pre-open a workspace mirroring a server-side "
@@ -85,11 +108,23 @@ def main(argv: "list[str] | None" = None) -> int:
 
     log = (lambda message: print(f"spatchd: {message}", file=sys.stderr,
                                  flush=True)) if args.verbose else None
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+        return 2
+    if (args.memo_max_mb is not None or args.memo_max_age is not None) \
+            and args.memo_dir is None:
+        parser.error("--memo-max-mb/--memo-max-age need --memo-dir")
+        return 2
     service = PatchService(max_workspaces=args.max_workspaces,
                            cache_entries=args.cache_entries,
                            default_jobs=jobs, log=log,
                            memo_entries=args.memo_entries,
-                           memo_dir=args.memo_dir)
+                           memo_dir=args.memo_dir,
+                           workers=args.workers,
+                           state_root=args.state_root,
+                           memo_max_bytes=int(args.memo_max_mb * 1024 * 1024)
+                           if args.memo_max_mb is not None else None,
+                           memo_max_age=args.memo_max_age)
     for entry in args.workspace_root:
         name, sep, root = entry.partition("=")
         if not sep or not name or not root:
@@ -101,7 +136,8 @@ def main(argv: "list[str] | None" = None) -> int:
               file=sys.stderr, flush=True)
 
     try:
-        return serve(args.listen, service, verbose=args.verbose)
+        return serve(args.listen, service, verbose=args.verbose,
+                     auth_token=args.auth_token)
     except (OSError, ValueError) as exc:
         # bad --listen address (ProtocolError is a ValueError), socket in
         # use, permissions: usage-style failures, spatch-convention exit 2

@@ -22,6 +22,7 @@ repeated CLI invocations skip parsing files they have seen before.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import pickle
 import threading
@@ -29,6 +30,7 @@ from collections import OrderedDict
 from typing import Optional
 
 from ..lang.parser import ParseTree, parse_source
+from ..lang.source import SourceFile
 from ..options import SpatchOptions
 
 #: format tag for persisted caches; bump on incompatible layout changes
@@ -56,11 +58,100 @@ class _InFlight:
         self.error: Optional[BaseException] = None
 
 
-class TreeCache:
-    """A bounded, thread-safe LRU cache of parse trees."""
+class SharedTreeStore:
+    """A content-addressed parse-tree layer shared *across* caches.
 
-    def __init__(self, max_entries: int = 512):
+    Per-workspace :class:`TreeCache` keys include the filename (diagnostics
+    derive it from ``tree.source.name``), so two workspaces holding the same
+    vendored file under different paths each parse it.  This store drops the
+    filename from the key — ``(sha1(text), options) → tree`` — and repairs
+    the one filename capture on the way out: a hit whose stored tree was
+    parsed under a different name is *rebound* by replacing ``tree.source``
+    with a fresh :class:`~repro.lang.source.SourceFile` carrying the
+    caller's name.  That is sound because the source object is the tree's
+    only filename carrier: tokens hold offsets into the text, and the
+    tolerant parser's recovery nodes hold token ranges, never paths — the
+    matcher (``Position.filename``) and transform diagnostics both read
+    ``tree.source.name`` at *use* time.  Rebinding costs one O(n)
+    line-start scan, versus a full re-parse.
+
+    Thread-safe; shared across workspaces (and per worker process in the
+    apply fleet), wired in via ``TreeCache(shared=...)``.
+    """
+
+    def __init__(self, max_entries: int = 2048):
         self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple, ParseTree]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        #: hits answered for a different filename than the stored parse
+        self.rebinds = 0
+        self.evictions = 0
+
+    def get(self, text_sha: str, options: SpatchOptions, name: str,
+            text: str) -> Optional[ParseTree]:
+        """The stored tree for this exact content (rebound to ``name`` if it
+        was parsed under another path), or ``None``."""
+        key = (text_sha, options)
+        with self._lock:
+            tree = self._entries.get(key)
+            if tree is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            if tree.source.name == name:
+                return tree
+            self.rebinds += 1
+        # rebind outside the lock: SourceFile.__post_init__ rescans line
+        # starts, which is O(len(text)) work other callers need not wait on
+        return dataclasses.replace(
+            tree, source=SourceFile(name=name, text=text))
+
+    def put(self, text_sha: str, options: SpatchOptions,
+            tree: ParseTree) -> None:
+        key = (text_sha, options)
+        with self._lock:
+            if key not in self._entries:
+                self.stores += 1
+            self._entries[key] = tree
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.stores = 0
+            self.rebinds = self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def counters(self) -> dict:
+        with self._lock:
+            return {"entries": len(self._entries),
+                    "max_entries": self.max_entries,
+                    "hits": self.hits, "misses": self.misses,
+                    "stores": self.stores, "rebinds": self.rebinds,
+                    "evictions": self.evictions}
+
+
+class TreeCache:
+    """A bounded, thread-safe LRU cache of parse trees.
+
+    ``shared`` optionally names a :class:`SharedTreeStore` consulted on a
+    local miss (content-addressed, so identical files in *other* caches
+    answer) and published to after every successful parse.  ``None`` — the
+    default — keeps this cache fully self-contained."""
+
+    def __init__(self, max_entries: int = 512,
+                 shared: Optional[SharedTreeStore] = None):
+        self.max_entries = max_entries
+        self.shared = shared
         self._entries: "OrderedDict[tuple, ParseTree]" = OrderedDict()
         self._inflight: dict[tuple, _InFlight] = {}
         self._lock = threading.Lock()
@@ -69,6 +160,9 @@ class TreeCache:
         #: hits that were answered by waiting on another caller's in-flight
         #: parse instead of a stored entry (how much concurrent dedup saved)
         self.dedup_waits = 0
+        #: local misses answered by the shared content-addressed store
+        #: (each one is a parse some other cache already paid for)
+        self.shared_hits = 0
         #: entries dropped past the LRU bound since construction/clear
         self.evictions = 0
 
@@ -107,6 +201,21 @@ class TreeCache:
                 if key in self._entries:
                     self._entries.move_to_end(key)
             return inflight.tree
+        tree = None
+        if self.shared is not None:
+            try:
+                tree = self.shared.get(key[1], options, name, text)
+            except Exception:
+                tree = None  # a broken share degrades to a parse, never a failure
+        if tree is not None:
+            with self._lock:
+                self.hits += 1
+                self.shared_hits += 1
+                self._store(key, tree)
+                del self._inflight[key]
+            inflight.tree = tree
+            inflight.event.set()
+            return tree
         try:
             tree = parse_source(text, name=name, options=options, tolerant=True)
         except BaseException as exc:
@@ -121,6 +230,11 @@ class TreeCache:
             del self._inflight[key]
         inflight.tree = tree
         inflight.event.set()
+        if self.shared is not None:
+            try:
+                self.shared.put(key[1], options, tree)
+            except Exception:
+                pass
         return tree
 
     def _store(self, key: tuple, tree: ParseTree) -> None:
@@ -137,6 +251,7 @@ class TreeCache:
             self.hits = 0
             self.misses = 0
             self.dedup_waits = 0
+            self.shared_hits = 0
             self.evictions = 0
 
     def __len__(self) -> int:
@@ -155,6 +270,7 @@ class TreeCache:
                     "max_entries": self.max_entries,
                     "hits": self.hits, "misses": self.misses,
                     "dedup_waits": self.dedup_waits,
+                    "shared_hits": self.shared_hits,
                     "evictions": self.evictions}
 
     # -- persistence ----------------------------------------------------------

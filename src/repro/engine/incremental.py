@@ -64,7 +64,9 @@ coverage counters identical to a cold run's.
 
 from __future__ import annotations
 
+import os
 import pickle
+import tempfile
 import time
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
@@ -528,6 +530,13 @@ class PipelineState:
     #: overflow is dropped (``None`` = unbounded) so a long-lived watch
     #: session's state file cannot grow with every file it ever saw
     max_cache_entries: Optional[int] = DEFAULT_STATE_CACHE_ENTRIES
+    #: optional ``{filename: text}`` snapshot of the code base itself —
+    #: what the daemon's ``--state-root`` workspace snapshots carry so a
+    #: restarted process can restore the files alongside the result (the
+    #: CLI's ``--incremental`` flow leaves this ``None``: the files live on
+    #: the user's disk).  Absent from pre-existing payloads, which load as
+    #: ``None`` — no version bump needed.
+    files: Optional[dict] = None
 
     @property
     def fingerprint(self) -> Optional[str]:
@@ -541,8 +550,23 @@ class PipelineState:
             entries = entries[-self.max_cache_entries:]
         payload = {"version": _STATE_VERSION, "result": self.result,
                    "cache_entries": entries}
-        with open(path, "wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        if self.files is not None:
+            payload["files"] = self.files
+        # atomic publish: a process killed mid-save (the daemon's kill -9
+        # restart path) must never leave a torn file over a good snapshot
+        directory = os.path.dirname(os.path.abspath(os.fspath(path)))
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path) -> "Optional[PipelineState]":
@@ -557,8 +581,12 @@ class PipelineState:
             result = payload["result"]
             if not isinstance(result, PipelineResult):
                 return None
+            files = payload.get("files")
+            if files is not None and not isinstance(files, dict):
+                files = None
             return cls(result=result,
-                       cache_entries=list(payload.get("cache_entries", [])))
+                       cache_entries=list(payload.get("cache_entries", [])),
+                       files=files)
         except Exception:
             # pickle failures surface as UnpicklingError, ValueError,
             # EOFError, AttributeError/ImportError (renamed classes), ... —

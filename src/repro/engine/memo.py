@@ -67,6 +67,7 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
@@ -144,10 +145,15 @@ class TransformMemo:
     persistent on-disk tier (see the module docstring)."""
 
     def __init__(self, max_entries: int = DEFAULT_MEMO_ENTRIES,
-                 path=None):
+                 path=None, max_blob_entries: int = 512):
         self.max_entries = max_entries
+        self.max_blob_entries = max_blob_entries
         self.path = os.fspath(path) if path is not None else None
         self._entries: "OrderedDict[tuple, MemoEntry]" = OrderedDict()
+        #: content-addressed raw-text tier (``sha1 → text``): what the
+        #: memo-aware server sync stores/recalls so known file contents
+        #: never cross the wire twice
+        self._blobs: "OrderedDict[str, str]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -159,6 +165,10 @@ class TransformMemo:
         self.disk_stores = 0
         #: corrupt/stale/unwritable entry files degraded to a miss/no-op
         self.disk_errors = 0
+        #: blob (raw text) tier traffic
+        self.blob_hits = 0
+        self.blob_misses = 0
+        self.blob_stores = 0
         if self.path is not None:
             os.makedirs(self.path, exist_ok=True)
 
@@ -292,6 +302,146 @@ class TransformMemo:
         with self._lock:
             self.disk_stores += 1
 
+    # -- the blob (raw text) tier --------------------------------------------
+
+    def _blob_path(self, text_sha: str) -> str:
+        return os.path.join(self.path, "blobs", text_sha[:2],
+                            text_sha + ".blob")
+
+    def store_text(self, text: str, text_sha: Optional[str] = None) -> str:
+        """Remember raw file text by content hash (memory LRU + on-disk
+        blob when a ``path`` is configured); returns the hash.  This is the
+        server-side half of memo-aware delta sync: texts a client already
+        uploaded — or any process sharing the memo directory has seen —
+        can be *recalled* by hash instead of re-uploaded."""
+        if text_sha is None:
+            text_sha = content_sha1(text)
+        with self._lock:
+            known = text_sha in self._blobs
+            self._blobs[text_sha] = text
+            self._blobs.move_to_end(text_sha)
+            while len(self._blobs) > self.max_blob_entries:
+                self._blobs.popitem(last=False)
+            if not known:
+                self.blob_stores += 1
+        if not known and self.path is not None:
+            target = self._blob_path(text_sha)
+            try:
+                os.makedirs(os.path.dirname(target), exist_ok=True)
+                fd, temp_path = tempfile.mkstemp(
+                    dir=os.path.dirname(target), suffix=".tmp")
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        # surrogateescape, matching the read side: escaped
+                        # bad bytes in file texts round-trip to the same
+                        # bytes the client's file held, so the re-hash
+                        # check on recall sees the original content hash
+                        handle.write(text.encode("utf-8", "surrogateescape"))
+                    os.replace(temp_path, target)
+                except BaseException:
+                    try:
+                        os.unlink(temp_path)
+                    except OSError:
+                        pass
+                    raise
+            except Exception:
+                with self._lock:
+                    self.disk_errors += 1
+        return text_sha
+
+    def recall_text(self, text_sha: str) -> Optional[str]:
+        """The raw text previously stored under ``text_sha``, or ``None``.
+        Disk reads are re-hashed before they are trusted — a corrupt blob
+        degrades to a miss and is unlinked."""
+        with self._lock:
+            text = self._blobs.get(text_sha)
+            if text is not None:
+                self._blobs.move_to_end(text_sha)
+                self.blob_hits += 1
+                return text
+        if self.path is not None:
+            target = self._blob_path(text_sha)
+            try:
+                with open(target, "rb") as handle:
+                    text = handle.read().decode("utf-8", "surrogateescape")
+                if content_sha1(text) != text_sha:
+                    raise ValueError("blob content does not match its hash")
+            except FileNotFoundError:
+                text = None
+            except Exception:
+                text = None
+                with self._lock:
+                    self.disk_errors += 1
+                try:
+                    os.unlink(target)
+                except OSError:
+                    pass
+            if text is not None:
+                with self._lock:
+                    self.blob_hits += 1
+                    self._blobs[text_sha] = text
+                    self._blobs.move_to_end(text_sha)
+                    while len(self._blobs) > self.max_blob_entries:
+                        self._blobs.popitem(last=False)
+                return text
+        with self._lock:
+            self.blob_misses += 1
+        return None
+
+    # -- disk-tier garbage collection ----------------------------------------
+
+    def prune(self, max_bytes: Optional[int] = None,
+              max_age: Optional[float] = None) -> dict:
+        """Size/age-bound the on-disk tier (entries *and* blobs).
+
+        Files older than ``max_age`` seconds go first; if the directory
+        still exceeds ``max_bytes``, the oldest-mtime files go until it
+        fits — the disk analogue of the memory tier's LRU, using mtime as
+        recency.  Concurrently vanished files are skipped, and the memory
+        tiers are untouched (they are bounded separately).  Returns a
+        summary: scanned/removed counts and byte totals."""
+        summary = {"scanned": 0, "scanned_bytes": 0,
+                   "removed": 0, "removed_bytes": 0}
+        if self.path is None:
+            return summary
+        now = time.time()
+        survivors: list[tuple[float, int, str]] = []  # (mtime, size, path)
+        for dirpath, _dirnames, filenames in os.walk(self.path):
+            for filename in filenames:
+                if not filename.endswith((".memo", ".blob")):
+                    continue  # never touch foreign/temp files
+                target = os.path.join(dirpath, filename)
+                try:
+                    stat = os.stat(target)
+                except OSError:
+                    continue
+                summary["scanned"] += 1
+                summary["scanned_bytes"] += stat.st_size
+                if max_age is not None and now - stat.st_mtime > max_age:
+                    self._prune_unlink(target, stat.st_size, summary)
+                else:
+                    survivors.append((stat.st_mtime, stat.st_size, target))
+        if max_bytes is not None:
+            total = sum(size for _mtime, size, _path in survivors)
+            survivors.sort()  # oldest mtime first
+            index = 0
+            while total > max_bytes and index < len(survivors):
+                _mtime, size, target = survivors[index]
+                index += 1
+                if self._prune_unlink(target, size, summary):
+                    total -= size
+        return summary
+
+    @staticmethod
+    def _prune_unlink(target: str, size: int, summary: dict) -> bool:
+        try:
+            os.unlink(target)
+        except OSError:
+            return False  # concurrently removed, or unwritable — skip
+        summary["removed"] += 1
+        summary["removed_bytes"] += size
+        return True
+
     # -- maintenance / observability -----------------------------------------
 
     def clear(self) -> None:
@@ -299,9 +449,11 @@ class TransformMemo:
         untouched — it is shared state other processes may be using)."""
         with self._lock:
             self._entries.clear()
+            self._blobs.clear()
             self.hits = self.misses = self.stores = self.evictions = 0
             self.disk_hits = self.disk_misses = 0
             self.disk_stores = self.disk_errors = 0
+            self.blob_hits = self.blob_misses = self.blob_stores = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -323,4 +475,8 @@ class TransformMemo:
                     "disk_hits": self.disk_hits,
                     "disk_misses": self.disk_misses,
                     "disk_stores": self.disk_stores,
-                    "disk_errors": self.disk_errors}
+                    "disk_errors": self.disk_errors,
+                    "blob_entries": len(self._blobs),
+                    "blob_hits": self.blob_hits,
+                    "blob_misses": self.blob_misses,
+                    "blob_stores": self.blob_stores}

@@ -1,11 +1,25 @@
 """``spatchd``: the socket layer over :class:`~repro.server.service.PatchService`.
 
 One daemon process serves any number of clients over a unix-domain or TCP
-socket (``socketserver.ThreadingMixIn``: one thread per connection, so a
-slow client never stalls the others — per-workspace consistency is the
-service's job, not the socket layer's).  Framing is newline-delimited JSON
-(see :mod:`repro.server.protocol`); a connection handles requests strictly
-in order, and any number of them.
+socket (``socketserver.ThreadingMixIn``: one thread per connection —
+per-workspace consistency is the service's job, not the socket layer's).
+Framing is newline-delimited JSON (see :mod:`repro.server.protocol`).
+
+A bare connection speaks **protocol v1**: requests handled strictly in
+order, one response each.  A ``hello`` negotiates **v2** per connection,
+switching it to *pipelined* dispatch: requests are read continuously and
+executed on a shared thread pool, responses (correlated by request ``id``)
+are written as they finish — out of order.  Two ordering rules make that
+safe: mutating verbs (``open_workspace``/``sync_files``/``apply``) are
+chained FIFO per ``(connection, workspace)`` — a pipelined sync-then-apply
+always executes in that order — and read-only verbs dispatch immediately,
+so a stats poll or query never queues behind a slow apply.
+
+``hello`` also carries the shared-secret **auth** handshake: a daemon
+started with a token refuses every other verb on TCP connections until a
+hello presents the right token (``auth-required``/``auth-failed`` error
+types).  Unix-domain sockets stay auth-free — filesystem permissions
+already gate them — so local v1 clients interoperate unmodified.
 
 Failure isolation: a request that cannot be parsed, names an unknown verb,
 or raises inside the service is answered with an ``ok: false`` envelope
@@ -17,15 +31,18 @@ executed, because execution starts only after a full line parses.
 
 from __future__ import annotations
 
+import hmac
 import os
 import socket
 import socketserver
 import sys
 import threading
 import traceback
+from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
 
-from .protocol import ProtocolError, read_message, write_message, parse_address
+from .protocol import (PROTOCOL_VERSION, ProtocolError, read_message,
+                       write_message, parse_address)
 from .service import PatchService, ServiceError
 
 #: request fields every verb accepts besides its own parameters
@@ -46,9 +63,29 @@ _VERBS = {
     "shutdown": (None, set()),
 }
 
+#: verbs whose pipelined execution must stay FIFO per (connection,
+#: workspace): each mutates workspace state a later request may depend on.
+#: Everything else dispatches immediately (reads never queue behind applies)
+_ORDERED_VERBS = {"open_workspace", "sync_files", "apply"}
+
+#: pipelined requests executing concurrently across all v2 connections
+_EXECUTOR_THREADS = 32
+
 
 class _Handler(socketserver.StreamRequestHandler):
-    """One client connection: read a line, dispatch, answer, repeat."""
+    """One client connection: v1 serial until a hello upgrades it."""
+
+    def setup(self) -> None:
+        super().setup()
+        #: negotiated protocol level (1 until a successful hello)
+        self.protocol = 1
+        #: whether this connection may use non-hello verbs (TCP + token
+        #: daemons start locked; unix and token-less daemons start open)
+        self.authed = not self.server.requires_auth
+        #: serializes response writes once dispatch goes out-of-order
+        self.write_lock = threading.Lock()
+        #: tail of the FIFO chain per workspace name (pipelined mode)
+        self.chains: dict = {}
 
     def handle(self) -> None:
         while True:
@@ -61,11 +98,87 @@ class _Handler(socketserver.StreamRequestHandler):
                 return
             if request is None:
                 return  # clean EOF
+            verb = request.get("verb")
+            if verb == "hello":
+                # the write lock matters on a re-negotiation: pipelined
+                # responses may be in flight on this connection already
+                with self.write_lock:
+                    answered = self._respond(self._hello(request))
+                if not answered:
+                    return
+                continue
+            if not self.authed:
+                envelope = {"id": request["id"]} if "id" in request else {}
+                with self.write_lock:
+                    answered = self._respond(
+                        {**envelope, "ok": False, "error": {
+                            "type": "auth-required",
+                            "message": "this daemon requires a hello with "
+                                       "the shared-secret token first"}})
+                if not answered:
+                    return
+                continue
+            if verb == "shutdown":
+                # always inline: pipelining a shutdown behind queued work
+                # would just race the executor; respond, stop, hang up
+                response, _shutdown = self.server.dispatch(request)
+                with self.write_lock:
+                    self._respond(response)
+                return
+            if self.protocol >= 2:
+                self._dispatch_pipelined(request)
+                continue
             response, shutdown = self.server.dispatch(request)
             if not self._respond(response):
                 return
             if shutdown:
                 return
+
+    # -- v2: hello and pipelined dispatch ------------------------------------
+
+    def _hello(self, request: dict) -> dict:
+        envelope = {"id": request["id"]} if "id" in request else {}
+        token = request.get("token")
+        if self.server.requires_auth:
+            expected = self.server.auth_token
+            if not (isinstance(token, str)
+                    and hmac.compare_digest(token, expected)):
+                return {**envelope, "ok": False, "error": {
+                    "type": "auth-failed",
+                    "message": "bad or missing auth token"}}
+            self.authed = True
+        requested = request.get("protocol", 1)
+        negotiated = min(PROTOCOL_VERSION, requested) \
+            if isinstance(requested, int) and requested >= 2 else 1
+        self.protocol = max(self.protocol, negotiated)
+        return {**envelope, "ok": True, "result": {
+            "protocol": negotiated, "server": PROTOCOL_VERSION,
+            "pipelined": negotiated >= 2,
+            "auth": "ok" if self.server.requires_auth else "open"}}
+
+    def _dispatch_pipelined(self, request: dict) -> None:
+        """Hand one request to the executor.  Mutating verbs join their
+        workspace's FIFO chain (each task waits for the previous mutating
+        task on the same connection+workspace); reads run immediately."""
+        previous = done = None
+        if request.get("verb") in _ORDERED_VERBS:
+            workspace = request.get("workspace")
+            done = threading.Event()
+            previous = self.chains.get(workspace)
+            self.chains[workspace] = done
+
+        def task() -> None:
+            if previous is not None:
+                previous.wait()
+            try:
+                response, _shutdown = self.server.dispatch(request)
+            finally:
+                if done is not None:
+                    done.set()  # never stall the chain, even on a bug
+            with self.write_lock:
+                self._respond(response)
+
+        self.server.executor.submit(task)
 
     def _respond(self, response: dict) -> bool:
         try:
@@ -84,6 +197,10 @@ class _DaemonMixin:
 
     service: PatchService
     verbose: bool = False
+    #: shared-secret for TCP clients (``None`` = open); unix is always open
+    auth_token: Optional[str] = None
+    requires_auth: bool = False
+    executor: ThreadPoolExecutor
 
     def dispatch(self, request: dict) -> tuple[dict, bool]:
         """``(response, shutdown?)`` for one request envelope."""
@@ -147,11 +264,13 @@ else:  # pragma: no cover - platforms without AF_UNIX
 class PatchDaemon:
     """A listening daemon bound to ``address`` (``unix:PATH`` or
     ``HOST:PORT``), serving ``service`` until :meth:`shutdown` or the
-    ``shutdown`` verb."""
+    ``shutdown`` verb.  ``auth_token`` arms the TCP handshake (ignored —
+    with a warning to ``verbose`` users' stderr — on unix sockets, which
+    filesystem permissions already protect)."""
 
     def __init__(self, address: str,
                  service: Optional[PatchService] = None, *,
-                 verbose: bool = False):
+                 verbose: bool = False, auth_token: Optional[str] = None):
         self.service = service if service is not None else PatchService()
         self.family, self.bind_address = parse_address(address)
         self._unix_path: Optional[str] = None
@@ -175,6 +294,11 @@ class PatchDaemon:
             self.server = _TcpDaemon(self.bind_address, _Handler)
         self.server.service = self.service
         self.server.verbose = verbose
+        self.server.auth_token = auth_token
+        self.server.requires_auth = (auth_token is not None
+                                     and self.family == "tcp")
+        self.server.executor = ThreadPoolExecutor(
+            max_workers=_EXECUTOR_THREADS, thread_name_prefix="spatchd-v2")
 
     @property
     def address(self) -> str:
@@ -203,6 +327,7 @@ class PatchDaemon:
 
     def close(self) -> None:
         self.server.server_close()
+        self.server.executor.shutdown(wait=False)
         self.service.close()
         if self._unix_path and os.path.exists(self._unix_path):
             try:
@@ -212,10 +337,15 @@ class PatchDaemon:
 
 
 def serve(address: str, service: Optional[PatchService] = None, *,
-          verbose: bool = False, stderr=None) -> int:
+          verbose: bool = False, auth_token: Optional[str] = None,
+          stderr=None) -> int:
     """Blocking entry point used by ``repro-spatchd``."""
     stderr = stderr or sys.stderr
-    daemon = PatchDaemon(address, service, verbose=verbose)
+    daemon = PatchDaemon(address, service, verbose=verbose,
+                         auth_token=auth_token)
+    if auth_token is not None and daemon.family != "tcp":
+        print("spatchd: note: auth token ignored on unix sockets "
+              "(filesystem permissions gate them)", file=stderr, flush=True)
     print(f"spatchd: listening on {daemon.address}", file=stderr, flush=True)
     try:
         daemon.serve_forever()

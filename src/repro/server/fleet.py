@@ -1,0 +1,385 @@
+"""The apply fleet: persistent forked worker processes behind the daemon.
+
+One CPython process can hold many warm workspaces but only one GIL: with
+the v1 daemon, two clients applying to two *different* workspaces still
+match one-at-a-time.  :class:`ApplyFleet` moves apply execution into a
+pool of long-lived **worker processes** (the persistent-sibling of
+:func:`~repro.engine.driver.run_fork_pool`'s per-call forks): each
+workspace is pinned to one worker by a stable shard of its name, so
+per-workspace operations stay serial — the same consistency clients
+already rely on — while N workers serve N concurrent applies across
+workspaces on N CPUs.
+
+Mirror protocol
+---------------
+The parent keeps the authoritative file tree (it answers ``sync_files``
+manifests); each worker keeps a warm *mirror* per pinned workspace — a
+:class:`~repro.api.CodeBase`, a :class:`~repro.engine.cache.TreeCache`
+backed by a per-worker :class:`~repro.engine.cache.SharedTreeStore`, the
+last :class:`~repro.engine.pipeline.PipelineResult` seeding incremental
+splicing, and a bounded built-patch cache.  Every apply job carries the
+delta since the parent last spoke to that worker *plus* the full
+``{name: sha1}`` manifest the tree must hash to afterwards; the worker
+applies the delta, verifies the manifest, and answers ``{"resync": true}``
+on any mismatch — the parent then resends the job with the full tree.
+That one self-healing rule covers every divergence at once: a respawned
+worker, a corrupt restored snapshot, a parent restart with stale
+``fleet_seen`` bookkeeping.
+
+Restart survival: with a ``state_root``, a worker restores a workspace
+mirror from its :class:`~repro.engine.incremental.PipelineState` snapshot
+on first touch and re-saves it after every stored apply, so a daemon
+killed ``-9`` comes back warm (files, last result *and* parse-cache
+entries) instead of cold.
+
+Workers are forked at service construction time — before the daemon's
+accept threads exist — so no lock can be mid-acquire in the child, and
+each parent-side pipe is guarded by a lock so dispatcher threads
+serialize per worker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import threading
+import traceback
+from collections import OrderedDict
+from typing import Optional
+
+#: bound on each worker's per-workspace built-patch cache (mirrors the
+#: parent's ``MAX_CACHED_PATCH_SPECS`` discipline)
+_WORKER_PATCH_SPECS = 64
+
+
+def shard_of(name: str, workers: int) -> int:
+    """The worker index workspace ``name`` is pinned to.  ``hash()`` is
+    salted per process, so shard on a stable digest — the pin must hold
+    across daemon restarts (a restarted parent's delta bookkeeping and the
+    worker's restored mirror meet at the same worker)."""
+    digest = hashlib.sha1(name.encode("utf-8", "surrogatepass")).hexdigest()
+    return int(digest[:8], 16) % workers
+
+
+def state_path(state_root: str, name: str) -> str:
+    """The snapshot file for workspace ``name``: a sanitized prefix for
+    humans plus a name digest for uniqueness (two names may sanitize
+    alike, and names are not valid filenames in general)."""
+    safe = "".join(ch if ch.isalnum() or ch in "-_" else "_"
+                   for ch in name)[:48]
+    digest = hashlib.sha1(name.encode("utf-8", "surrogatepass")).hexdigest()
+    return os.path.join(state_root, f"{safe}-{digest[:12]}.state")
+
+
+# ---------------------------------------------------------------------------
+# worker side (runs in the forked child)
+# ---------------------------------------------------------------------------
+
+class _Mirror:
+    """One workspace's warm state inside a worker process."""
+
+    def __init__(self, cache_entries: int, shared):
+        from ..api import CodeBase
+        from ..engine.cache import TreeCache
+
+        self.codebase = CodeBase()
+        self.cache = TreeCache(max_entries=cache_entries, shared=shared)
+        self.last = None
+        self.patches: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self.restored = False
+
+
+class _FleetWorker:
+    """The worker loop: receive a job, answer it, forever."""
+
+    def __init__(self, conn, config: dict):
+        from ..engine.cache import SharedTreeStore
+        from ..engine.memo import TransformMemo
+
+        self.conn = conn
+        self.config = config
+        self.state_root = config.get("state_root")
+        self.cache_entries = config.get("cache_entries", 512)
+        self.mirrors: dict[str, _Mirror] = {}
+        #: per-worker shared parse-tree layer: vendored-identical files
+        #: across this worker's workspaces parse once
+        self.tree_store = SharedTreeStore()
+        #: per-worker memo sharing the fleet's disk directory, so entries
+        #: cross worker processes through the content-addressed disk tier
+        self.memo = TransformMemo(
+            max_entries=config.get("memo_entries", 4096),
+            path=config.get("memo_dir"))
+
+    def run(self) -> None:
+        while True:
+            try:
+                job = self.conn.recv()
+            except (EOFError, OSError):
+                return  # parent is gone; nothing left to serve
+            op = job.get("op")
+            try:
+                if op == "exit":
+                    self.conn.send({"ok": True})
+                    return
+                if op == "apply":
+                    self.conn.send(self._apply(job))
+                elif op == "drop":
+                    self.mirrors.pop(job.get("workspace"), None)
+                    self.conn.send({"ok": True})
+                elif op == "stats":
+                    self.conn.send({"ok": True, "stats": self._stats()})
+                else:
+                    self.conn.send({"ok": False, "error": {
+                        "kind": "internal",
+                        "message": f"unknown fleet op {op!r}"}})
+            except Exception as exc:  # the loop must outlive any one job
+                try:
+                    self.conn.send({"ok": False, "error": {
+                        "kind": "internal",
+                        "message": f"{type(exc).__name__}: {exc}\n"
+                                   f"{traceback.format_exc()}"}})
+                except (OSError, ValueError):
+                    return
+
+    # -- mirror maintenance --------------------------------------------------
+
+    def _mirror(self, name: str) -> _Mirror:
+        mirror = self.mirrors.get(name)
+        if mirror is None:
+            mirror = self.mirrors[name] = _Mirror(self.cache_entries,
+                                                  self.tree_store)
+            self._restore(name, mirror)
+        return mirror
+
+    def _restore(self, name: str, mirror: _Mirror) -> None:
+        """Warm-start a first-touched mirror from its snapshot (corrupt or
+        missing snapshots load nothing; the manifest check heals the rest)."""
+        if self.state_root is None:
+            return
+        from ..engine.incremental import PipelineState
+
+        state = PipelineState.load(state_path(self.state_root, name))
+        if state is None or state.files is None:
+            return
+        for filename, text in state.files.items():
+            mirror.codebase[filename] = text
+        mirror.last = state.result
+        mirror.cache.restore(state.cache_entries)
+        mirror.restored = True
+
+    def _save(self, name: str, mirror: _Mirror) -> None:
+        if self.state_root is None:
+            return
+        from ..engine.incremental import PipelineState
+
+        try:
+            os.makedirs(self.state_root, exist_ok=True)
+            PipelineState(result=mirror.last,
+                          cache_entries=mirror.cache.snapshot(),
+                          files=dict(mirror.codebase.files),
+                          ).save(state_path(self.state_root, name))
+        except Exception:
+            pass  # an unwritable state dir must never fail the apply
+
+    # -- jobs ----------------------------------------------------------------
+
+    def _apply(self, job: dict) -> dict:
+        from ..engine.incremental import IncrementalPipeline
+        from ..server.service import ServiceError
+        from .protocol import (options_from_payload, profile_payload,
+                               result_payload)
+
+        name = job["workspace"]
+        mirror = self._mirror(name)
+        codebase = mirror.codebase
+        if job.get("full"):
+            for filename in codebase.names():
+                del codebase[filename]
+        for filename in job.get("removals") or ():
+            if filename in codebase:
+                del codebase[filename]
+        for filename, text in (job.get("upserts") or {}).items():
+            if filename not in codebase or codebase[filename] != text:
+                codebase[filename] = text
+        manifest = job.get("manifest")
+        if manifest is not None and not job.get("full"):
+            if codebase.content_hashes() != manifest:
+                # divergence (respawned worker, stale snapshot, lost delta):
+                # ask the parent for the full tree instead of guessing
+                self.mirrors.pop(name, None)
+                return {"ok": False, "resync": True}
+        try:
+            built = self._patches(mirror, job["patches"],
+                                  options_from_payload(job.get("options")))
+            pipeline = IncrementalPipeline(
+                [patch.ast for patch in built],
+                options=[patch.options for patch in built],
+                names=[patch.name for patch in built],
+                jobs=job.get("jobs", 1),
+                prefilter=job.get("prefilter", True),
+                tree_cache=mirror.cache, memo=self.memo)
+            token_index = codebase.token_index() \
+                if job.get("prefilter", True) else None
+            result = pipeline.run(codebase.files, since=mirror.last,
+                                  token_index=token_index)
+        except ServiceError as exc:
+            return {"ok": False,
+                    "error": {"kind": exc.kind, "message": str(exc)}}
+        if job.get("store", True):
+            mirror.last = result
+            self._save(name, mirror)
+        payload = result_payload(result, built,
+                                 include_diff=job.get("diff", True),
+                                 include_texts=job.get("texts", False))
+        if job.get("profile"):
+            payload["profile"] = profile_payload(
+                result, cache=mirror.cache,
+                token_index=codebase._token_index, memo=self.memo)
+            payload["profile"]["tree_store"] = self.tree_store.counters()
+            payload["profile"]["restored"] = mirror.restored
+        return {"ok": True, "payload": payload}
+
+    def _patches(self, mirror: _Mirror, specs, options):
+        from ..server.service import build_patch_list, spec_key
+
+        key = tuple(spec_key(spec, repr(options)) for spec in specs)
+        cached = mirror.patches.get(key)
+        if cached is None:
+            cached = tuple(build_patch_list(specs, options))
+            mirror.patches[key] = cached
+            while len(mirror.patches) > _WORKER_PATCH_SPECS:
+                mirror.patches.popitem(last=False)
+        else:
+            mirror.patches.move_to_end(key)
+        return list(cached)
+
+    def _stats(self) -> dict:
+        return {
+            "pid": os.getpid(),
+            "workspaces": sorted(self.mirrors),
+            "restored": sorted(n for n, m in self.mirrors.items()
+                               if m.restored),
+            "memo": self.memo.counters(),
+            "tree_store": self.tree_store.counters(),
+            "parse_caches": {name: mirror.cache.counters()
+                             for name, mirror in self.mirrors.items()},
+        }
+
+
+def _fleet_worker_main(conn, config: dict) -> None:
+    _FleetWorker(conn, config).run()
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+class _WorkerHandle:
+    __slots__ = ("process", "conn", "lock", "index")
+
+    def __init__(self, process, conn, index: int):
+        self.process = process
+        self.conn = conn
+        self.lock = threading.Lock()
+        self.index = index
+
+
+class ApplyFleet:
+    """The parent-side pool: spawn, route, heal, stop."""
+
+    def __init__(self, workers: int, *, cache_entries: int = 512,
+                 memo_entries: int = 4096, memo_dir=None,
+                 state_root: Optional[str] = None):
+        if workers < 2:
+            raise ValueError("ApplyFleet needs at least 2 workers; "
+                             "run in-process below that")
+        self.workers = workers
+        self._config = {"cache_entries": cache_entries,
+                        "memo_entries": memo_entries,
+                        "memo_dir": os.fspath(memo_dir)
+                        if memo_dir is not None else None,
+                        "state_root": os.fspath(state_root)
+                        if state_root is not None else None}
+        self._ctx = multiprocessing.get_context("fork")
+        self._handles: list[_WorkerHandle] = [
+            self._spawn(index) for index in range(workers)]
+        self.respawns = 0
+        self._closed = False
+
+    def _spawn(self, index: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_fleet_worker_main, args=(child_conn, self._config),
+            name=f"spatchd-fleet-{index}", daemon=True)
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(process, parent_conn, index)
+
+    def shard(self, name: str) -> int:
+        return shard_of(name, self.workers)
+
+    def call(self, name: str, job: dict) -> dict:
+        """One job round trip to the pinned worker.  A dead worker is
+        respawned and reported as ``{"resync": true}`` — the caller's
+        full-tree retry then rebuilds the fresh worker's mirror."""
+        handle = self._handles[self.shard(name)]
+        with handle.lock:
+            try:
+                handle.conn.send(job)
+                reply = handle.conn.recv()
+            except (EOFError, OSError, BrokenPipeError):
+                if self._closed:
+                    raise
+                try:
+                    handle.conn.close()
+                except OSError:
+                    pass
+                self._handles[handle.index] = self._spawn(handle.index)
+                self.respawns += 1
+                return {"ok": False, "resync": True}
+        if not isinstance(reply, dict):
+            return {"ok": False, "error": {
+                "kind": "internal", "message": "malformed fleet reply"}}
+        return reply
+
+    def drop(self, name: str) -> None:
+        """Forget a workspace's mirror (parent-side eviction); best-effort."""
+        try:
+            self.call(name, {"op": "drop", "workspace": name})
+        except (EOFError, OSError):
+            pass
+
+    def stats(self) -> list[dict]:
+        rows = []
+        for handle in list(self._handles):
+            reply = self.call_handle(handle, {"op": "stats"})
+            rows.append(reply.get("stats", {"error": reply.get("error")}))
+        return rows
+
+    def call_handle(self, handle: _WorkerHandle, job: dict) -> dict:
+        with handle.lock:
+            try:
+                handle.conn.send(job)
+                return handle.conn.recv()
+            except (EOFError, OSError):
+                return {"ok": False, "error": {
+                    "kind": "internal", "message": "fleet worker died"}}
+
+    def close(self) -> None:
+        self._closed = True
+        for handle in self._handles:
+            with handle.lock:
+                try:
+                    handle.conn.send({"op": "exit"})
+                    handle.conn.recv()
+                except (EOFError, OSError):
+                    pass
+                try:
+                    handle.conn.close()
+                except OSError:
+                    pass
+        for handle in self._handles:
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():
+                handle.process.terminate()

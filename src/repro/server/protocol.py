@@ -5,8 +5,7 @@ response is one JSON object on one ``\\n``-terminated line (JSON string
 escaping guarantees no literal newline can appear inside a message, and
 ``ensure_ascii`` keeps lone surrogates from ``surrogateescape`` file
 loading transportable as ``\\udXXX`` escapes, so non-UTF-8 sources
-round-trip byte-identically).  A connection carries any number of
-request/response pairs, strictly in order.
+round-trip byte-identically).
 
 Requests are ``{"verb": ..., ...params}`` with an optional ``"id"`` echoed
 back; responses are ``{"ok": true, "result": {...}}`` or
@@ -14,6 +13,29 @@ back; responses are ``{"ok": true, "result": {...}}`` or
 ``open_workspace``, ``sync_files``, ``apply``, ``query``, ``stats``,
 ``ping``, ``shutdown`` — are documented on
 :class:`~repro.server.service.PatchService`, which implements them.
+
+Protocol versions
+-----------------
+**v1** (the default a bare connection starts in) is strictly serial per
+connection: one request, one response, in order — ``id`` is optional and
+merely echoed.  **v2** is negotiated by a ``hello`` verb
+(``{"verb": "hello", "protocol": 2, "token": ...}``) and unlocks
+*pipelining*: the client may send any number of id-tagged requests without
+waiting, and responses come back **out of order**, correlated by ``id``.
+Ordering guarantee under v2: requests that *mutate* a workspace
+(``open_workspace``/``sync_files``/``apply``) execute FIFO per
+``(connection, workspace)`` — a pipelined sync-then-apply is always seen
+in that order — while read-only verbs (``query``/``stats``/``ping``)
+dispatch immediately and never queue behind a slow apply.  A v1 client
+(no ``hello``) gets the exact v1 contract from a v2 daemon; a v2 client
+probing an old daemon gets a ``bad-verb`` error for the ``hello`` and
+falls back to v1.
+
+``hello`` also carries auth: daemons started with a shared-secret token
+require it from **TCP** clients before any other verb (unix-domain
+sockets stay auth-free — filesystem permissions already gate them).
+Failures use the stable error types ``auth-required`` (verb before a
+successful hello) and ``auth-failed`` (wrong/missing token in a hello).
 
 Result payloads
 ---------------
@@ -38,8 +60,11 @@ from ..api import SemanticPatch
 from ..options import SpatchOptions
 
 #: bump on incompatible wire changes; ``open_workspace`` echoes it so a
-#: version-skewed client fails loudly instead of misparsing
-PROTOCOL_VERSION = 1
+#: version-skewed client fails loudly instead of misparsing.  v2 adds the
+#: negotiated ``hello`` verb, request-id pipelining and TCP token auth;
+#: every v1 message remains valid v2, so un-negotiated connections are
+#: served exactly as before
+PROTOCOL_VERSION = 2
 
 #: schema tag of the result payload (shared by ``--json`` and the server)
 RESULT_SCHEMA = "repro-spatch-result/1"

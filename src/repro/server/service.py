@@ -21,7 +21,7 @@ state PRs 3–4 built but which previously died with every CLI process:
 
 Concurrency model
 -----------------
-Every verb that touches a workspace runs under that workspace's lock, so
+Every verb that *mutates* a workspace runs under that workspace's lock, so
 concurrent clients serialize per workspace (and parallelize across
 workspaces) — interleaved ``sync_files``/``apply`` streams behave as *some*
 serial order of the same operations, never as a torn mixture.  A request
@@ -30,6 +30,25 @@ after — never during — a state mutation: ``apply`` builds its patches
 first and only stores the result on success, and ``sync_files`` validates
 its payload before touching the code base, so a poisoned request leaves
 the workspace exactly as the previous successful request did.
+
+Read-only verbs never queue behind applies: ``query`` runs against an
+atomically published snapshot of the file dict (``Workspace._files_view``,
+replaced — never mutated — at the end of each mutation while the lock is
+held), and ``stats`` reads counters without the workspace lock.  A query
+racing a sync sees either the whole pre-sync tree or the whole post-sync
+tree; the incremental engine's content-hash verification makes any
+``since=`` seed safe regardless of which one it sees.
+
+With ``workers >= 2`` the service routes stored applies to an
+:class:`~repro.server.fleet.ApplyFleet` of worker *processes*: each
+workspace is pinned to one worker by a stable name shard (so per-workspace
+ordering is preserved — one worker, one pipe, FIFO), and N workers give N
+truly concurrent applies across workspaces where the GIL previously
+allowed one.  ``workers=1`` (the default) keeps the exact in-process
+behavior.  With a ``state_root``, workspace snapshots
+(:class:`~repro.engine.incremental.PipelineState` with the file tree
+embedded) survive daemon restarts: saved after every stored apply,
+restored lazily on first touch.
 
 Cold workspaces are evicted LRU once ``max_workspaces`` is exceeded
 (busy ones — lock currently held — are skipped in favour of the next
@@ -46,8 +65,8 @@ from contextlib import contextmanager
 from typing import Optional, Sequence
 
 from ..api import CodeBase, SemanticPatch
-from ..engine.cache import TreeCache, content_sha1
-from ..engine.incremental import IncrementalPipeline
+from ..engine.cache import SharedTreeStore, TreeCache, content_sha1
+from ..engine.incremental import IncrementalPipeline, PipelineState
 from ..engine.memo import DEFAULT_MEMO_ENTRIES, TransformMemo
 from ..engine.pipeline import PipelineResult
 from ..options import SpatchOptions
@@ -75,14 +94,46 @@ class ServiceError(Exception):
         self.kind = kind
 
 
+def spec_key(spec: dict, options_key: str) -> tuple:
+    """The cache identity of one wire patch spec (kind, name, content
+    hash, options) — shared by the parent's per-workspace spec cache and
+    the fleet workers' mirrors, so both layers dedup identically."""
+    if not isinstance(spec, dict) or "kind" not in spec:
+        raise ServiceError("bad-patch", "patch specs must be objects with "
+                                        "a 'kind' field")
+    kind = spec["kind"]
+    if kind == "cookbook":
+        return ("cookbook", spec.get("name"), options_key)
+    if kind == "smpl":
+        text = spec.get("text")
+        if not isinstance(text, str):
+            raise ServiceError("bad-patch", "smpl specs need a 'text' string")
+        return ("smpl", spec.get("name"), content_sha1(text), options_key)
+    raise ServiceError("bad-patch", f"unknown patch spec kind {kind!r}")
+
+
+def build_patch_list(specs: Sequence[dict],
+                     options: Optional[SpatchOptions]) -> list[SemanticPatch]:
+    """Parse an ordered list of wire specs into patches (no caching —
+    callers layer their own; raises :class:`ServiceError` on bad specs)."""
+    if not specs:
+        raise ServiceError("bad-request", "no patches given")
+    built: list[SemanticPatch] = []
+    for spec in specs:
+        spec_key(spec, "")  # validate the shape before parsing anything
+        built.extend(PatchService._parse_spec(spec, options))
+    return built
+
+
 class Workspace:
     """One named unit of warm server state (see the module docstring)."""
 
     def __init__(self, name: str, *, cache_entries: int = 512,
-                 root: Optional[str] = None):
+                 root: Optional[str] = None,
+                 shared: Optional[SharedTreeStore] = None):
         self.name = name
         self.codebase = CodeBase()
-        self.cache = TreeCache(max_entries=cache_entries)
+        self.cache = TreeCache(max_entries=cache_entries, shared=shared)
         self.lock = threading.RLock()
         #: the last successful apply's result: the ``since=`` seed
         self.last: Optional[PipelineResult] = None
@@ -94,6 +145,15 @@ class Workspace:
         self.requests = 0
         self.applies = 0
         self.syncs = 0
+        #: atomically *replaced* (never mutated) snapshot of the file dict,
+        #: published at the end of every mutation while the lock is held —
+        #: what lock-free readers (``query``) run against
+        self._files_view: dict = {}
+        #: ``{name: sha1}`` the pinned fleet worker was last brought up to
+        #: (``None`` = never spoken to); the delta base for fleet applies
+        self.fleet_seen: Optional[dict] = None
+        #: whether this workspace was warm-started from a state snapshot
+        self.restored = False
         #: requests currently executing against this workspace (guarded by
         #: the service lock); eviction skips any workspace with one in
         #: flight, so a dispatched request can never lose its workspace
@@ -106,6 +166,10 @@ class Workspace:
         #: revision per request cannot grow it forever
         self._patches: "OrderedDict[tuple, tuple[SemanticPatch, ...]]" = \
             OrderedDict()
+        #: guards ``_patches`` alone, so the lock-free query path can build
+        #: patches without taking the workspace lock (mutating verbs hold
+        #: the workspace lock first, then this — one consistent order)
+        self._patches_lock = threading.Lock()
         self._watcher = None
         self._watch_thread: Optional[threading.Thread] = None
         self._watch_stop = threading.Event()
@@ -117,7 +181,14 @@ class Workspace:
         the on-disk delta; caller holds the lock."""
         if self.root is None:
             return {"added": [], "changed": [], "removed": []}
-        return self.codebase.refresh_from_dir(self.root)
+        delta = self.codebase.refresh_from_dir(self.root)
+        self.publish_files()
+        return delta
+
+    def publish_files(self) -> None:
+        """Publish the current file dict for lock-free readers; caller
+        holds the lock (the copy is shallow — texts are shared)."""
+        self._files_view = dict(self.codebase.files)
 
     def start_auto_refresh(self, backend: str, interval: float,
                            log) -> None:
@@ -174,6 +245,7 @@ class Workspace:
             "syncs": self.syncs,
             "last_used": self.last_used,
             "has_result": self.last is not None,
+            "restored": self.restored,
             "patches_cached": len(self._patches),
             "parse_cache": self.cache.counters(),
             "token_index": token_index.counters()
@@ -188,7 +260,9 @@ class PatchService:
     def __init__(self, *, max_workspaces: int = 8, cache_entries: int = 512,
                  default_jobs: "int | str" = 1, log=None,
                  memo_entries: int = DEFAULT_MEMO_ENTRIES,
-                 memo_dir=None):
+                 memo_dir=None, workers: int = 1,
+                 state_root=None, memo_max_bytes: Optional[int] = None,
+                 memo_max_age: Optional[float] = None):
         self.max_workspaces = max_workspaces
         self.cache_entries = cache_entries
         self.default_jobs = default_jobs
@@ -201,6 +275,32 @@ class PatchService:
         #: sharing them crosses no thread-affinity boundary).  ``memo_dir``
         #: adds the persistent tier, so a restarted daemon warm-starts.
         self.memo = TransformMemo(max_entries=memo_entries, path=memo_dir)
+        #: content-addressed parse-tree layer behind every workspace's
+        #: TreeCache: vendored-identical files parse once service-wide
+        self.tree_store = SharedTreeStore()
+        #: where workspace snapshots live (``None`` = state dies with the
+        #: process, the pre-v2 behavior)
+        self.state_root = os.fspath(state_root) \
+            if state_root is not None else None
+        #: disk-tier GC policy, enforced opportunistically after applies
+        self.memo_max_bytes = memo_max_bytes
+        self.memo_max_age = memo_max_age
+        self._prune_pending = threading.Lock()
+        self._applies_since_prune = 0
+        #: the apply-fleet of worker processes (``None`` below 2 workers:
+        #: in-process execution is the exact pre-v2 path).  Forked *now*,
+        #: before any daemon accept thread exists, so children never
+        #: inherit a mid-acquire lock.
+        self.workers = max(1, int(workers))
+        self._fleet = None
+        if self.workers >= 2:
+            from .fleet import ApplyFleet
+
+            self._fleet = ApplyFleet(self.workers,
+                                     cache_entries=cache_entries,
+                                     memo_entries=memo_entries,
+                                     memo_dir=memo_dir,
+                                     state_root=self.state_root)
         #: how many live cached specs (across all workspaces) pin each
         #: compiled-patch cache key; the global compile cache is only told
         #: to evict when the last holder lets go
@@ -264,11 +364,14 @@ class PatchService:
             created = workspace is None
             if created:
                 workspace = Workspace(name, cache_entries=self.cache_entries,
-                                      root=root)
+                                      root=root, shared=self.tree_store)
                 self._workspaces[name] = workspace
-                self._evict_cold_locked()
+                evicted = self._evict_cold_locked()
+            else:
+                evicted = []
             self._workspaces.move_to_end(name)
             self.requests_total += 1
+        self._drop_evicted(evicted)
         if not created and root is not None and workspace.root != root:
             raise ServiceError("bad-request",
                                f"workspace {name!r} is already open with "
@@ -277,19 +380,89 @@ class PatchService:
             workspace.last_used = time.time()
             if created and root is not None:
                 workspace.load_root()
+            elif created:
+                self._restore_workspace(workspace)
             if watch and root is not None:
                 workspace.start_auto_refresh(watch_backend, watch_interval,
                                              self.log)
             return {"workspace": name, "created": created,
                     "files": len(workspace.codebase),
+                    "restored": workspace.restored,
                     "protocol": PROTOCOL_VERSION}
 
-    def _evict_cold_locked(self) -> None:
+    # -- restart survival ----------------------------------------------------
+
+    def _state_path(self, name: str) -> Optional[str]:
+        if self.state_root is None:
+            return None
+        from .fleet import state_path
+
+        return state_path(self.state_root, name)
+
+    def _restore_workspace(self, workspace: Workspace) -> None:
+        """Warm-start a freshly created client-synced workspace from its
+        snapshot (rooted workspaces re-read their directory instead);
+        caller holds the workspace lock.  Corrupt or absent snapshots
+        restore nothing — the next sync/apply runs cold, never wrong."""
+        path = self._state_path(workspace.name)
+        if path is None:
+            return
+        state = PipelineState.load(path)
+        if state is None or state.files is None:
+            return
+        for filename, text in state.files.items():
+            workspace.codebase[filename] = text
+        workspace.last = state.result
+        workspace.cache.restore(state.cache_entries)
+        workspace.publish_files()
+        workspace.restored = True
+        if self._fleet is not None:
+            # the pinned worker restores from the same snapshot on first
+            # touch: seeding the delta base with the snapshot manifest
+            # means the first post-restart apply ships only real edits
+            # (any divergence is caught by the job's manifest check)
+            workspace.fleet_seen = {
+                filename: content_sha1(text)
+                for filename, text in state.files.items()}
+
+    def _save_workspace(self, workspace: Workspace) -> None:
+        """Snapshot one workspace after a stored apply (in-process mode;
+        fleet workers snapshot their own mirrors); caller holds the lock."""
+        path = self._state_path(workspace.name)
+        if path is None or workspace.root is not None:
+            return
+        try:
+            os.makedirs(self.state_root, exist_ok=True)
+            PipelineState(result=workspace.last,
+                          cache_entries=workspace.cache.snapshot(),
+                          files=dict(workspace.codebase.files)).save(path)
+        except Exception:
+            pass  # an unwritable state dir must never fail the apply
+
+    def _drop_evicted(self, names) -> None:
+        """Tell the fleet to forget evicted workspaces' mirrors — purely
+        memory hygiene (a reopened workspace self-heals via the manifest
+        check), so it happens off-thread and best-effort."""
+        if not names or self._fleet is None:
+            return
+        fleet = self._fleet
+
+        def drop() -> None:
+            for name in names:
+                fleet.drop(name)
+
+        threading.Thread(target=drop, name="fleet-drop", daemon=True).start()
+
+    def _evict_cold_locked(self) -> list[str]:
         """Drop LRU-coldest workspaces past the bound; busy ones — a
         request in flight (checked out but possibly not yet holding the
         workspace lock) or the lock held — are skipped for the
-        next-coldest, so eviction never interrupts a client mid-request."""
+        next-coldest, so eviction never interrupts a client mid-request.
+        Returns the evicted names (the caller notifies the fleet *after*
+        releasing the service lock — a worker mid-apply must not stall
+        every other request)."""
         names = list(self._workspaces)
+        evicted: list[str] = []
         for name in names:
             if len(self._workspaces) <= self.max_workspaces:
                 break
@@ -301,10 +474,12 @@ class PatchService:
             try:
                 del self._workspaces[name]
                 self.evictions += 1
+                evicted.append(name)
                 workspace.close()
                 self._release_workspace_specs(workspace)
             finally:
                 workspace.lock.release()
+        return evicted
 
     # -- verbs ---------------------------------------------------------------
 
@@ -323,7 +498,15 @@ class PatchService:
         client uses, so an unchanged tree uploads nothing but its hashes.
         Upserts are applied *before* a manifest is evaluated, so one
         request carrying both atomically re-establishes a client's whole
-        tree (the anti-torn-mixture half of the client's sync loop)."""
+        tree (the anti-torn-mixture half of the client's sync loop).
+
+        The sync is **memo-aware**: every uploaded text is remembered in
+        the fleet-wide content-addressed blob store, and a manifest entry
+        the server lacks is first *recalled* from that store by hash —
+        contents any client ever uploaded (or, with ``--memo-dir``, any
+        process sharing the directory ever saw) never cross the wire
+        again.  Recalled names are reported under ``"recalled"`` and
+        excluded from ``"need"``."""
         if files is not None and not all(
                 isinstance(k, str) and isinstance(v, str)
                 for k, v in files.items()):
@@ -335,12 +518,14 @@ class PatchService:
             added: list[str] = []
             changed: list[str] = []
             removed: list[str] = []
+            recalled: list[str] = []
             for filename in list(remove or ()):
                 if filename in codebase:
                     del codebase[filename]
                     removed.append(filename)
             if files:
                 for filename, text in files.items():
+                    self.memo.store_text(text)
                     if filename not in codebase:
                         codebase[filename] = text
                         added.append(filename)
@@ -350,16 +535,24 @@ class PatchService:
             need: list[str] = []
             if hashes is not None:
                 for filename, digest in hashes.items():
-                    if filename not in codebase \
-                            or content_sha1(codebase[filename]) != digest:
-                        need.append(filename)
+                    if filename in codebase \
+                            and content_sha1(codebase[filename]) == digest:
+                        continue
+                    if isinstance(digest, str):
+                        text = self.memo.recall_text(digest)
+                        if text is not None:
+                            codebase[filename] = text
+                            recalled.append(filename)
+                            continue
+                    need.append(filename)
                 for filename in [n for n in codebase.names()
                                  if n not in hashes]:
                     del codebase[filename]
                     removed.append(filename)
+            workspace.publish_files()
             return {"workspace": name, "files": len(codebase),
                     "added": added, "changed": changed, "removed": removed,
-                    "need": need}
+                    "recalled": recalled, "need": need}
 
     def apply(self, name: str, patches: Sequence[dict], *,
               options: Optional[dict] = None, jobs: "int | str | None" = None,
@@ -375,7 +568,16 @@ class PatchService:
         and patch prefixes, or degrades to a cold run when nothing is
         reusable.  The response is the shared :mod:`result payload
         <repro.server.protocol>` (diffs and changed texts on request,
-        volatile profile section under ``"profile"``)."""
+        volatile profile section under ``"profile"``).
+
+        With a fleet (``workers >= 2``), stored applies execute in the
+        workspace's pinned worker process; the workspace lock is held for
+        the round trip, so per-workspace serialization is identical to the
+        in-process path."""
+        if self._fleet is not None and store:
+            return self._apply_fleet(name, patches, options=options,
+                                     jobs=jobs, prefilter=prefilter,
+                                     diff=diff, texts=texts, profile=profile)
         with self._checkout(name) as workspace, workspace.lock:
             built = self._build_patches(workspace, patches,
                                         options_from_payload(options))
@@ -394,6 +596,7 @@ class PatchService:
                                   token_index=token_index)
             if store:
                 workspace.last = result
+                self._save_workspace(workspace)
             payload = result_payload(result, built, include_diff=diff,
                                      include_texts=texts)
             payload["workspace"] = name
@@ -402,7 +605,52 @@ class PatchService:
                     result, cache=workspace.cache,
                     token_index=workspace.codebase._token_index,
                     memo=self.memo)
-            return payload
+                payload["profile"]["tree_store"] = self.tree_store.counters()
+                payload["profile"]["restored"] = workspace.restored
+        if store:
+            self._maybe_prune_memo()
+        return payload
+
+    def _apply_fleet(self, name: str, patches: Sequence[dict], *,
+                     options: Optional[dict], jobs: "int | str | None",
+                     prefilter: bool, diff: bool, texts: bool,
+                     profile: bool) -> dict:
+        """Route one stored apply to the pinned fleet worker: ship the
+        delta since the worker's last known tree plus the target manifest,
+        resend the full tree once if the worker reports divergence."""
+        options_from_payload(options)  # validate before any state changes
+        with self._checkout(name) as workspace, workspace.lock:
+            workspace.applies += 1
+            codebase = workspace.codebase
+            manifest = codebase.content_hashes()
+            seen = workspace.fleet_seen or {}
+            job = {"op": "apply", "workspace": name,
+                   "upserts": {filename: codebase[filename]
+                               for filename, digest in manifest.items()
+                               if seen.get(filename) != digest},
+                   "removals": [filename for filename in seen
+                                if filename not in manifest],
+                   "manifest": manifest, "patches": list(patches),
+                   "options": options,
+                   "jobs": self.default_jobs if jobs is None else jobs,
+                   "prefilter": prefilter, "diff": diff, "texts": texts,
+                   "profile": profile, "store": True}
+            reply = self._fleet.call(name, job)
+            if reply.get("resync"):
+                job = {**job, "full": True, "removals": [],
+                       "upserts": {filename: codebase[filename]
+                                   for filename in manifest}}
+                reply = self._fleet.call(name, job)
+            if not reply.get("ok"):
+                workspace.fleet_seen = None  # trust nothing after a failure
+                error = reply.get("error") or {}
+                raise ServiceError(error.get("kind", "internal"),
+                                   error.get("message", "fleet apply failed"))
+            workspace.fleet_seen = manifest
+        self._maybe_prune_memo()
+        payload = reply["payload"]
+        payload["workspace"] = name
+        return payload
 
     def query(self, name: str, patches: Sequence[dict], *,
               options: Optional[dict] = None, jobs: "int | str | None" = None,
@@ -410,11 +658,37 @@ class PatchService:
         """Match-only reporting: an ``apply`` that ships no diffs or texts
         and never replaces the workspace's warm result (so an exploratory
         query against a different patch list cannot cool the primary
-        cookbook's reuse chain).  It still *reads* the warm state: an
-        identical patch list splices everything and answers instantly."""
-        return self.apply(name, patches, options=options, jobs=jobs,
-                          prefilter=prefilter, diff=False, texts=False,
-                          profile=profile, store=False)
+        cookbook's reuse chain).  It still *reads* the warm state — the
+        published file snapshot, the parse cache, the memo and the last
+        result — but takes **no workspace lock**: a query never queues
+        behind a slow apply, and an apply never waits for a query.  The
+        ``since=`` seed is safe against any interleaving because the
+        incremental engine re-verifies every content hash before reusing
+        anything."""
+        with self._checkout(name) as workspace:
+            built = self._build_patches(workspace, patches,
+                                        options_from_payload(options))
+            files = workspace._files_view  # atomic snapshot reference
+            since = workspace.last  # immutable once published
+            pipeline = IncrementalPipeline(
+                [patch.ast for patch in built],
+                options=[patch.options for patch in built],
+                names=[patch.name for patch in built],
+                jobs=self.default_jobs if jobs is None else jobs,
+                prefilter=prefilter, tree_cache=workspace.cache,
+                memo=self.memo)
+            # no token index: it is owned (and lazily built) by the
+            # codebase under the workspace lock this path must not take;
+            # the prefilter falls back to direct token scans
+            result = pipeline.run(files, since=since, token_index=None)
+            payload = result_payload(result, built, include_diff=False,
+                                     include_texts=False)
+            payload["workspace"] = name
+            if profile:
+                payload["profile"] = profile_payload(
+                    result, cache=workspace.cache, memo=self.memo)
+                payload["profile"]["tree_store"] = self.tree_store.counters()
+            return payload
 
     def stats(self, name: Optional[str] = None) -> dict:
         """Service- and per-workspace counters (cache hit/miss/dedup and
@@ -427,6 +701,7 @@ class PatchService:
                 "uptime_seconds": time.time() - self.started_at,
                 "workspaces": len(workspaces),
                 "max_workspaces": self.max_workspaces,
+                "workers": self.workers,
                 "requests_total": self.requests_total,
                 "evictions": self.evictions,
             }
@@ -435,28 +710,70 @@ class PatchService:
         payload["matcher"] = matcher_counters()
         payload["compile_cache"] = compile_cache_info()
         payload["memo"] = self.memo.counters()
+        payload["tree_store"] = self.tree_store.counters()
+        # stats never takes a workspace lock (counters are monotonic ints
+        # and every embedded counters() call locks its own structure), so
+        # a monitoring poll never queues behind a long apply
         if name is not None:
-            with self._checkout(name) as workspace, workspace.lock:
+            with self._checkout(name) as workspace:
                 payload["workspace"] = workspace.stats_payload()
         else:
-            rows = []
-            for workspace in workspaces:
-                with workspace.lock:
-                    rows.append(workspace.stats_payload())
-            payload["per_workspace"] = rows
+            payload["per_workspace"] = [workspace.stats_payload()
+                                        for workspace in workspaces]
+        if self._fleet is not None:
+            payload["fleet"] = {"workers": self.workers,
+                                "respawns": self._fleet.respawns,
+                                "per_worker": self._fleet.stats()}
         return payload
 
     def ping(self) -> dict:
         return {"protocol": PROTOCOL_VERSION, "pid": os.getpid()}
 
     def close(self) -> None:
-        """Stop watcher threads and drop all workspaces (daemon shutdown)."""
+        """Stop watcher threads, the fleet, and drop all workspaces
+        (daemon shutdown)."""
         with self._lock:
             workspaces = list(self._workspaces.values())
             self._workspaces.clear()
         for workspace in workspaces:
             workspace.close()
             self._release_workspace_specs(workspace)
+        if self._fleet is not None:
+            self._fleet.close()
+
+    # -- memo GC -------------------------------------------------------------
+
+    def prune_memo(self, max_bytes: Optional[int] = None,
+                   max_age: Optional[float] = None) -> dict:
+        """Run the memo disk-tier GC now (defaults to the configured
+        policy); returns the prune summary."""
+        return self.memo.prune(
+            max_bytes=self.memo_max_bytes if max_bytes is None else max_bytes,
+            max_age=self.memo_max_age if max_age is None else max_age)
+
+    def _maybe_prune_memo(self) -> None:
+        """Opportunistic GC: every 64 stored applies, prune the memo
+        directory to the configured policy on a background thread (at most
+        one prune in flight — an apply must never wait on a directory
+        walk)."""
+        if self.memo_max_bytes is None and self.memo_max_age is None:
+            return
+        with self._lock:
+            self._applies_since_prune += 1
+            if self._applies_since_prune < 64:
+                return
+            self._applies_since_prune = 0
+        if not self._prune_pending.acquire(blocking=False):
+            return
+
+        def prune() -> None:
+            try:
+                self.prune_memo()
+            finally:
+                self._prune_pending.release()
+
+        threading.Thread(target=prune, name="memo-prune",
+                         daemon=True).start()
 
     # -- patch building ------------------------------------------------------
 
@@ -465,46 +782,44 @@ class PatchService:
                        ) -> list[SemanticPatch]:
         """The ordered patch list a request's wire specs name, cached per
         workspace by spec identity (kind, name, content hash, options) so
-        steady-state requests skip SMPL re-parsing; caller holds the lock."""
+        steady-state requests skip SMPL re-parsing.  Guarded by the
+        workspace's dedicated spec-cache lock, not the workspace lock —
+        the lock-free query path builds patches too."""
         if not specs:
             raise ServiceError("bad-request", "no patches given")
         built: list[SemanticPatch] = []
         options_key = repr(options)
         for spec in specs:
-            if not isinstance(spec, dict) or "kind" not in spec:
-                raise ServiceError("bad-patch",
-                                   "patch specs must be objects with a "
-                                   "'kind' field")
-            kind = spec["kind"]
-            if kind == "cookbook":
-                key = ("cookbook", spec.get("name"), options_key)
-            elif kind == "smpl":
-                text = spec.get("text")
-                if not isinstance(text, str):
-                    raise ServiceError("bad-patch",
-                                       "smpl specs need a 'text' string")
-                key = ("smpl", spec.get("name"), content_sha1(text),
-                       options_key)
-            else:
-                raise ServiceError("bad-patch",
-                                   f"unknown patch spec kind {kind!r}")
-            cached = workspace._patches.get(key)
+            key = spec_key(spec, options_key)
+            with workspace._patches_lock:
+                cached = workspace._patches.get(key)
+                if cached is not None:
+                    workspace._patches.move_to_end(key)
             if cached is None:
+                # parse outside the lock (SMPL parsing is the slow part);
+                # two racing queries may both parse — last writer wins and
+                # the loser's refcount is released, so the books balance
                 cached = tuple(self._parse_spec(spec, options))
-                workspace._patches[key] = cached
                 self._retain_compiled(cached)
-                while len(workspace._patches) > MAX_CACHED_PATCH_SPECS:
-                    _key, evicted = workspace._patches.popitem(last=False)
-                    # an evicted spec's compiled matchers would only be
-                    # rebuilt on a cache miss anyway; dropping them keeps
-                    # the compile cache bounded by the specs still live.
-                    # Bounded per *service*, not per workspace: the compile
-                    # cache is global and fingerprint-keyed, so the drop is
-                    # refcounted — another workspace whose cached spec
-                    # shares the fingerprint keeps the compiled form hot
+                overflow = []
+                with workspace._patches_lock:
+                    previous = workspace._patches.get(key)
+                    if previous is not None:
+                        overflow.append(cached)
+                        cached = previous
+                    else:
+                        workspace._patches[key] = cached
+                        while len(workspace._patches) > \
+                                MAX_CACHED_PATCH_SPECS:
+                            # an evicted spec's compiled matchers would only
+                            # be rebuilt on a cache miss anyway; the drop is
+                            # refcounted service-wide, so another workspace
+                            # whose cached spec shares the fingerprint keeps
+                            # the compiled form hot
+                            overflow.append(
+                                workspace._patches.popitem(last=False)[1])
+                for evicted in overflow:
                     self._release_compiled(evicted)
-            else:
-                workspace._patches.move_to_end(key)
             built.extend(cached)
         return built
 
@@ -539,9 +854,11 @@ class PatchService:
     def _release_workspace_specs(self, workspace: Workspace) -> None:
         """Unpin everything a dying workspace's spec cache holds (LRU
         eviction and shutdown), letting now-orphaned compiled forms go."""
-        for cached in workspace._patches.values():
+        with workspace._patches_lock:
+            cached_specs = list(workspace._patches.values())
+            workspace._patches.clear()
+        for cached in cached_specs:
             self._release_compiled(cached)
-        workspace._patches.clear()
 
     @staticmethod
     def _parse_spec(spec: dict, options: Optional[SpatchOptions],

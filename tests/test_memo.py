@@ -8,6 +8,8 @@ serial/parallel apply paths.  Corrupt or stale persisted entries degrade
 to a miss, never to wrong output or an error.
 """
 
+import os
+import pathlib
 import pickle
 
 import pytest
@@ -376,3 +378,112 @@ class TestDefaults:
         memo = TransformMemo()
         assert memo.max_entries == DEFAULT_MEMO_ENTRIES
         assert memo.path is None
+
+
+class TestBlobTier:
+    """The raw-text tier behind memo-aware delta sync: texts are
+    remembered by content hash (memory LRU plus the on-disk tier) and
+    recalled byte-identically; corruption degrades to a miss."""
+
+    def test_store_and_recall_in_memory(self):
+        memo = TransformMemo()
+        sha = memo.store_text(HIT_TEXT)
+        assert sha == content_sha1(HIT_TEXT)
+        assert memo.recall_text(sha) == HIT_TEXT
+        assert memo.recall_text(content_sha1("absent")) is None
+        counters = memo.counters()
+        assert counters["blob_stores"] == 1
+        assert counters["blob_hits"] == 1 and counters["blob_misses"] == 1
+
+    def test_disk_tier_survives_a_new_process_worth_of_state(self, tmp_path):
+        first = TransformMemo(path=tmp_path)
+        sha = first.store_text(HIT_TEXT)
+        # a fresh memo over the same directory: memory is cold, disk answers
+        second = TransformMemo(path=tmp_path)
+        assert second.recall_text(sha) == HIT_TEXT
+        assert second.counters()["blob_hits"] == 1
+
+    def test_surrogateescape_texts_round_trip(self, tmp_path):
+        tricky = "int x; /* \udce9 bad byte */\n"
+        memo = TransformMemo(path=tmp_path)
+        sha = memo.store_text(tricky)
+        assert TransformMemo(path=tmp_path).recall_text(sha) == tricky
+
+    def test_corrupt_blob_degrades_to_a_miss_and_unlinks(self, tmp_path):
+        memo = TransformMemo(path=tmp_path)
+        sha = memo.store_text(HIT_TEXT)
+        blob = memo._blob_path(sha)
+        with open(blob, "w") as handle:
+            handle.write("tampered")
+        cold = TransformMemo(path=tmp_path)
+        assert cold.recall_text(sha) is None
+        assert not pathlib.Path(blob).exists()
+        assert cold.counters()["blob_misses"] == 1
+        assert cold.counters()["disk_errors"] == 1
+
+    def test_memory_lru_is_bounded(self):
+        memo = TransformMemo(max_blob_entries=2)
+        shas = [memo.store_text(f"int x{i};\n") for i in range(4)]
+        assert memo.counters()["blob_entries"] == 2
+        assert memo.recall_text(shas[0]) is None  # evicted, no disk tier
+
+
+class TestPrune:
+    """`prune` bounds the on-disk tier (entry files and blobs) by age
+    and/or total size, oldest-mtime first, and reports what it did."""
+
+    def _populate(self, tmp_path, count=4):
+        memo = TransformMemo(path=tmp_path)
+        for index in range(count):
+            memo.store_text(f"void f{index}(void) {{}}\n")
+        return memo
+
+    def test_age_bound_removes_everything_expired(self, tmp_path):
+        memo = self._populate(tmp_path)
+        summary = memo.prune(max_age=0)
+        assert summary["scanned"] == 4 and summary["removed"] == 4
+        assert summary["removed_bytes"] == summary["scanned_bytes"] > 0
+        assert memo.prune(max_age=0)["scanned"] == 0  # directory is empty
+
+    def test_fresh_entries_survive_a_generous_age(self, tmp_path):
+        memo = self._populate(tmp_path)
+        summary = memo.prune(max_age=3600)
+        assert summary["removed"] == 0 and summary["scanned"] == 4
+
+    def test_size_bound_keeps_newest(self, tmp_path):
+        memo = TransformMemo(path=tmp_path)
+        old_sha = memo.store_text("void old_one(void) {}\n")
+        # age the first blob so mtime ordering is deterministic
+        os.utime(memo._blob_path(old_sha), (1, 1))
+        new_sha = memo.store_text("void new_one(void) {}\n")
+        keep = os.path.getsize(memo._blob_path(new_sha))
+        summary = memo.prune(max_bytes=keep)
+        assert summary["removed"] == 1
+        cold = TransformMemo(path=tmp_path)
+        assert cold.recall_text(old_sha) is None
+        assert cold.recall_text(new_sha) is not None
+
+    def test_prune_covers_entry_files_too(self, tmp_path):
+        memo = TransformMemo(path=tmp_path)
+        patches = _patches(RENAME_A)
+        PatchSet(patches).apply(CodeBase.from_files({"a.c": HIT_TEXT}),
+                                memo=memo)
+        assert memo.counters()["disk_stores"] >= 1
+        summary = memo.prune(max_age=0)
+        assert summary["removed"] >= 1
+        # a cold memo over the pruned directory re-computes from scratch
+        cold = TransformMemo(path=tmp_path)
+        PatchSet(_patches(RENAME_A)).apply(
+            CodeBase.from_files({"a.c": HIT_TEXT}), memo=cold)
+        assert cold.counters()["disk_hits"] == 0
+
+    def test_prune_without_a_path_is_a_no_op(self):
+        summary = TransformMemo().prune(max_age=0)
+        assert summary == {"scanned": 0, "scanned_bytes": 0,
+                           "removed": 0, "removed_bytes": 0}
+
+    def test_prune_tolerates_files_vanishing_mid_walk(self, tmp_path):
+        memo = self._populate(tmp_path)
+        victim = memo._blob_path(memo.store_text("void gone(void) {}\n"))
+        os.unlink(victim)
+        assert memo.prune(max_age=0)["scanned"] == 4

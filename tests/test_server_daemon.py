@@ -21,7 +21,7 @@ from repro import CodeBase, PatchSet, SemanticPatch
 from repro.cli.spatch import main as spatch_main
 from repro.server.client import ConnectionLost, RemoteClient, RemoteError
 from repro.server.daemon import PatchDaemon
-from repro.server.protocol import result_payload
+from repro.server.protocol import PROTOCOL_VERSION, result_payload
 from repro.server.service import PatchService
 
 RENAME_SMPL = "@r@ @@\n- old();\n+ new_call();\n"
@@ -56,7 +56,7 @@ def smpl_spec(text=RENAME_SMPL, name="inline"):
 class TestWireBasics:
     def test_ping_open_sync_apply_stats(self, daemon):
         with RemoteClient(daemon.address) as client:
-            assert client.ping()["protocol"] == 1
+            assert client.ping()["protocol"] == PROTOCOL_VERSION
             assert client.open_workspace("w")["created"]
             delta = client.sync_codebase("w", CodeBase.from_files(FILES))
             assert delta["files"] == 2 and delta["uploaded"] == 2
