@@ -36,13 +36,13 @@ Quick start::
 from .api import CodeBase, PatchSet, SemanticPatch, apply_patch
 from .options import SpatchOptions, DEFAULT_OPTIONS
 from .errors import (
-    CParseError, Diagnostic, EditConflictError, InterpreterError, LexError,
-    MetavarError, ReproError, ScriptRuleError, SmplParseError, TransformError,
-    WorkloadError,
+    CParseError, Diagnostic, EditConflictError, FrontendParseError,
+    InterpreterError, LexError, MetavarError, PatchFileError, ReproError,
+    ScriptRuleError, SmplParseError, TransformError, WorkloadError,
 )
 from .engine.report import FileResult, PatchResult, RuleReport
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CodeBase", "PatchSet", "SemanticPatch", "apply_patch",
@@ -51,5 +51,6 @@ __all__ = [
     "ReproError", "LexError", "CParseError", "SmplParseError", "MetavarError",
     "ScriptRuleError", "TransformError", "EditConflictError",
     "InterpreterError", "WorkloadError", "Diagnostic",
+    "FrontendParseError", "PatchFileError",
     "__version__",
 ]

@@ -213,6 +213,32 @@ class SemanticPatch:
                                            errors="surrogateescape"),
                                options=options, name=p.name)
 
+    @classmethod
+    def from_text(cls, text: str, options: Optional[SpatchOptions] = None,
+                  name: str = "<patch>",
+                  format: Optional[str] = None) -> "SemanticPatch":
+        """Parse a patch in *any* supported format — SmPL or one of the
+        machine-patch frontends (JSON operation arrays, 'ap' locator
+        documents, SEARCH/REPLACE blocks; see :mod:`repro.frontends`).
+        ``format=None`` auto-detects from ``name``'s suffix and the text."""
+        from .frontends import detect_format, parse_patch_text
+
+        fmt = format or detect_format(text, name)
+        if fmt == "smpl":
+            return cls.from_string(text, options=options, name=name)
+        ast = parse_patch_text(text, format=fmt, options=options, name=name)
+        return cls(ast=ast, options=ast.options, name=name)
+
+    @classmethod
+    def from_patch_file(cls, path,
+                        options: Optional[SpatchOptions] = None) -> "SemanticPatch":
+        """Load a patch file of any supported format (the ``--patch-file``
+        loader: auto-detected, frontend formats included)."""
+        p = pathlib.Path(path)
+        return cls.from_text(p.read_text(encoding="utf-8",
+                                         errors="surrogateescape"),
+                             options=options, name=p.name)
+
     # -- introspection -----------------------------------------------------------------
 
     @property
@@ -291,6 +317,42 @@ class PatchSet:
     def __init__(self, patches: Iterable[SemanticPatch], name: str = "<patchset>"):
         self.patches: list[SemanticPatch] = list(patches)
         self.name = name
+
+    @classmethod
+    def from_any(cls, sources, options: Optional[SpatchOptions] = None,
+                 name: str = "<patchset>") -> "PatchSet":
+        """Build a patch set from heterogeneous sources, in order.
+
+        Accepts a single source or an iterable of them; each source may be a
+        :class:`SemanticPatch`, a :class:`PatchSet` (flattened), a parsed
+        :class:`~repro.smpl.ast.SemanticPatchAST`, a path to a patch file
+        (``str`` without a newline, or any ``os.PathLike``), or inline patch
+        text (a ``str`` containing a newline).  File and inline formats are
+        auto-detected across SmPL and the machine-patch frontends::
+
+            PatchSet.from_any(["rename.cocci", "ops.json", blocks_text])
+        """
+        if isinstance(sources, (str, SemanticPatch, PatchSet,
+                                SemanticPatchAST)) or hasattr(sources, "__fspath__"):
+            sources = [sources]
+        patches: list[SemanticPatch] = []
+        for source in sources:
+            if isinstance(source, SemanticPatch):
+                patches.append(source)
+            elif isinstance(source, PatchSet):
+                patches.extend(source.patches)
+            elif isinstance(source, SemanticPatchAST):
+                patches.append(SemanticPatch(ast=source, options=options
+                                             or source.options))
+            elif isinstance(source, str) and "\n" in source:
+                patches.append(SemanticPatch.from_text(source, options=options))
+            elif isinstance(source, str) or hasattr(source, "__fspath__"):
+                patches.append(SemanticPatch.from_patch_file(source,
+                                                             options=options))
+            else:
+                raise TypeError(
+                    f"PatchSet.from_any: unsupported source {type(source).__name__}")
+        return cls(patches, name=name)
 
     # -- container protocol ------------------------------------------------------
 

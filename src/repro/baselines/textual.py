@@ -61,6 +61,38 @@ class TextualTool:
 
 
 # ---------------------------------------------------------------------------
+# reference exact search/replace (the frontend differential oracle)
+# ---------------------------------------------------------------------------
+
+class ReferencePatcher(TextualTool):
+    """Exact-string search/replace, the way ``str.replace`` or a dumb shell
+    loop would do it: each ``(search, replacement)`` pair rewrites the first
+    exact occurrence, in order, over the evolving text.
+
+    This is the differential oracle for the machine-patch frontends
+    (:mod:`repro.frontends`): on a well-formed corpus — every snippet
+    present verbatim and unambiguous — the frontend engine must produce
+    byte-identical output to this tool; on a *reformatted* corpus the
+    oracle goes blind (exact match fails) while the frontends' resilient
+    locator still applies, which is precisely the robustness delta the
+    tests measure.
+    """
+
+    name = "reference-patcher"
+
+    def __init__(self, pairs: list[tuple[str, str]]):
+        self.pairs = list(pairs)
+
+    def transform_text(self, text: str) -> tuple[str, int]:
+        count = 0
+        for search, replacement in self.pairs:
+            if search in text:
+                text = text.replace(search, replacement, 1)
+                count += 1
+        return text, count
+
+
+# ---------------------------------------------------------------------------
 # hipify-perl-like CUDA -> HIP
 # ---------------------------------------------------------------------------
 

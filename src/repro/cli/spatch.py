@@ -10,6 +10,8 @@ Usage examples::
     repro-spatch --cookbook full_modernization src/           # whole cookbook
     repro-spatch --cookbook cuda_to_hip --incremental .state src/   # reuse
     repro-spatch --sp-file a.cocci --watch --in-place src/    # edit-apply loop
+    repro-spatch --patch-file ops.json src/                   # machine patch
+    repro-spatch --patch-file edit.ap --patch-file fix.diff src/
     repro-spatch --list-cookbook
 
 ``--incremental STATE_FILE`` persists the run's result (plus the parse-tree
@@ -32,12 +34,27 @@ are repeatable: given more than one patch, they run as a single
 :class:`~repro.api.PatchSet` pipeline pass, in command-line order —
 equivalent to, but faster than, chaining one invocation per patch.
 
-Exit status follows spatch conventions: 0 when the patch matched at least
-one site, 1 when it matched nothing, 2 on usage errors.  Matches of pure
-idempotence-guard rules (``depends on !guard`` suppressors, which fire
-exactly when a file is already modernized) do not count as "matched", so
-re-running an in-place modernization exits 1 once there is nothing left to
-do.
+``--patch-file FILE`` accepts the machine-patch frontends — a structural
+JSON operation array, an 'ap' snippet/anchor locator document, or
+SEARCH/REPLACE blocks (SmPL works too); the format is auto-detected and
+the flag is repeatable and order-interleaved with ``--sp-file`` /
+``--cookbook``.  See :mod:`repro.frontends`.
+
+Exit status follows spatch conventions, and the contract is strict so
+machine callers can branch on it:
+
+* **0** — the patch matched at least one site;
+* **1** — everything ran and nothing matched;
+* **2** — the run itself failed: usage errors, a missing target, a
+  missing or unparsable ``--sp-file``/``--patch-file`` (one-line
+  ``file:line: message`` diagnostic on stderr, never a traceback), or a
+  server-side patch-build error (byte-identical diagnostic to the local
+  one).
+
+Matches of pure idempotence-guard rules (``depends on !guard``
+suppressors, which fire exactly when a file is already modernized) do not
+count as "matched", so re-running an in-place modernization exits 1 once
+there is nothing left to do.
 """
 
 from __future__ import annotations
@@ -51,6 +68,7 @@ import time
 
 from .. import __version__
 from ..api import C_SUFFIXES, CodeBase, PatchSet, SemanticPatch
+from ..errors import PatchFileError, ReproError, patch_error_line
 from ..options import SpatchOptions
 from ..server.protocol import (dumps as json_line, nonguard_matches,
                                options_payload, profile_payload,
@@ -70,13 +88,15 @@ def _cookbook_builders():
 
 class _PatchArg(argparse.Action):
     """Append ``(kind, value)`` to one shared list so interleaved
-    ``--sp-file``/``--cookbook`` flags keep their command-line order —
-    pipelines are order-sensitive, so the order the user wrote is the order
-    that runs."""
+    ``--sp-file``/``--cookbook``/``--patch-file`` flags keep their
+    command-line order — pipelines are order-sensitive, so the order the
+    user wrote is the order that runs."""
+
+    KINDS = {"--cookbook": "cookbook", "--patch-file": "patch_file"}
 
     def __call__(self, parser, namespace, values, option_string=None):
         items = list(getattr(namespace, self.dest, None) or [])
-        kind = "cookbook" if option_string == "--cookbook" else "sp_file"
+        kind = self.KINDS.get(option_string, "sp_file")
         items.append((kind, values))
         setattr(namespace, self.dest, items)
 
@@ -111,6 +131,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "(repeatable, same ordered pipeline as "
                              "--sp-file; 'full_modernization' expands to "
                              "the whole cookbook)")
+    parser.add_argument("--patch-file", dest="patch_args",
+                        action=_PatchArg, default=[], metavar="FILE",
+                        help="machine-patch file to apply: a JSON operation "
+                             "array, an 'ap' snippet/anchor document or "
+                             "SEARCH/REPLACE blocks — format auto-detected "
+                             "(SmPL included); repeatable and "
+                             "order-interleaved with --sp-file/--cookbook")
     parser.add_argument("--list-cookbook", action="store_true",
                         help="list built-in cookbook patches and exit")
     parser.add_argument("--c++", dest="cxx", nargs="?", const="17", default=None,
@@ -196,17 +223,37 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_patch_file(kind: str, value: str,
+                     options: SpatchOptions) -> SemanticPatch:
+    """One ``--sp-file``/``--patch-file`` argument as a patch, with every
+    read/parse failure normalized to a :class:`~repro.errors.PatchFileError`
+    carrying a one-line ``file:line: message`` diagnostic.  The diagnostic
+    names the file's *basename* on parse errors — the same name a server
+    patch spec carries — so local and remote error lines are byte-identical."""
+    loader = SemanticPatch.from_path if kind == "sp_file" \
+        else SemanticPatch.from_patch_file
+    try:
+        return loader(value, options=options)
+    except OSError as exc:
+        raise PatchFileError(patch_error_line(value, exc)) from None
+    except ReproError as exc:
+        raise PatchFileError(
+            patch_error_line(pathlib.Path(value).name, exc)) from None
+
+
 def _build_patches(patch_args: list[tuple[str, str]],
                    options: SpatchOptions) -> list[SemanticPatch]:
-    """The ordered patch list an interleaved ``--sp-file``/``--cookbook``
-    argument list names (re-callable: the watch loop rebuilds it whenever an
-    sp-file changes on disk).  Raises ``ValueError`` on an unknown cookbook
-    name; patch-file read/parse errors propagate."""
+    """The ordered patch list an interleaved ``--sp-file``/``--cookbook``/
+    ``--patch-file`` argument list names (re-callable: the watch loop
+    rebuilds it whenever a patch file changes on disk).  Raises
+    ``ValueError`` on an unknown cookbook name and
+    :class:`~repro.errors.PatchFileError` on an unreadable or unparsable
+    patch file."""
     patches: list[SemanticPatch] = []
     builders = _cookbook_builders()
     for kind, value in patch_args:
-        if kind == "sp_file":
-            patches.append(SemanticPatch.from_path(value, options=options))
+        if kind in ("sp_file", "patch_file"):
+            patches.append(_load_patch_file(kind, value, options))
         elif value == FULL_PIPELINE:
             from ..cookbook import full_modernization_pipeline
 
@@ -317,13 +364,13 @@ def _stat_targets(targets: list[str]) -> dict[str, tuple[int, int]]:
 
 def _stat_patch_files(patch_args: list[tuple[str, str]],
                       ) -> dict[str, tuple[int, int]]:
-    """``path -> (mtime_ns, size)`` for every ``--sp-file`` patch: --watch
-    polls the patch list as well as the sources, so editing a semantic patch
-    mid-session re-applies it (cookbook patches are in-process constants and
-    cannot change under us)."""
+    """``path -> (mtime_ns, size)`` for every ``--sp-file``/``--patch-file``
+    patch: --watch polls the patch list as well as the sources, so editing a
+    patch file mid-session re-applies it (cookbook patches are in-process
+    constants and cannot change under us)."""
     entries: dict[str, tuple[int, int]] = {}
     for kind, value in patch_args:
-        if kind != "sp_file":
+        if kind not in ("sp_file", "patch_file"):
             continue
         try:
             stat = pathlib.Path(value).stat()
@@ -395,7 +442,8 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--server cannot be combined with --watch or "
                          "--incremental (the daemon owns the warm state)")
         if not args.patch_args:
-            parser.error("one of --sp-file or --cookbook is required")
+            parser.error("one of --sp-file, --patch-file or --cookbook is "
+                         "required")
         if not args.targets:
             parser.error("no target files or directories given")
         return _remote_main(args, options)
@@ -405,8 +453,15 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:
         parser.error(str(exc))
         return 2
+    except (ReproError, OSError) as exc:
+        # a missing or unparsable patch file is a *usage*-class failure:
+        # exit 2 with a one-line diagnostic, never 1 (which means "matched
+        # nothing") and never a traceback
+        print(f"repro-spatch: error: {exc}", file=sys.stderr)
+        return 2
     if not patches:
-        parser.error("one of --sp-file or --cookbook is required")
+        parser.error("one of --sp-file, --patch-file or --cookbook is "
+                     "required")
         return 2
 
     if not args.targets:
@@ -503,16 +558,32 @@ def _save_state(args, result) -> None:
 
 
 def _remote_specs(patch_args: list[tuple[str, str]]) -> list[dict]:
-    """Wire patch specs for --server mode: sp-files ship as inline SMPL
-    (read locally, parsed server-side — no shared filesystem needed),
-    cookbook patches by name (validated server-side)."""
+    """Wire patch specs for --server mode: sp-files ship as inline SMPL and
+    --patch-file inputs as their detected frontend kind (read locally,
+    parsed server-side — no shared filesystem needed), cookbook patches by
+    name (validated server-side).  Unreadable files and undetectable
+    formats raise :class:`~repro.errors.PatchFileError` with the same
+    one-line diagnostic the in-process path prints."""
+    from ..frontends import detect_format
+
     specs: list[dict] = []
     for kind, value in patch_args:
-        if kind == "sp_file":
+        if kind in ("sp_file", "patch_file"):
             path = pathlib.Path(value)
-            specs.append({"kind": "smpl", "name": path.name,
-                          "text": path.read_text(encoding="utf-8",
-                                                 errors="surrogateescape")})
+            try:
+                text = path.read_text(encoding="utf-8",
+                                      errors="surrogateescape")
+            except OSError as exc:
+                raise PatchFileError(patch_error_line(value, exc)) from None
+            if kind == "sp_file":
+                wire_kind = "smpl"
+            else:
+                try:
+                    wire_kind = detect_format(text, path.name)
+                except ReproError as exc:
+                    raise PatchFileError(
+                        patch_error_line(path.name, exc)) from None
+            specs.append({"kind": wire_kind, "name": path.name, "text": text})
         else:
             specs.append({"kind": "cookbook", "name": value})
     return specs
@@ -535,8 +606,8 @@ def _remote_main(args, options: SpatchOptions) -> int:
 
     try:
         specs = _remote_specs(args.patch_args)
-    except OSError as exc:
-        print(f"repro-spatch: {exc}", file=sys.stderr)
+    except (ReproError, OSError) as exc:
+        print(f"repro-spatch: error: {exc}", file=sys.stderr)
         return 2
     codebase, paths = _load_codebase(args.targets)
     workspace = args.workspace or _default_workspace_name(args.targets)
@@ -572,7 +643,13 @@ def _remote_main(args, options: SpatchOptions) -> int:
             print(f"repro-spatch: server: {exc}", file=sys.stderr)
             return 2
         except RemoteError as exc:
-            print(f"repro-spatch: server: {exc}", file=sys.stderr)
+            if exc.kind == "bad-patch":
+                # a patch-build failure: the envelope's message is the same
+                # one-line file:line diagnostic the in-process path prints,
+                # so local and remote runs fail byte-identically
+                print(f"repro-spatch: error: {exc.message}", file=sys.stderr)
+            else:
+                print(f"repro-spatch: server: {exc}", file=sys.stderr)
             return 2
 
     if args.report or args.verbose:
@@ -682,7 +759,7 @@ def _watch_loop(args, options: SpatchOptions, patches: list[SemanticPatch],
     from ..server.watch import create_watcher
 
     watched = args.targets + [value for kind, value in args.patch_args
-                              if kind == "sp_file"]
+                              if kind in ("sp_file", "patch_file")]
     watcher = create_watcher(watched, backend=args.watch_backend)
     try:
         return _watch_rounds(args, options, patches, codebase, paths,
@@ -716,8 +793,11 @@ def _watch_rounds(args, options: SpatchOptions,
         if patches_stale:
             try:
                 patches = _build_patches(args.patch_args, options)
-            except Exception as exc:
-                print(f"# watch: sp-file unreadable, keeping the previous "
+            except (ValueError, ReproError, OSError) as exc:
+                # one-line file:line diagnostic, same format as the cold
+                # path's exit-2 message; the old patches stay active until
+                # the next successful save
+                print(f"# watch: patch file unreadable, keeping the previous "
                       f"patches ({exc})", file=sys.stderr)
                 patches_stale = False
         if not delta and not patches_stale:

@@ -132,7 +132,12 @@ _WORKER_ENGINE: dict = {}
 
 def patch_payload(patch: SemanticPatchAST):
     """What a worker process needs to rebuild ``patch``: its source text when
-    available (cheap to pickle, re-parsed once per worker), the AST otherwise."""
+    available (cheap to pickle, re-parsed once per worker), the AST otherwise.
+    Frontend patches ship their format tag with the text so workers re-parse
+    with the matching frontend parser, not the SmPL one."""
+    fmt = getattr(patch, "format", None)
+    if fmt:
+        return ("frontend", (fmt, patch.source_text))
     if patch.source_text:
         return ("text", patch.source_text)
     return ("ast", patch)
@@ -144,6 +149,11 @@ def ast_from_payload(payload, options: Optional[SpatchOptions]) -> SemanticPatch
     kind, data = payload
     if kind == "text":
         return parse_semantic_patch(data, options=options)
+    if kind == "frontend":
+        from ..frontends import parse_patch_text
+
+        fmt, text = data
+        return parse_patch_text(text, format=fmt, options=options)
     return data
 
 

@@ -138,7 +138,14 @@ def required_tokens(rule: PatchRule) -> frozenset[str]:
 
     An empty set means the rule cannot be prefiltered (it could match
     anywhere, e.g. ``fn(el)`` with every name a metavariable).
+
+    Frontend rules (:mod:`repro.frontends.core`) carry no SmPL slice; they
+    compute their own requirement from their snippet and the hook delegates
+    to them.
     """
+    own = getattr(rule, "required_tokens", None)
+    if callable(own):
+        return own()
     metavars = set(rule.metavars.decls)
     required: set[str] = set()
     disj_depth = 0
@@ -201,6 +208,9 @@ def addable_tokens(rule: PatchRule) -> "tuple[frozenset[str], bool]":
     splices in bound text, which can come from a script rule (arbitrary
     strings) or a ``fresh identifier`` (newly concatenated words) — after
     such a rule, no later requirement is trustworthy."""
+    own = getattr(rule, "addable_tokens", None)
+    if callable(own):
+        return own()
     added: set[str] = set()
     metavars = set(rule.metavars.decls)
     wildcard = False

@@ -62,6 +62,11 @@ class FileSession:
         self.tree_cache = tree_cache
         #: compiled matchers for this patch (None → interpreted reference)
         self.compiled = compiled
+        #: a textual (frontend) rule hit an unsafe condition — stale hash,
+        #: ambiguous snippet, scoped snippet missing.  The whole file rolls
+        #: back: machine patches are all-or-nothing per file, so --in-place
+        #: can never leave a half-applied file behind.
+        self._textual_failed = False
 
     # -- public API -----------------------------------------------------------
 
@@ -70,8 +75,16 @@ class FileSession:
         for rule in self.patch.rules:
             if isinstance(rule, ScriptRule):
                 self._apply_script_rule(rule)
+            elif getattr(rule, "is_textual", False):
+                self._apply_textual_rule(rule)
             else:
                 self._apply_patch_rule(rule)
+        if self._textual_failed:
+            textual = {rule.name for rule in self.patch.rules
+                       if getattr(rule, "is_textual", False)}
+            self.text = self.original_text
+            self.reports = [r for r in self.reports if r.rule not in textual]
+            self.applied_rules -= textual
         return FileResult(filename=self.filename, original_text=self.original_text,
                           text=self.text, rule_reports=self.reports,
                           diagnostics=self.diagnostics)
@@ -123,6 +136,34 @@ class FileSession:
         if outcome.environments:
             self.applied_rules.add(rule.name)
             self.exported[rule.name] = outcome.environments
+
+    # -- textual (frontend) rules ---------------------------------------------
+
+    def _apply_textual_rule(self, rule) -> None:
+        """One machine-patch operation (see :mod:`repro.frontends.core`):
+        applied straight to the file text, no parse tree involved.  A failed
+        operation (never a mere no-match) poisons the session — remaining
+        textual rules are skipped and :meth:`run` reverts the file."""
+        if self._textual_failed:
+            return
+        if self.allowed_rules is not None and rule.name not in self.allowed_rules:
+            return
+        if not rule.dependencies.is_satisfied(self.applied_rules):
+            return
+        outcome = rule.apply_to_text(self.text, self.filename)
+        self.diagnostics.extend(outcome.diagnostics)
+        if outcome.failed:
+            self._textual_failed = True
+            return
+        if not outcome.matches:
+            return
+        self.applied_rules.add(rule.name)
+        self.reports.append(RuleReport(rule=rule.name, matches=outcome.matches,
+                                       deletions=outcome.deletions,
+                                       insertions=outcome.insertions))
+        if outcome.new_text != self.text:
+            self.text = outcome.new_text
+            self.tree = None  # force a re-parse for any later SmPL rule
 
     # -- patch rules ----------------------------------------------------------
 

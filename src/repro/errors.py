@@ -20,6 +20,7 @@ class LexError(ReproError):
 
     def __init__(self, message: str, filename: str = "<string>", line: int = 0, col: int = 0):
         super().__init__(f"{filename}:{line}:{col}: {message}")
+        self.message = message
         self.filename = filename
         self.line = line
         self.col = col
@@ -35,6 +36,7 @@ class CParseError(ReproError):
 
     def __init__(self, message: str, filename: str = "<string>", line: int = 0, col: int = 0):
         super().__init__(f"{filename}:{line}:{col}: {message}")
+        self.message = message
         self.filename = filename
         self.line = line
         self.col = col
@@ -46,7 +48,40 @@ class SmplParseError(ReproError):
 
     def __init__(self, message: str, line: int = 0):
         super().__init__(f"semantic patch line {line}: {message}" if line else message)
+        self.message = message
         self.line = line
+
+
+class FrontendParseError(ReproError):
+    """Raised for malformed machine-patch frontend inputs (JSON operation
+    arrays, 'ap' locator documents, search/replace block files)."""
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.message = message
+        self.line = line
+
+
+class PatchFileError(ReproError):
+    """A patch input (``--sp-file`` / ``--patch-file`` / inline spec) could
+    not be read or parsed.  The argument is a pre-formatted one-line
+    ``file:line: message`` diagnostic, identical between the in-process CLI
+    path and the server's error envelope."""
+
+
+def patch_error_line(name: str, exc: Exception) -> str:
+    """One-line ``file:line: message`` diagnostic for a failed patch input.
+
+    ``name`` identifies the patch source (usually the file's basename, which
+    is also the name a server spec carries — keeping local and remote
+    diagnostics byte-identical).
+    """
+    if isinstance(exc, OSError):
+        where = exc.filename or name
+        return f"{where}: {exc.strerror or exc}"
+    line = getattr(exc, "line", 0) or 0
+    message = getattr(exc, "message", None) or str(exc).splitlines()[0]
+    return f"{name}:{line}: {message}"
 
 
 class MetavarError(ReproError):

@@ -1,0 +1,105 @@
+"""Machine-patch frontends: alternative patch input formats, compiled to
+the same engine.
+
+Three formats beyond SmPL, each the native output shape of a family of
+patch-generating tools:
+
+``jsonops``
+    structural JSON operation arrays with ``old_hash`` verification
+    (:mod:`repro.frontends.jsonops`);
+``ap``
+    snippet/anchor semantic locator documents with whitespace-resilient
+    matching and ambiguity detection (:mod:`repro.frontends.ap`);
+``blocks``
+    ``<<<<<<< SEARCH`` / ``=======`` / ``>>>>>>> REPLACE`` conflict-marker
+    blocks with sticky ``File:`` headers (:mod:`repro.frontends.blocks`).
+
+Every parser returns a :class:`~repro.frontends.core.FrontendPatchAST` — a
+:class:`~repro.smpl.ast.SemanticPatchAST` whose rules are
+:class:`~repro.frontends.core.TextualRule` objects — so frontend patches
+ride the prefilter, compiled-matcher cache, transform memo, incremental
+splice and server layers exactly like SmPL patches do.  ``format`` on the
+AST plus the verbatim ``source_text`` give them stable fingerprints and a
+wire representation (:data:`WIRE_KINDS` are valid server patch-spec kinds).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import FrontendParseError
+from ..options import SpatchOptions
+from ..smpl.ast import SemanticPatchAST
+from .ap import parse_ap
+from .blocks import parse_blocks, SEARCH_MARKER
+from .core import FrontendPatchAST, TextualOp, TextualRule, sha256_hex
+from .jsonops import parse_jsonops
+
+#: frontend formats that may travel as server patch-spec kinds
+WIRE_KINDS = ("jsonops", "ap", "blocks")
+#: every patch input format the engine accepts
+FORMATS = ("smpl",) + WIRE_KINDS
+
+_SUFFIX_HINTS = {
+    ".cocci": "smpl", ".smpl": "smpl",
+    ".json": "jsonops", ".jsonops": "jsonops",
+    ".ap": "ap", ".yaml": "ap", ".yml": "ap",
+}
+
+_PARSERS = {"jsonops": parse_jsonops, "ap": parse_ap, "blocks": parse_blocks}
+
+
+def detect_format(text: str, name: str = "") -> str:
+    """Name the patch format of ``text``: the file suffix when it is
+    conclusive, content shape otherwise."""
+    dot = name.rfind(".")
+    if dot >= 0:
+        hint = _SUFFIX_HINTS.get(name[dot:].lower())
+        if hint:
+            return hint
+    head = text.lstrip()
+    if head[:1] in ("{", "["):
+        return "jsonops"
+    saw_changes = False
+    for line in text.splitlines():
+        if SEARCH_MARKER.match(line):
+            return "blocks"
+        if line.startswith("changes:"):
+            saw_changes = True
+    if saw_changes:
+        return "ap"
+    if head.startswith("@"):
+        return "smpl"
+    raise FrontendParseError(
+        "cannot detect the patch format: expected SmPL ('@rule@' headers), "
+        "a JSON operation array, an 'ap' document ('changes:' list) or "
+        "SEARCH/REPLACE blocks")
+
+
+def parse_patch_text(text: str, *, format: Optional[str] = None,
+                     options: Optional[SpatchOptions] = None,
+                     name: str = "<patch>") -> SemanticPatchAST:
+    """Parse any supported patch format into an engine-ready AST.
+
+    ``format=None`` auto-detects; ``"smpl"`` delegates to the SmPL parser,
+    the :data:`WIRE_KINDS` go to their frontend parsers.
+    """
+    fmt = format or detect_format(text, name)
+    if fmt == "smpl":
+        from ..smpl.parser import parse_semantic_patch
+
+        return parse_semantic_patch(text, options=options)
+    parser = _PARSERS.get(fmt)
+    if parser is None:
+        raise FrontendParseError(
+            f"unknown patch format {fmt!r} (expected one of {', '.join(FORMATS)})")
+    return parser(text, options=options, name=name)
+
+
+__all__ = [
+    "FORMATS", "WIRE_KINDS",
+    "FrontendPatchAST", "TextualOp", "TextualRule",
+    "detect_format", "parse_patch_text", "sha256_hex",
+    "parse_jsonops", "parse_ap", "parse_blocks",
+    "FrontendParseError",
+]

@@ -1,0 +1,253 @@
+"""Frontend: 'ap'-style snippet/anchor locator documents.
+
+The 'ap' format describes edits as *semantic locators* — a snippet of the
+code to change plus an optional anchor giving unique context — in a small
+YAML-shaped document parsed here with a dependency-free reader (this
+repository deliberately has no third-party requirements)::
+
+    changes:
+      - file: src/util.c          # optional fnmatch scope
+        action: REPLACE           # REPLACE | DELETE | INSERT_AFTER |
+                                  # INSERT_BEFORE | REWRITE_FILE
+        anchor: |                 # optional: must be unique; the snippet
+          int frobnicate(         # is searched after it
+        snippet: |
+          return rc;
+        with: |
+          return normalize(rc);
+      - action: DELETE
+        snippet: 'debug_log("x");'
+        occurrence: 2             # optional 1-based disambiguator
+        old_hash: 9f86d081        # optional sha-256 prefix of the old span
+
+Supported syntax: a top-level ``changes:`` list, ``- `` items holding flat
+``key: value`` mappings, ``|`` block scalars (clip chomping — exactly one
+trailing newline), single- and double-quoted scalars, full-line ``#``
+comments and blank lines.  Locating is whitespace-resilient and ambiguity
+is an error — see :mod:`repro.frontends.core` for the exact rules.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import FrontendParseError
+from ..options import SpatchOptions
+from .core import FrontendPatchAST, TextualOp, TextualRule
+
+_FIELD_ALIASES = {
+    "file": "file", "path": "file",
+    "action": "action",
+    "snippet": "search", "search": "search", "find": "search", "old": "search",
+    "anchor": "anchor",
+    "with": "replacement", "replacement": "replacement", "new": "replacement",
+    "insert": "replacement", "text": "replacement",
+    "occurrence": "occurrence", "index": "occurrence", "nth": "occurrence",
+    "old_hash": "old_hash", "hash": "old_hash",
+}
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\", "'": "'"}
+
+
+def _indent_of(line: str) -> int:
+    return len(line) - len(line.lstrip(" "))
+
+
+def _unquote(value: str, lineno: int) -> str:
+    value = value.strip()
+    if len(value) >= 2 and value[0] == value[-1] and value[0] in ("'", '"'):
+        body, quote = value[1:-1], value[0]
+        if quote == "'":
+            return body.replace("''", "'")
+        out: list[str] = []
+        i = 0
+        while i < len(body):
+            ch = body[i]
+            if ch == "\\" and i + 1 < len(body):
+                esc = body[i + 1]
+                if esc not in _ESCAPES:
+                    raise FrontendParseError(
+                        f"unsupported escape \\{esc} in quoted scalar", line=lineno)
+                out.append(_ESCAPES[esc])
+                i += 2
+            else:
+                out.append(ch)
+                i += 1
+        return "".join(out)
+    # plain scalar: trailing comments are not supported (a '#' is content)
+    return value
+
+
+class _Reader:
+    def __init__(self, text: str):
+        self.lines = text.splitlines()
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        while self.pos < len(self.lines):
+            line = self.lines[self.pos]
+            if not line.strip() or line.lstrip().startswith("#"):
+                self.pos += 1
+                continue
+            return line
+        return None
+
+    @property
+    def lineno(self) -> int:
+        return self.pos + 1
+
+    def read_block_scalar(self, field_indent: int, lineno: int) -> str:
+        """Lines more indented than the field, dedented by the first line's
+        indentation; clip chomping (exactly one trailing newline)."""
+        block: list[str] = []
+        base: Optional[int] = None
+        while self.pos < len(self.lines):
+            line = self.lines[self.pos]
+            if not line.strip():
+                block.append("")
+                self.pos += 1
+                continue
+            indent = _indent_of(line)
+            if indent <= field_indent:
+                break
+            if base is None:
+                base = indent
+            if indent < base:
+                raise FrontendParseError(
+                    "bad indentation inside block scalar", line=self.pos + 1)
+            block.append(line[base:])
+            self.pos += 1
+        while block and not block[-1]:
+            block.pop()
+        if base is None:
+            raise FrontendParseError("empty block scalar", line=lineno)
+        return "\n".join(block) + "\n"
+
+
+def parse_ap(text: str, *, options: Optional[SpatchOptions] = None,
+             name: str = "<ap>") -> FrontendPatchAST:
+    """Parse an 'ap' locator document into a frontend patch AST."""
+    reader = _Reader(text)
+    line = reader.peek()
+    # tolerate scalar preamble keys (version:, description:) before changes:
+    while line is not None and not line.strip().startswith("changes:"):
+        stripped = line.strip()
+        if _indent_of(line) != 0 or ":" not in stripped or stripped.startswith("- "):
+            raise FrontendParseError(
+                f"expected 'changes:' or a 'key: value' preamble line, "
+                f"got {stripped!r}", line=reader.lineno)
+        reader.pos += 1
+        line = reader.peek()
+    if line is None:
+        raise FrontendParseError("document has no 'changes:' list")
+    after = line.strip()[len("changes:"):].strip()
+    if after:
+        raise FrontendParseError(
+            "'changes:' must be followed by an indented '- ' list",
+            line=reader.lineno)
+    reader.pos += 1
+
+    rules: list[TextualRule] = []
+    item_indent: Optional[int] = None
+    while True:
+        line = reader.peek()
+        if line is None:
+            break
+        indent = _indent_of(line)
+        stripped = line.strip()
+        if not stripped.startswith("- "):
+            raise FrontendParseError(
+                f"expected a '- ' change item, got {stripped!r}", line=reader.lineno)
+        if item_indent is None:
+            item_indent = indent
+        elif indent != item_indent:
+            raise FrontendParseError(
+                "inconsistent list indentation", line=reader.lineno)
+        item_lineno = reader.lineno
+        fields = _read_item(reader, line, indent)
+        rules.append(_build_rule(fields, len(rules) + 1, item_lineno))
+    if not rules:
+        raise FrontendParseError("'changes:' list is empty")
+    return FrontendPatchAST(rules, format="ap", options=options, source_text=text)
+
+
+def _read_item(reader: _Reader, first_line: str, item_indent: int) -> dict:
+    """One ``- `` item: its inline ``key: value`` plus the continued mapping
+    lines indented past the dash."""
+    fields: dict[str, tuple[str, int]] = {}
+    field_indent = item_indent + 2
+    # rewrite '- key: value' as a field line at the continued indentation
+    inline = " " * field_indent + first_line.strip()[2:]
+    reader.lines[reader.pos] = inline
+    while True:
+        line = reader.peek()
+        if line is None:
+            break
+        indent = _indent_of(line)
+        stripped = line.strip()
+        if indent < field_indent or stripped.startswith("- "):
+            break
+        if indent != field_indent:
+            raise FrontendParseError(
+                f"bad field indentation (expected {field_indent} spaces)",
+                line=reader.lineno)
+        if ":" not in stripped:
+            raise FrontendParseError(
+                f"expected 'key: value', got {stripped!r}", line=reader.lineno)
+        key, _, value = stripped.partition(":")
+        key = key.strip().lower()
+        value = value.strip()
+        lineno = reader.lineno
+        if key not in _FIELD_ALIASES:
+            raise FrontendParseError(
+                f"unknown change field {key!r}", line=lineno)
+        reader.pos += 1
+        if value == "|" or value == "|-":
+            scalar = reader.read_block_scalar(field_indent, lineno)
+            if value == "|-":
+                scalar = scalar.rstrip("\n")
+        elif value == "":
+            raise FrontendParseError(
+                f"field {key!r} has no value (use '|' for a block scalar)",
+                line=lineno)
+        else:
+            scalar = _unquote(value, lineno)
+        canonical = _FIELD_ALIASES[key]
+        if canonical in fields:
+            raise FrontendParseError(
+                f"duplicate field {key!r}", line=lineno)
+        fields[canonical] = (scalar, lineno)
+    return fields
+
+
+def _build_rule(fields: dict, opno: int, item_lineno: int) -> TextualRule:
+    def get(key: str) -> str:
+        return fields.get(key, ("", 0))[0]
+
+    action_raw = get("action")
+    if not action_raw:
+        raise FrontendParseError(
+            f"change {opno}: missing 'action'", line=item_lineno)
+    action = action_raw.strip().lower().replace("-", "_").replace(" ", "_")
+    search, anchor = get("search"), get("anchor")
+    if action.startswith("insert") and not search and anchor:
+        search, anchor = anchor, ""
+    occurrence = 0
+    if "occurrence" in fields:
+        raw, lineno = fields["occurrence"]
+        try:
+            occurrence = int(raw)
+        except ValueError:
+            raise FrontendParseError(
+                f"'occurrence' must be an integer, got {raw!r}",
+                line=lineno) from None
+    op = TextualOp(action=action, search=search,
+                   replacement=get("replacement"), anchor=anchor,
+                   old_hash=get("old_hash"), file=get("file"),
+                   occurrence=occurrence, lineno=item_lineno)
+    try:
+        op.validate()
+    except FrontendParseError as exc:
+        raise FrontendParseError(f"change {opno}: {exc.message}",
+                                 line=exc.line or item_lineno) from None
+    return TextualRule(f"change{opno}", op)

@@ -1,0 +1,117 @@
+"""Frontend: search/replace blocks (conflict-marker style).
+
+The block format is the one most code-editing tools emit::
+
+    File: src/util.c
+    <<<<<<< SEARCH
+    int rc = frobnicate();
+    return rc;
+    =======
+    int rc = frobnicate();
+    return normalize(rc);
+    >>>>>>> REPLACE
+
+* A ``File:`` (or ``### File:`` / ``#### path``) header line scopes the
+  blocks after it — *sticky* until the next header; blocks before any
+  header apply to every file where the search text locates.
+* Marker lines are ``<<<<``+ ``SEARCH``, ``====``+, ``>>>>``+
+  ``REPLACE`` (at least four marker characters each).
+* Prose between blocks is tolerated and ignored — machine output is
+  often wrapped in explanation.
+* An empty SEARCH section is a parse error; an empty REPLACE section
+  means *delete* (whole lines are removed when the search covers whole
+  lines).
+
+Matching is exact-first with a whitespace-resilient fallback, and
+ambiguity is an error — see :mod:`repro.frontends.core`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from ..errors import FrontendParseError
+from ..options import SpatchOptions
+from .core import FrontendPatchAST, TextualOp, TextualRule
+
+SEARCH_MARKER = re.compile(r"^<{4,}\s*SEARCH\s*$")
+DIVIDER_MARKER = re.compile(r"^={4,}\s*$")
+REPLACE_MARKER = re.compile(r"^>{4,}\s*REPLACE\s*$")
+FILE_HEADER = re.compile(r"^(?:#{1,6}\s*)?File:\s*(?P<path>\S.*?)\s*$",
+                         re.IGNORECASE)
+
+
+def parse_blocks(text: str, *, options: Optional[SpatchOptions] = None,
+                 name: str = "<blocks>") -> FrontendPatchAST:
+    """Parse search/replace blocks into a frontend patch AST."""
+    lines = text.splitlines()
+    rules: list[TextualRule] = []
+    current_file = ""
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        header = FILE_HEADER.match(line.strip())
+        if header:
+            current_file = header.group("path").strip("`'\"")
+            i += 1
+            continue
+        if not SEARCH_MARKER.match(line):
+            if DIVIDER_MARKER.match(line) or REPLACE_MARKER.match(line):
+                raise FrontendParseError(
+                    f"unexpected {line.strip()!r} outside a SEARCH block",
+                    line=i + 1)
+            i += 1  # prose between blocks is tolerated
+            continue
+
+        block_lineno = i + 1
+        i += 1
+        search_lines: list[str] = []
+        while i < len(lines) and not DIVIDER_MARKER.match(lines[i]):
+            if SEARCH_MARKER.match(lines[i]) or REPLACE_MARKER.match(lines[i]):
+                raise FrontendParseError(
+                    "SEARCH block is missing its ======= divider",
+                    line=block_lineno)
+            search_lines.append(lines[i])
+            i += 1
+        if i >= len(lines):
+            raise FrontendParseError(
+                "SEARCH block is missing its ======= divider", line=block_lineno)
+        i += 1
+        replace_lines: list[str] = []
+        while i < len(lines) and not REPLACE_MARKER.match(lines[i]):
+            if SEARCH_MARKER.match(lines[i]) or DIVIDER_MARKER.match(lines[i]):
+                raise FrontendParseError(
+                    "block is missing its >>>>>>> REPLACE terminator",
+                    line=block_lineno)
+            replace_lines.append(lines[i])
+            i += 1
+        if i >= len(lines):
+            raise FrontendParseError(
+                "block is missing its >>>>>>> REPLACE terminator",
+                line=block_lineno)
+        i += 1
+
+        search = "\n".join(search_lines)
+        if not search.strip():
+            raise FrontendParseError(
+                "empty SEARCH section", line=block_lineno)
+        replacement = "\n".join(replace_lines)
+        if search_lines:
+            search += "\n"
+        if replace_lines:
+            replacement += "\n"
+        if not replacement.strip():
+            op = TextualOp(action="delete", search=search, file=current_file,
+                           lineno=block_lineno)
+        else:
+            op = TextualOp(action="replace", search=search,
+                           replacement=replacement, file=current_file,
+                           lineno=block_lineno)
+        op.validate()
+        rules.append(TextualRule(f"block{len(rules) + 1}", op))
+
+    if not rules:
+        raise FrontendParseError("no SEARCH/REPLACE blocks found")
+    return FrontendPatchAST(rules, format="blocks", options=options,
+                            source_text=text)

@@ -1,0 +1,117 @@
+"""Frontend: structural JSON operation arrays with ``old_hash`` verification.
+
+The input is a JSON document carrying an ordered list of operations —
+either a top-level array or ``{"operations": [...]}``.  Each operation is
+an object::
+
+    {"action": "replace",            // replace | delete | insert_after |
+                                     // insert_before | rewrite_file
+     "search": "old_call(x)",        // aliases: old, snippet, find
+     "replace": "new_call(x)",       // aliases: new, with, replacement
+     "anchor": "int main",           // optional unique scoping context
+     "old_hash": "9f86d081",         // optional sha-256 hex prefix (>= 8)
+     "file": "src/*.c",              // optional fnmatch glob scope
+     "occurrence": 2}                // optional 1-based disambiguator
+
+For insert actions the ``anchor`` key doubles as the insertion target when
+no ``search`` is given — matching the common machine-emitted shape
+``{"action": "insert_after", "anchor": "...", "replace": "..."}``.
+
+Hashes pin the *exact matched span* (the whole old file for
+``rewrite_file``); a mismatch is a stale-patch error, never a silent
+misapplication.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..errors import FrontendParseError
+from ..options import SpatchOptions
+from .core import FrontendPatchAST, TextualOp, TextualRule
+
+_ACTION_KEYS = ("action", "op", "type")
+_SEARCH_KEYS = ("search", "old", "snippet", "find")
+_REPLACE_KEYS = ("replace", "new", "with", "replacement", "text")
+_FILE_KEYS = ("file", "path", "filename")
+_OCCURRENCE_KEYS = ("occurrence", "index", "nth")
+_HASH_KEYS = ("old_hash", "hash")
+_KNOWN_KEYS = frozenset(_ACTION_KEYS + _SEARCH_KEYS + _REPLACE_KEYS + _FILE_KEYS
+                        + _OCCURRENCE_KEYS + _HASH_KEYS + ("anchor",))
+
+
+def _pick(obj: dict, keys: tuple[str, ...], default=""):
+    for key in keys:
+        if key in obj:
+            return obj[key]
+    return default
+
+
+def _str_field(obj: dict, keys: tuple[str, ...], opno: int) -> str:
+    value = _pick(obj, keys, "")
+    if value is None:
+        return ""
+    if not isinstance(value, str):
+        raise FrontendParseError(
+            f"operation {opno}: field {keys[0]!r} must be a string, "
+            f"got {type(value).__name__}")
+    return value
+
+
+def parse_jsonops(text: str, *, options: Optional[SpatchOptions] = None,
+                  name: str = "<jsonops>") -> FrontendPatchAST:
+    """Parse a JSON operation array into a frontend patch AST."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise FrontendParseError(f"invalid JSON: {exc.msg}", line=exc.lineno) from None
+    if isinstance(doc, dict):
+        ops = doc.get("operations", doc.get("ops"))
+        if ops is None:
+            raise FrontendParseError(
+                "JSON object carries no 'operations' array")
+    else:
+        ops = doc
+    if not isinstance(ops, list):
+        raise FrontendParseError(
+            f"expected a JSON array of operations, got {type(ops).__name__}")
+    if not ops:
+        raise FrontendParseError("empty operation array")
+
+    rules: list[TextualRule] = []
+    for i, obj in enumerate(ops):
+        opno = i + 1
+        if not isinstance(obj, dict):
+            raise FrontendParseError(
+                f"operation {opno}: expected an object, got {type(obj).__name__}")
+        unknown = sorted(set(obj) - _KNOWN_KEYS)
+        if unknown:
+            raise FrontendParseError(
+                f"operation {opno}: unknown field(s) {', '.join(map(repr, unknown))}")
+        action = _str_field(obj, _ACTION_KEYS, opno)
+        if not action:
+            raise FrontendParseError(f"operation {opno}: missing 'action'")
+        action = action.strip().lower().replace("-", "_").replace(" ", "_")
+        search = _str_field(obj, _SEARCH_KEYS, opno)
+        anchor = _str_field(obj, ("anchor",), opno)
+        if action.startswith("insert") and not search and anchor:
+            search, anchor = anchor, ""
+        occurrence = _pick(obj, _OCCURRENCE_KEYS, 0) or 0
+        if not isinstance(occurrence, int) or isinstance(occurrence, bool):
+            raise FrontendParseError(
+                f"operation {opno}: 'occurrence' must be an integer")
+        op = TextualOp(action=action,
+                       search=search,
+                       replacement=_str_field(obj, _REPLACE_KEYS, opno),
+                       anchor=anchor,
+                       old_hash=_str_field(obj, _HASH_KEYS, opno),
+                       file=_str_field(obj, _FILE_KEYS, opno),
+                       occurrence=occurrence)
+        try:
+            op.validate()
+        except FrontendParseError as exc:
+            raise FrontendParseError(f"operation {opno}: {exc.message}") from None
+        rules.append(TextualRule(f"op{opno}", op))
+    return FrontendPatchAST(rules, format="jsonops", options=options,
+                            source_text=text)

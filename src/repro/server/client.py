@@ -44,6 +44,9 @@ class RemoteError(ReproError):
     def __init__(self, kind: str, message: str):
         super().__init__(f"{kind}: {message}")
         self.kind = kind
+        #: the server's bare message, without the kind prefix — what the
+        #: CLI re-prints for byte-identical local/remote diagnostics
+        self.message = message
 
 
 class ConnectionLost(ReproError):

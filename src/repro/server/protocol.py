@@ -135,17 +135,19 @@ def parse_address(spec: str) -> tuple[str, object]:
 # ---------------------------------------------------------------------------
 
 def patch_specs(patches: Iterable[SemanticPatch]) -> list[dict]:
-    """Wire specs for already-parsed patches: each ships as inline SMPL
-    (the server re-parses, so client and server never need a shared
-    filesystem).  Programmatically built patches without source text cannot
-    cross the wire."""
+    """Wire specs for already-parsed patches: each ships as inline source
+    text — SMPL, or the patch's frontend format (JSON ops / 'ap' / blocks)
+    when it was parsed by one — and the server re-parses, so client and
+    server never need a shared filesystem.  Programmatically built patches
+    without source text cannot cross the wire."""
     specs = []
     for patch in patches:
         if not patch.ast.source_text:
             raise ProtocolError(
-                f"patch {patch.name!r} has no SMPL source text; "
+                f"patch {patch.name!r} has no source text; "
                 f"programmatic patches cannot be sent to a server")
-        specs.append({"kind": "smpl", "name": patch.name,
+        kind = getattr(patch.ast, "format", None) or "smpl"
+        specs.append({"kind": kind, "name": patch.name,
                       "text": patch.ast.source_text})
     return specs
 

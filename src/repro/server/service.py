@@ -69,6 +69,8 @@ from ..engine.cache import SharedTreeStore, TreeCache, content_sha1
 from ..engine.incremental import IncrementalPipeline, PipelineState
 from ..engine.memo import DEFAULT_MEMO_ENTRIES, TransformMemo
 from ..engine.pipeline import PipelineResult
+from ..errors import patch_error_line
+from ..frontends import WIRE_KINDS as FRONTEND_WIRE_KINDS
 from ..options import SpatchOptions
 from .protocol import (PROTOCOL_VERSION, options_from_payload,
                        profile_payload, result_payload)
@@ -104,11 +106,12 @@ def spec_key(spec: dict, options_key: str) -> tuple:
     kind = spec["kind"]
     if kind == "cookbook":
         return ("cookbook", spec.get("name"), options_key)
-    if kind == "smpl":
+    if kind == "smpl" or kind in FRONTEND_WIRE_KINDS:
         text = spec.get("text")
         if not isinstance(text, str):
-            raise ServiceError("bad-patch", "smpl specs need a 'text' string")
-        return ("smpl", spec.get("name"), content_sha1(text), options_key)
+            raise ServiceError("bad-patch",
+                               f"{kind} specs need a 'text' string")
+        return (kind, spec.get("name"), content_sha1(text), options_key)
     raise ServiceError("bad-patch", f"unknown patch spec kind {kind!r}")
 
 
@@ -865,16 +868,19 @@ class PatchService:
                     ) -> list[SemanticPatch]:
         from ..cookbook import builders
 
-        if spec["kind"] == "smpl":
+        kind = spec["kind"]
+        if kind == "smpl" or kind in FRONTEND_WIRE_KINDS:
+            # the error message is the same one-line file:line diagnostic
+            # the in-process CLI prints (patch_error_line over the spec's
+            # name), so a --server run fails byte-identically to a local one
+            name = spec.get("name", f"<{kind}>")
             try:
-                return [SemanticPatch.from_string(
-                    spec["text"], options=options,
-                    name=spec.get("name", "<smpl>"))]
+                return [SemanticPatch.from_text(
+                    spec["text"], options=options, name=name,
+                    format=kind)]
             except Exception as exc:
                 raise ServiceError("bad-patch",
-                                   f"unparsable SMPL "
-                                   f"({spec.get('name', '<smpl>')}): {exc}") \
-                    from None
+                                   patch_error_line(name, exc)) from None
         name = spec.get("name")
         if name == FULL_PIPELINE:
             from ..cookbook import full_modernization_pipeline

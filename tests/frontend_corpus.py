@@ -1,0 +1,165 @@
+"""Shared fixtures for the machine-patch frontend suites.
+
+One small deterministic C corpus plus one patch per frontend format, each
+constructed so that its engine application is *semantically equal* to an
+ordered list of exact ``(search, replacement)`` pairs — the contract the
+:class:`repro.baselines.textual.ReferencePatcher` oracle implements.  The
+differential tier asserts byte-identity between the two on the well-formed
+corpus; the robustness tier then reformats the corpus so the oracle goes
+blind while the frontends' whitespace-resilient locator still applies.
+"""
+
+import json
+
+from repro import CodeBase, SemanticPatch
+from repro.frontends import sha256_hex
+
+#: the well-formed corpus: every snippet below appears verbatim, once
+CORPUS = {
+    "alpha.c": (
+        "#include <stdio.h>\n"
+        "\n"
+        "static double legacy_scale(double value) {\n"
+        "    return value * 2.0;\n"
+        "}\n"
+        "\n"
+        "int main(void) {\n"
+        "    double acc = 0.0;\n"
+        "    for (int i = 0; i < 16; ++i) {\n"
+        "        acc += legacy_scale((double) i);\n"
+        "    }\n"
+        "    printf(\"acc = %f\\n\", acc);\n"
+        "    return 0;\n"
+        "}\n"
+    ),
+    "beta.c": (
+        "#include <stdlib.h>\n"
+        "\n"
+        "int *make_table(int n) {\n"
+        "    int *table = malloc(n * sizeof(int));\n"
+        "    for (int i = 0; i < n; ++i) {\n"
+        "        table[i] = i * i;\n"
+        "    }\n"
+        "    return table;\n"
+        "}\n"
+    ),
+}
+
+#: the same programs, reformatted (2-space indent, spacing collapsed or
+#: stretched) — exact search fails everywhere, resilient locating must not
+REFORMATTED = {
+    "alpha.c": (
+        "#include <stdio.h>\n"
+        "\n"
+        "static double legacy_scale(double value)\n"
+        "{\n"
+        "  return value*2.0;\n"
+        "}\n"
+        "\n"
+        "int main(void)\n"
+        "{\n"
+        "  double acc  =  0.0;\n"
+        "  for (int i = 0; i < 16; ++i) {\n"
+        "      acc += legacy_scale((double) i);\n"
+        "  }\n"
+        "  printf(\"acc = %f\\n\", acc);\n"
+        "  return 0;\n"
+        "}\n"
+    ),
+    "beta.c": (
+        "#include <stdlib.h>\n"
+        "\n"
+        "int *make_table(int n)\n"
+        "{\n"
+        "  int *table = malloc( n * sizeof(int) );\n"
+        "  for (int i = 0; i < n; ++i) {\n"
+        "    table[i] = i*i;\n"
+        "  }\n"
+        "  return table;\n"
+        "}\n"
+    ),
+}
+
+
+def codebase() -> CodeBase:
+    return CodeBase.from_files(CORPUS)
+
+
+def reformatted_codebase() -> CodeBase:
+    return CodeBase.from_files(REFORMATTED)
+
+
+def _jsonops_text() -> str:
+    return json.dumps([
+        {"action": "replace", "search": "return value * 2.0;",
+         "replace": "return value * 2.5;",
+         "old_hash": sha256_hex("return value * 2.0;")[:12]},
+        {"action": "replace", "search": "table[i] = i * i;",
+         "replace": "table[i] = (i * i) + 1;", "file": "beta.c"},
+    ], indent=1)
+
+
+_AP_TEXT = """\
+# ap-format machine patch over the frontend corpus
+changes:
+  - action: REPLACE
+    anchor: |
+      int main(void)
+    snippet: |
+      double acc = 0.0;
+    with: |
+      double acc = 1.0;
+  - file: beta.c
+    action: INSERT_AFTER
+    snippet: '#include <stdlib.h>'
+    with: '#include <string.h>'
+"""
+
+_BLOCKS_TEXT = """\
+Explanatory prose between blocks is tolerated, like tool output has.
+
+File: alpha.c
+<<<<<<< SEARCH
+    printf("acc = %f\\n", acc);
+=======
+    printf("sum = %f\\n", acc);
+>>>>>>> REPLACE
+
+<<<<<<< SEARCH
+    return value * 2.0;
+=======
+    return value * 2.125;
+>>>>>>> REPLACE
+"""
+
+#: patch source text per frontend format
+PATCH_TEXTS = {
+    "jsonops": _jsonops_text(),
+    "ap": _AP_TEXT,
+    "blocks": _BLOCKS_TEXT,
+}
+
+#: file name per format, matching the CLI auto-detection suffixes
+PATCH_FILENAMES = {"jsonops": "ops.json", "ap": "edit.ap",
+                   "blocks": "edit.blocks"}
+
+#: the exact-replacement oracle equivalent of each patch, in order
+REFERENCE_PAIRS = {
+    "jsonops": [
+        ("return value * 2.0;", "return value * 2.5;"),
+        ("table[i] = i * i;", "table[i] = (i * i) + 1;"),
+    ],
+    "ap": [
+        ("double acc = 0.0;\n", "double acc = 1.0;\n"),
+        ("#include <stdlib.h>\n", "#include <stdlib.h>\n#include <string.h>\n"),
+    ],
+    "blocks": [
+        ('    printf("acc = %f\\n", acc);\n', '    printf("sum = %f\\n", acc);\n'),
+        ("    return value * 2.0;\n", "    return value * 2.125;\n"),
+    ],
+}
+
+
+def frontend_patch(fmt: str) -> SemanticPatch:
+    return SemanticPatch.from_text(PATCH_TEXTS[fmt], format=fmt,
+                                   name=PATCH_FILENAMES[fmt])

@@ -1,0 +1,193 @@
+"""The CLI's exit-status contract, as one parameterized matrix.
+
+``repro-spatch`` promises exactly three exit codes:
+
+* **0** — at least one patch matched (at a non-guard rule),
+* **1** — everything parsed and ran, nothing matched,
+* **2** — the run never happened: usage errors, unreadable or unparsable
+  patch files, missing targets.
+
+The satellite this suite pins down: operational failures must exit **2
+with a one-line ``file:line: message`` diagnostic and no traceback** —
+never crash out with code 1, never print a Python stack — and the
+diagnostic must be byte-identical whether the patch fails to parse
+in-process or inside a ``--server`` daemon.
+"""
+
+import json
+
+import pytest
+
+from frontend_corpus import CORPUS, PATCH_FILENAMES, PATCH_TEXTS
+from repro.cli.spatch import main as spatch_main
+from repro.server.daemon import PatchDaemon
+from repro.server.service import PatchService
+
+SMPL_MATCH = "@r@ @@\n- old();\n+ new_call();\n"
+SMPL_NO_MATCH = "@r@ @@\n- absent_fn();\n+ other();\n"
+JSON_MATCH = json.dumps([{"action": "replace", "search": "old();",
+                          "replace": "new_call();"}])
+JSON_NO_MATCH = json.dumps([{"action": "replace", "search": "absent_fn();",
+                             "replace": "other();"}])
+
+TARGET = "void f(void) { old(); }\n"
+
+#: (flag, file name, matching patch, non-matching patch, malformed text)
+PATCH_KINDS = [
+    ("--sp-file", "p.cocci", SMPL_MATCH, SMPL_NO_MATCH, "@r@\n- broken\n"),
+    ("--patch-file", "ops.json", JSON_MATCH, JSON_NO_MATCH,
+     "[{\"action\": }]"),
+    ("--patch-file", "edit.ap", "changes:\n  - action: delete\n"
+     "    snippet: 'old();'\n", "changes:\n  - action: delete\n"
+     "    snippet: 'absent_fn();'\n",
+     "changes:\n  - action: delete\n    wibble: 'x'\n"),
+    ("--patch-file", "edit.blocks",
+     "<<<<<<< SEARCH\nold();\n=======\nnew_call();\n>>>>>>> REPLACE\n",
+     "<<<<<<< SEARCH\nabsent_fn();\n=======\nx();\n>>>>>>> REPLACE\n",
+     "<<<<<<< SEARCH\nold();\n=======\n"),
+]
+
+IDS = ["smpl", "jsonops", "ap", "blocks"]
+
+
+@pytest.fixture
+def target(tmp_path):
+    path = tmp_path / "a.c"
+    path.write_text(TARGET)
+    return path
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    daemon = PatchDaemon(f"unix:{tmp_path}/spatchd.sock", PatchService())
+    daemon.serve_in_thread()
+    yield daemon
+    daemon.shutdown()
+
+
+def run(argv, capsys):
+    rc = spatch_main(argv)
+    captured = capsys.readouterr()
+    assert "Traceback" not in captured.err, captured.err
+    return rc, captured
+
+
+class TestExitStatusMatrix:
+    @pytest.mark.parametrize("flag, name, match, no_match, bad", PATCH_KINDS,
+                             ids=IDS)
+    @pytest.mark.parametrize("json_mode", [False, True],
+                             ids=["plain", "json"])
+    def test_exit_zero_on_match(self, flag, name, match, no_match, bad,
+                                json_mode, tmp_path, target, capsys):
+        patch = tmp_path / name
+        patch.write_text(match)
+        argv = [flag, str(patch), str(target)] + (["--json"] if json_mode
+                                                  else [])
+        rc, captured = run(argv, capsys)
+        assert rc == 0
+        if json_mode:
+            payload = json.loads(captured.out)
+            assert payload["exit_status"] == 0 and payload["matched"]
+
+    @pytest.mark.parametrize("flag, name, match, no_match, bad", PATCH_KINDS,
+                             ids=IDS)
+    @pytest.mark.parametrize("json_mode", [False, True],
+                             ids=["plain", "json"])
+    def test_exit_one_on_no_match(self, flag, name, match, no_match, bad,
+                                  json_mode, tmp_path, target, capsys):
+        patch = tmp_path / name
+        patch.write_text(no_match)
+        argv = [flag, str(patch), str(target)] + (["--json"] if json_mode
+                                                  else [])
+        rc, captured = run(argv, capsys)
+        assert rc == 1
+        if json_mode:
+            payload = json.loads(captured.out)
+            assert payload["exit_status"] == 1 and not payload["matched"]
+
+    @pytest.mark.parametrize("flag, name, match, no_match, bad", PATCH_KINDS,
+                             ids=IDS)
+    def test_exit_two_on_unparsable_patch(self, flag, name, match, no_match,
+                                          bad, tmp_path, target, capsys):
+        patch = tmp_path / name
+        patch.write_text(bad)
+        rc, captured = run([flag, str(patch), str(target)], capsys)
+        assert rc == 2
+        error_lines = [l for l in captured.err.splitlines()
+                       if l.startswith("repro-spatch: error: ")]
+        assert len(error_lines) == 1
+        # one-line file:line: message diagnostic
+        assert error_lines[0].startswith(f"repro-spatch: error: {name}:")
+
+    @pytest.mark.parametrize("flag, name, match, no_match, bad", PATCH_KINDS,
+                             ids=IDS)
+    def test_exit_two_on_missing_patch_file(self, flag, name, match, no_match,
+                                            bad, tmp_path, target, capsys):
+        missing = tmp_path / ("missing_" + name)
+        rc, captured = run([flag, str(missing), str(target)], capsys)
+        assert rc == 2
+        assert f"repro-spatch: error: {missing}: " in captured.err
+
+    def test_exit_two_on_missing_target(self, tmp_path, capsys):
+        patch = tmp_path / "p.cocci"
+        patch.write_text(SMPL_MATCH)
+        with pytest.raises(SystemExit) as exc:
+            spatch_main(["--sp-file", str(patch),
+                         str(tmp_path / "missing.c")])
+        assert exc.value.code == 2
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_exit_two_on_no_patch_argument(self, target, capsys):
+        with pytest.raises(SystemExit) as exc:
+            spatch_main([str(target)])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--sp-file, --patch-file or --cookbook" in err
+
+
+class TestServerExitParity:
+    @pytest.mark.parametrize("flag, name, match, no_match, bad", PATCH_KINDS,
+                             ids=IDS)
+    def test_match_and_no_match_codes(self, flag, name, match, no_match, bad,
+                                      daemon, tmp_path, target, capsys):
+        patch = tmp_path / name
+        patch.write_text(match)
+        rc, _ = run([flag, str(patch), "--server", daemon.address,
+                     str(target)], capsys)
+        assert rc == 0
+        patch.write_text(no_match)
+        rc, _ = run([flag, str(patch), "--server", daemon.address,
+                     str(target)], capsys)
+        assert rc == 1
+
+    @pytest.mark.parametrize("flag, name, match, no_match, bad", PATCH_KINDS,
+                             ids=IDS)
+    def test_bad_patch_diagnostic_is_byte_identical(self, flag, name, match,
+                                                    no_match, bad, daemon,
+                                                    tmp_path, target, capsys):
+        # the same unparsable patch file, rejected locally and via a
+        # daemon round-trip: exit 2 both times, same one-line stderr
+        patch = tmp_path / name
+        patch.write_text(bad)
+        local_rc, local = run([flag, str(patch), str(target)], capsys)
+        remote_rc, remote = run([flag, str(patch), "--server",
+                                 daemon.address, str(target)], capsys)
+        assert local_rc == remote_rc == 2
+        assert local.err == remote.err
+
+    def test_missing_patch_file_never_reaches_the_server(self, daemon,
+                                                         tmp_path, target,
+                                                         capsys):
+        missing = tmp_path / "missing.json"
+        rc, captured = run(["--patch-file", str(missing), "--server",
+                            daemon.address, str(target)], capsys)
+        assert rc == 2
+        assert f"repro-spatch: error: {missing}: " in captured.err
+
+    def test_unreachable_server_exits_two(self, tmp_path, target, capsys):
+        patch = tmp_path / "p.cocci"
+        patch.write_text(SMPL_MATCH)
+        rc, captured = run(["--sp-file", str(patch), "--server",
+                            f"unix:{tmp_path}/nope.sock", str(target)],
+                           capsys)
+        assert rc == 2

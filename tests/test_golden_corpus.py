@@ -18,14 +18,20 @@ import sys
 
 import pytest
 
-from repro import CodeBase
+from repro import CodeBase, PatchSet
 
+import frontend_corpus
 from test_prefilter import COOKBOOK_WORKLOADS, _cookbook_patch
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
 #: golden file for the whole-cookbook pipeline (12 patches, one batch pass)
 PIPELINE_GOLDEN = "full_modernization"
+
+#: golden file per machine-patch frontend format, applied to the shared
+#: frontend corpus (see tests/frontend_corpus.py)
+FRONTEND_GOLDENS = {f"frontend_{fmt}": fmt
+                    for fmt in sorted(frontend_corpus.PATCH_TEXTS)}
 
 
 def _expected_diff(name: str) -> str:
@@ -54,6 +60,12 @@ def _expected_pipeline_diff() -> str:
     patchset = full_modernization_pipeline(
         mdspan_arrays={"rho": 3, "phi": 3})  # the GADGET workload's arrays
     return patchset.apply(_pipeline_workload()).diff()
+
+
+def _expected_frontend_diff(fmt: str) -> str:
+    """The diff one frontend-format patch produces on the shared corpus."""
+    patch = frontend_corpus.frontend_patch(fmt)
+    return PatchSet([patch]).apply(frontend_corpus.codebase()).diff()
 
 
 @pytest.mark.parametrize("name", sorted(COOKBOOK_WORKLOADS))
@@ -87,10 +99,28 @@ def test_full_modernization_pipeline_matches_golden():
         "--regen' and review the corpus delta")
 
 
+@pytest.mark.parametrize("name", sorted(FRONTEND_GOLDENS))
+def test_frontend_diff_matches_golden(name):
+    """Each machine-patch frontend format must keep producing its golden
+    diff on the shared corpus — locator, splice and parser changes can
+    reorganize how the edit is found but never what it does."""
+    golden_path = GOLDEN_DIR / f"{name}.diff"
+    assert golden_path.exists(), \
+        f"missing golden file {golden_path}; run tests/test_golden_corpus.py --regen"
+    golden = golden_path.read_text(encoding="utf-8", errors="surrogateescape")
+    produced = _expected_frontend_diff(FRONTEND_GOLDENS[name])
+    assert produced == golden, (
+        f"frontend format {FRONTEND_GOLDENS[name]!r} no longer produces its "
+        f"golden diff; if the change is intentional, regenerate with "
+        f"'PYTHONPATH=src python tests/test_golden_corpus.py --regen' and "
+        f"review the corpus delta")
+
+
 def test_corpus_has_no_orphans():
     """Every golden file corresponds to a cookbook patch (catch renames)."""
     names = {path.stem for path in GOLDEN_DIR.glob("*.diff")}
-    assert names == set(COOKBOOK_WORKLOADS) | {PIPELINE_GOLDEN}
+    assert names == (set(COOKBOOK_WORKLOADS) | {PIPELINE_GOLDEN}
+                     | set(FRONTEND_GOLDENS))
 
 
 def _regenerate() -> None:
@@ -107,6 +137,12 @@ def _regenerate() -> None:
         diff, encoding="utf-8", errors="surrogateescape")
     print(f"wrote golden/{PIPELINE_GOLDEN}.diff "
           f"({len(diff.splitlines())} lines)")
+    for name in sorted(FRONTEND_GOLDENS):
+        diff = _expected_frontend_diff(FRONTEND_GOLDENS[name])
+        assert diff, f"{name}: empty diff — frontend corpus pairing broken"
+        (GOLDEN_DIR / f"{name}.diff").write_text(
+            diff, encoding="utf-8", errors="surrogateescape")
+        print(f"wrote golden/{name}.diff ({len(diff.splitlines())} lines)")
 
 
 if __name__ == "__main__":
