@@ -69,6 +69,9 @@ import time
 from .. import __version__
 from ..api import C_SUFFIXES, CodeBase, PatchSet, SemanticPatch
 from ..errors import PatchFileError, ReproError, patch_error_line
+from ..obs import registry as _obs
+from ..obs import trace as _trace
+from ..obs.journal import open_journal
 from ..options import SpatchOptions
 from ..server.protocol import (dumps as json_line, nonguard_matches,
                                options_payload, profile_payload,
@@ -217,6 +220,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "overrides 'auto'")
     parser.add_argument("--profile", action="store_true",
                         help="print a timing/skip-rate breakdown to stderr")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace-event JSON of the run's "
+                             "phase spans (parse, prefilter, match, "
+                             "transform, memo, splice) to FILE — open it in "
+                             "chrome://tracing or Perfetto")
+    parser.add_argument("--journal", metavar="FILE", default=None,
+                        help="append structured JSONL telemetry events "
+                             "(one per --watch iteration) to FILE")
     parser.add_argument("--version", action="version",
                         version=f"%(prog)s {__version__}")
     parser.add_argument("--verbose", action="store_true")
@@ -434,6 +445,40 @@ def main(argv: list[str] | None = None) -> int:
         verbose=args.verbose,
     )
 
+    tracer = None
+    if args.trace and not _obs.enabled():
+        print("# trace: telemetry is disabled (REPRO_OBS); no trace will "
+              "be written", file=sys.stderr)
+    elif args.trace:
+        tracer = _trace.start_trace("repro-spatch")
+    journal = open_journal(args.journal)
+    try:
+        return _run(parser, args, options, journal)
+    finally:
+        if tracer is not None:
+            _write_trace(args.trace, tracer)
+        if journal is not None:
+            journal.close()
+
+
+def _write_trace(path: str, tracer) -> None:
+    """Finish the CLI's root span and write the Chrome trace-event JSON
+    (``chrome://tracing`` / Perfetto load it directly)."""
+    root = tracer.finish()
+    events = _trace.chrome_trace_events(root.to_payload())
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"traceEvents": events, "displayTimeUnit": "ms"},
+                      handle)
+    except OSError as exc:
+        print(f"# trace: could not write {path}: {exc}", file=sys.stderr)
+        return
+    print(f"# trace: wrote {len(events)} event(s) to {path}",
+          file=sys.stderr)
+
+
+def _run(parser, args, options: SpatchOptions, journal=None) -> int:
+    """The post-parsing CLI flow (telemetry sinks already set up)."""
     if args.json and args.watch:
         parser.error("--json cannot be combined with --watch")
         return 2
@@ -527,7 +572,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if matched else 1
     _fold_rewrites(codebase, result, rewritten)
     return _watch_loop(args, options, patches, codebase, paths, result,
-                       matched, memo)
+                       matched, memo, journal=journal)
 
 
 def _apply(patches: list[SemanticPatch], codebase: CodeBase, args,
@@ -611,6 +656,27 @@ def _remote_main(args, options: SpatchOptions) -> int:
         return 2
     codebase, paths = _load_codebase(args.targets)
     workspace = args.workspace or _default_workspace_name(args.targets)
+    # one CLI invocation = one trace: every request of every attempt
+    # carries this id (the daemon echoes it back, its journal records it),
+    # so a retried or failed run is greppable end to end
+    tracer = None
+    if _obs.enabled() and not _trace.tracing_active():
+        tracer = _trace.start_trace("spatch-remote")
+    try:
+        return _remote_run(args, options, codebase, paths, workspace, specs)
+    finally:
+        # an in-process caller (tests, library embedding) must not inherit
+        # this invocation's trace as its ambient context
+        if tracer is not None:
+            tracer.finish()
+
+
+def _remote_run(args, options: SpatchOptions, codebase, paths,
+                workspace: str, specs) -> int:
+    from ..server.client import ConnectionLost, RemoteClient, RemoteError
+
+    trace_tag = (f" [trace {_trace.current_trace_id()}]"
+                 if _trace.current_trace_id() else "")
 
     def one_attempt() -> dict:
         # the whole flow is idempotent (content-hash sync, stateless apply
@@ -637,10 +703,11 @@ def _remote_main(args, options: SpatchOptions) -> int:
             if attempt == 0:
                 delay = 0.25 * (2 ** attempt)
                 print(f"repro-spatch: server: {exc}; retrying in "
-                      f"{delay:.2f}s", file=sys.stderr)
+                      f"{delay:.2f}s{trace_tag}", file=sys.stderr)
                 time.sleep(delay)
                 continue
-            print(f"repro-spatch: server: {exc}", file=sys.stderr)
+            print(f"repro-spatch: server: {exc}{trace_tag}",
+                  file=sys.stderr)
             return 2
         except RemoteError as exc:
             if exc.kind == "bad-patch":
@@ -649,7 +716,8 @@ def _remote_main(args, options: SpatchOptions) -> int:
                 # so local and remote runs fail byte-identically
                 print(f"repro-spatch: error: {exc.message}", file=sys.stderr)
             else:
-                print(f"repro-spatch: server: {exc}", file=sys.stderr)
+                tag = f" [trace {exc.trace}]" if exc.trace else trace_tag
+                print(f"repro-spatch: server: {exc}{tag}", file=sys.stderr)
             return 2
 
     if args.report or args.verbose:
@@ -732,7 +800,7 @@ def _fold_rewrites(codebase: CodeBase, result, rewritten: list[str]) -> None:
 
 def _watch_loop(args, options: SpatchOptions, patches: list[SemanticPatch],
                 codebase: CodeBase, paths: dict[str, pathlib.Path],
-                result, matched: bool, memo=None) -> int:
+                result, matched: bool, memo=None, journal=None) -> int:
     """Poll the targets *and* the sp-files, re-applying incrementally on
     every content change.
 
@@ -763,15 +831,33 @@ def _watch_loop(args, options: SpatchOptions, patches: list[SemanticPatch],
     watcher = create_watcher(watched, backend=args.watch_backend)
     try:
         return _watch_rounds(args, options, patches, codebase, paths,
-                             result, matched, watcher, memo)
+                             result, matched, watcher, memo, journal)
     finally:
         watcher.close()
+
+
+def _journal_watch_round(journal, result, round_seconds: float) -> None:
+    """One structured event per --watch iteration: what changed, what
+    spliced, what the memo answered, and the round's wall time — the
+    journal twin of the human-readable ``# watch:`` stderr line."""
+    if journal is None:
+        return
+    inc = result.incremental
+    stats = getattr(result, "stats", None)
+    journal.emit(
+        "watch_round", trace=_trace.current_trace_id(),
+        files_changed=inc.files_changed, files_added=inc.files_added,
+        files_reused=inc.files_reused, files_dropped=inc.files_dropped,
+        patches_reused=inc.patches_reused, patches_total=inc.patches_total,
+        fallback=inc.fallback, matches=result.total_matches,
+        memo_hits=getattr(stats, "memo_hits", None),
+        wall_seconds=round(round_seconds, 6))
 
 
 def _watch_rounds(args, options: SpatchOptions,
                   patches: list[SemanticPatch], codebase: CodeBase,
                   paths: dict[str, pathlib.Path], result, matched: bool,
-                  watcher, memo=None) -> int:
+                  watcher, memo=None, journal=None) -> int:
     src_before = _stat_targets(args.targets)
     patch_before = _stat_patch_files(args.patch_args)
     quiet_polls = 0
@@ -803,9 +889,12 @@ def _watch_rounds(args, options: SpatchOptions,
         if not delta and not patches_stale:
             continue  # e.g. a touch that left the contents identical
         previous = result
+        round_started = time.monotonic()
         result, per_patch = _apply(patches, codebase, args, since=result,
                                    memo=memo)
         _save_state(args, result)
+        _journal_watch_round(journal, result,
+                             time.monotonic() - round_started)
         inc = result.incremental
         line = (f"# watch: {inc.files_changed} changed + {inc.files_added} "
                 f"added re-run, {inc.files_reused} reused, "

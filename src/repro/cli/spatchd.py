@@ -89,6 +89,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="watcher backend for --watch-roots (default "
                              "auto: watchdog if importable, else inotify, "
                              "else polling)")
+    parser.add_argument("--metrics", default=None, metavar="ADDR",
+                        help="serve a stdlib-only Prometheus endpoint at "
+                             "ADDR (HOST:PORT; PORT 0 picks a free port): "
+                             "GET /metrics scrapes the engine's metrics "
+                             "registry, GET /healthz is a liveness probe")
+    parser.add_argument("--journal", default=None, metavar="FILE",
+                        help="append one structured JSONL event per request "
+                             "to FILE (size-rotated once to FILE.1 at 16 "
+                             "MiB)")
+    parser.add_argument("--slow-ms", type=float, default=None, metavar="N",
+                        help="log requests slower than N milliseconds to "
+                             "stderr (and as slow_request journal events)")
     parser.add_argument("--version", action="version",
                         version=f"%(prog)s {__version__}")
     parser.add_argument("--verbose", action="store_true",
@@ -137,7 +149,8 @@ def main(argv: "list[str] | None" = None) -> int:
 
     try:
         return serve(args.listen, service, verbose=args.verbose,
-                     auth_token=args.auth_token)
+                     auth_token=args.auth_token, metrics=args.metrics,
+                     journal=args.journal, slow_ms=args.slow_ms)
     except (OSError, ValueError) as exc:
         # bad --listen address (ProtocolError is a ValueError), socket in
         # use, permissions: usage-style failures, spatch-convention exit 2

@@ -31,10 +31,25 @@ from typing import Optional
 
 from ..lang.parser import ParseTree, parse_source
 from ..lang.source import SourceFile
+from ..obs import registry as _obs
 from ..options import SpatchOptions
 
 #: format tag for persisted caches; bump on incompatible layout changes
 _PERSIST_VERSION = 1
+
+# registry children created once at import: the hot path pays one locked
+# integer add, and fork-pool workers ship these as deltas so parse-cache
+# traffic aggregates in the parent (closing the old "per-worker, not
+# aggregated" gap in DriverStats.describe)
+_M_HITS = _obs.REGISTRY.counter(
+    "repro_parse_cache_hits_total", "Parse-cache hits", cache="tree")
+_M_MISSES = _obs.REGISTRY.counter(
+    "repro_parse_cache_misses_total", "Parse-cache misses (real parses)",
+    cache="tree")
+_M_SHARED_HITS = _obs.REGISTRY.counter(
+    "repro_parse_cache_hits_total", "Shared-store hits", cache="shared")
+_M_SHARED_MISSES = _obs.REGISTRY.counter(
+    "repro_parse_cache_misses_total", "Shared-store misses", cache="shared")
 
 
 def content_sha1(text: str) -> str:
@@ -99,9 +114,13 @@ class SharedTreeStore:
             tree = self._entries.get(key)
             if tree is None:
                 self.misses += 1
+                if _obs.enabled():
+                    _M_SHARED_MISSES.inc()
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            if _obs.enabled():
+                _M_SHARED_HITS.inc()
             if tree.source.name == name:
                 return tree
             self.rebinds += 1
@@ -179,6 +198,8 @@ class TreeCache:
             if tree is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                if _obs.enabled():
+                    _M_HITS.inc()
                 return tree
             inflight = self._inflight.get(key)
             if inflight is None:
@@ -194,6 +215,8 @@ class TreeCache:
                 raise inflight.error
             with self._lock:
                 self.hits += 1
+                if _obs.enabled():
+                    _M_HITS.inc()
                 self.dedup_waits += 1
                 # a dedup-answered caller is a *use* of the entry like any
                 # other hit: refresh its recency so the snapshot cap and the
@@ -210,6 +233,8 @@ class TreeCache:
         if tree is not None:
             with self._lock:
                 self.hits += 1
+                if _obs.enabled():
+                    _M_HITS.inc()
                 self.shared_hits += 1
                 self._store(key, tree)
                 del self._inflight[key]
@@ -217,7 +242,9 @@ class TreeCache:
             inflight.event.set()
             return tree
         try:
-            tree = parse_source(text, name=name, options=options, tolerant=True)
+            with _obs.phase("parse"):
+                tree = parse_source(text, name=name, options=options,
+                                    tolerant=True)
         except BaseException as exc:
             with self._lock:
                 del self._inflight[key]
@@ -226,6 +253,8 @@ class TreeCache:
             raise
         with self._lock:
             self.misses += 1
+            if _obs.enabled():
+                _M_MISSES.inc()
             self._store(key, tree)
             del self._inflight[key]
         inflight.tree = tree

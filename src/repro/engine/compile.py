@@ -60,6 +60,7 @@ from typing import Callable, Optional, Sequence
 
 from ..lang import ast_nodes as A
 from ..lang.parser import ParseTree
+from ..obs import registry as _obs
 from ..options import SpatchOptions
 from ..smpl.ast import (KIND_EXPRESSION, KIND_STATEMENTS, KIND_TOPLEVEL,
                         PatchRule, SemanticPatchAST)
@@ -158,6 +159,24 @@ def matcher_counters() -> dict:
 
 def reset_matcher_stats() -> None:
     MATCHER_STATS.reset()
+
+
+def _matcher_collector():
+    """Surface :data:`MATCHER_STATS` and the compile cache through the
+    metrics registry (see :mod:`repro.obs.registry`).  A collector rather
+    than in-place registry counters: the matcher hot path stays untouched
+    and the registry still sees exact process-wide totals at scrape time."""
+    stats = MATCHER_STATS
+    for field in dc_fields(stats):
+        yield (f"repro_matcher_{field.name}_total", "counter",
+               f"Matcher counter {field.name!r} (see MatcherStats)",
+               {}, float(getattr(stats, field.name)))
+    info = compile_cache_info()
+    yield ("repro_compile_cache_entries", "gauge",
+           "Compiled patches currently cached", {}, float(info["entries"]))
+
+
+_obs.REGISTRY.register_collector(_matcher_collector)
 
 
 # ---------------------------------------------------------------------------

@@ -28,6 +28,7 @@ their meaning.
 
 from __future__ import annotations
 
+import functools
 import math
 import multiprocessing
 import os
@@ -35,11 +36,29 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
+from ..obs import registry as _obs
+from ..obs import trace as _trace
 from ..options import SpatchOptions
 from ..smpl.ast import ScriptRule, SemanticPatchAST
 from .cache import DEFAULT_TREE_CACHE, TreeCache
 from .prefilter import PatchPrefilter, TokenIndex
 from .report import FileResult, PatchResult
+
+# worker-aggregated parse-cache children: run_fork_pool merges worker
+# telemetry deltas onto these (origin="workers"), which is what lets a
+# jobs>1 run report real cache counters instead of "not aggregated"
+_M_WORKER_HITS = _obs.REGISTRY.counter(
+    "repro_parse_cache_hits_total", "Parse-cache hits",
+    cache="tree", origin="workers")
+_M_WORKER_MISSES = _obs.REGISTRY.counter(
+    "repro_parse_cache_misses_total", "Parse-cache misses (real parses)",
+    cache="tree", origin="workers")
+_M_RUNS = _obs.REGISTRY.counter(
+    "repro_driver_runs_total", "Driver runs (one patch over one tree)")
+_M_FILES = _obs.REGISTRY.counter(
+    "repro_driver_files_total", "Files considered", outcome="session")
+_M_FILES_SKIPPED = _obs.REGISTRY.counter(
+    "repro_driver_files_total", "Files considered", outcome="skipped")
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .engine import Engine
@@ -63,6 +82,10 @@ class DriverStats:
     total_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: where the cache counters came from: "local" (the parent's cache),
+    #: "workers" (aggregated from fork-pool telemetry deltas), or
+    #: "unavailable" (parallel run with telemetry disabled)
+    cache_scope: str = "local"
 
     @property
     def skip_rate(self) -> float:
@@ -86,9 +109,12 @@ class DriverStats:
             f"prefilter: {'on' if self.prefilter else 'off'}",
             f"token scan: {self.scan_seconds:.3f}s  apply: "
             f"{self.apply_seconds:.3f}s  total: {self.total_seconds:.3f}s",
-            "parse cache: per-worker, not aggregated" if self.jobs_used > 1
+            "parse cache: per-worker, not aggregated"
+            if self.cache_scope == "unavailable"
             else f"parse cache: {self.cache_hits} hit(s), "
-                 f"{self.cache_misses} miss(es)",
+                 f"{self.cache_misses} miss(es)"
+                 + (" (aggregated from workers)"
+                    if self.cache_scope == "workers" else ""),
         ]
         return "\n".join(lines)
 
@@ -182,6 +208,30 @@ def _worker_apply(batch: list[tuple[str, str, Optional[frozenset[str]]]]
             for filename, text, allowed in batch]
 
 
+#: marker tagging a worker batch return that carries a telemetry envelope
+_TELEMETRY_TAG = "__repro_telemetry__"
+
+
+def _telemetry_worker(worker, batch):
+    """Run one batch in a forked worker, capturing the registry delta (and
+    the span tree, when the parent had tracing active at fork time — the
+    contextvar forks with the process) so the parent can aggregate worker
+    telemetry instead of losing it with the child."""
+    if not _obs.enabled():
+        return (_TELEMETRY_TAG, list(worker(batch)), None, None)
+    capture = _obs.telemetry_capture()
+    spans = None
+    if _trace.tracing_active():
+        tracer = _trace.start_trace(f"fork-worker[{os.getpid()}]")
+        try:
+            results = list(worker(batch))
+        finally:
+            spans = tracer.finish().to_payload()
+    else:
+        results = list(worker(batch))
+    return (_TELEMETRY_TAG, results, capture.delta(), spans)
+
+
 def run_fork_pool(items: list, jobs: int, initializer, initargs, worker) -> list:
     """Fan ``items`` out over ``jobs`` forked worker processes in batches and
     return the concatenated per-item results (shared by :class:`Driver`,
@@ -211,11 +261,17 @@ def run_fork_pool(items: list, jobs: int, initializer, initargs, worker) -> list
     batches = [items[i:i + batch_size]
                for i in range(0, len(items), batch_size)]
     results: list = []
+    wrapped = functools.partial(_telemetry_worker, worker)
     with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx,
                              initializer=initializer,
                              initargs=initargs) as pool:
-        for batch_results in pool.map(worker, batches):
+        for tag, batch_results, delta, spans in pool.map(wrapped, batches):
+            assert tag == _TELEMETRY_TAG
             results.extend(batch_results)
+            if delta:
+                _obs.merge_telemetry(delta, origin="workers")
+            if spans:
+                _trace.graft_payloads([spans])
     return results
 
 
@@ -253,6 +309,11 @@ class Driver:
         stats = self.stats = DriverStats(
             files_total=len(files), prefilter=self.prefilter_enabled,
             jobs_requested=self.jobs_requested)
+        telemetry = _obs.enabled()
+        if telemetry:
+            _M_RUNS.inc()
+        worker_hits0 = _M_WORKER_HITS.value
+        worker_misses0 = _M_WORKER_MISSES.value
         # count parse-cache traffic on the cache the sessions actually use
         # (an engine handed in by Engine.apply_to_files may have none)
         session_cache = self.engine.tree_cache
@@ -314,6 +375,19 @@ class Driver:
             cache_hits1, cache_misses1 = session_cache.stats()
             stats.cache_hits = cache_hits1 - cache_hits0
             stats.cache_misses = cache_misses1 - cache_misses0
+        elif jobs_used > 1:
+            if telemetry:
+                # worker deltas were merged onto the origin="workers"
+                # children by run_fork_pool — report the aggregate
+                stats.cache_hits = int(_M_WORKER_HITS.value - worker_hits0)
+                stats.cache_misses = int(
+                    _M_WORKER_MISSES.value - worker_misses0)
+                stats.cache_scope = "workers"
+            else:
+                stats.cache_scope = "unavailable"
+        if telemetry:
+            _M_FILES.inc(len(session_files))
+            _M_FILES_SKIPPED.inc(len(skipped))
         stats.total_seconds = time.perf_counter() - started
         result.stats = stats
         return result

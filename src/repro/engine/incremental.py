@@ -71,10 +71,12 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
+from ..obs import registry as _obs
 from ..options import SpatchOptions
 from ..smpl.ast import SemanticPatchAST
 from .cache import TreeCache, content_sha1
-from .driver import parallel_preserves_semantics
+from .driver import (_M_WORKER_HITS, _M_WORKER_MISSES,
+                     parallel_preserves_semantics)
 from .pipeline import (FileRecord, PatchPipeline, PipelineResult,
                        PipelineStats, _FileOutcome, boundary_hashes)
 from .prefilter import TokenIndex, scan_token_set
@@ -297,6 +299,7 @@ class IncrementalPipeline:
             jobs_requested=pipeline.jobs_requested)
         cache_hits0, cache_misses0 = pipeline.tree_cache.stats()
         memo0 = pipeline.memo.stats() if pipeline.memo is not None else (0, 0)
+        worker0 = (_M_WORKER_HITS.value, _M_WORKER_MISSES.value)
         outcomes, skipped = pipeline._plan_and_apply(rerun, token_index, stats)
         if files and not rerun:
             # a cold run over a non-empty code base runs initialize rules
@@ -308,20 +311,21 @@ class IncrementalPipeline:
         # ---- assemble in input order: splice or take the fresh outcome
         result, per_patch_stats = pipeline._fresh_result(len(files),
                                                          stats.jobs_used)
-        for name, text in files.items():
-            if name in reused:
-                self._assemble_reused(result, per_patch_stats, stats,
-                                      name, reused[name], since)
-            elif name in skipped:
-                pipeline._assemble_skipped(result, per_patch_stats, stats,
-                                           name, text)
-            else:
-                pipeline._assemble_outcome(result, per_patch_stats, stats,
-                                           name, text, outcomes[name])
+        with _obs.phase("splice"):
+            for name, text in files.items():
+                if name in reused:
+                    self._assemble_reused(result, per_patch_stats, stats,
+                                          name, reused[name], since)
+                elif name in skipped:
+                    pipeline._assemble_skipped(result, per_patch_stats, stats,
+                                               name, text)
+                else:
+                    pipeline._assemble_outcome(result, per_patch_stats, stats,
+                                               name, text, outcomes[name])
 
         pipeline._run_finalize(result, per_patch_stats)
         return self._seal(result, stats, incremental, started,
-                          cache_hits0, cache_misses0, memo0)
+                          cache_hits0, cache_misses0, memo0, worker0)
 
     def _run_prefix(self, files: dict[str, str], since: PipelineResult,
                     prefix_len: int, token_index: Optional[TokenIndex],
@@ -340,6 +344,7 @@ class IncrementalPipeline:
             jobs_requested=pipeline.jobs_requested)
         cache_hits0, cache_misses0 = pipeline.tree_cache.stats()
         memo0 = pipeline.memo.stats() if pipeline.memo is not None else (0, 0)
+        worker0 = (_M_WORKER_HITS.value, _M_WORKER_MISSES.value)
         prior_boundary = since.per_patch[prefix_len - 1].files
 
         # ---- plan: hash-diff the tree and union-scan against the new list
@@ -404,32 +409,40 @@ class IncrementalPipeline:
 
         # ---- assemble in input order
         result, per_patch_stats = pipeline._fresh_result(len(files), jobs_used)
-        for name, text in files.items():
-            if name in skipped:
-                pipeline._assemble_skipped(result, per_patch_stats, stats,
-                                           name, text)
-            elif name in spliced:
-                self._assemble_prefix(result, per_patch_stats, stats, name,
-                                      text, spliced[name], since, prefix_len,
-                                      outcomes.get(name))
-            else:
-                pipeline._assemble_outcome(result, per_patch_stats, stats,
-                                           name, text, outcomes[name])
+        with _obs.phase("splice"):
+            for name, text in files.items():
+                if name in skipped:
+                    pipeline._assemble_skipped(result, per_patch_stats, stats,
+                                               name, text)
+                elif name in spliced:
+                    self._assemble_prefix(result, per_patch_stats, stats,
+                                          name, text, spliced[name], since,
+                                          prefix_len, outcomes.get(name))
+                else:
+                    pipeline._assemble_outcome(result, per_patch_stats, stats,
+                                               name, text, outcomes[name])
 
         pipeline._run_finalize(result, per_patch_stats)
         return self._seal(result, stats, incremental, started,
-                          cache_hits0, cache_misses0, memo0)
+                          cache_hits0, cache_misses0, memo0, worker0)
 
     def _seal(self, result: PipelineResult, stats: PipelineStats,
               incremental: IncrementalStats, started: float,
               cache_hits0: int, cache_misses0: int,
-              memo0: tuple[int, int] = (0, 0)) -> PipelineResult:
+              memo0: tuple[int, int] = (0, 0),
+              worker0: Optional[tuple[int, int]] = None) -> PipelineResult:
         """Shared run epilogue: cache counters, timings, stat attachment."""
         pipeline = self.pipeline
         if stats.jobs_used == 1:
             cache_hits1, cache_misses1 = pipeline.tree_cache.stats()
             stats.cache_hits = cache_hits1 - cache_hits0
             stats.cache_misses = cache_misses1 - cache_misses0
+        elif worker0 is not None and _obs.enabled():
+            stats.cache_hits = int(_M_WORKER_HITS.value - worker0[0])
+            stats.cache_misses = int(_M_WORKER_MISSES.value - worker0[1])
+            stats.cache_scope = "workers"
+        else:
+            stats.cache_scope = "unavailable"
         if pipeline.memo is not None:
             memo_hits1, memo_misses1 = pipeline.memo.stats()
             stats.memo_hits = memo_hits1 - memo0[0]

@@ -72,12 +72,22 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs import registry as _obs
 from .cache import content_sha1
 from .report import FileResult, RuleReport
 
 #: format tag for on-disk entries; bump on incompatible layout changes
 #: (stale-versioned entries degrade to a miss, never to wrong output)
 _DISK_VERSION = 1
+
+_M_HITS = _obs.REGISTRY.counter(
+    "repro_memo_lookups_total", "Transform-memo lookups", result="hit")
+_M_MISSES = _obs.REGISTRY.counter(
+    "repro_memo_lookups_total", "Transform-memo lookups", result="miss")
+_M_DISK_HITS = _obs.REGISTRY.counter(
+    "repro_memo_lookups_total", "Transform-memo lookups", result="disk_hit")
+_M_STORES = _obs.REGISTRY.counter(
+    "repro_memo_stores_total", "Transform-memo entry stores")
 
 #: default bound on the in-memory LRU tier
 DEFAULT_MEMO_ENTRIES = 4096
@@ -186,23 +196,34 @@ class TransformMemo:
             if entry is not None:
                 if entry.diagnostics and entry.filename != filename:
                     self.misses += 1
+                    if _obs.enabled():
+                        _M_MISSES.inc()
                     return None
                 self._entries.move_to_end(key)
                 self.hits += 1
+                if _obs.enabled():
+                    _M_HITS.inc()
                 return entry
         entry = self._disk_lookup(key)
         if entry is not None:
             if entry.diagnostics and entry.filename != filename:
                 with self._lock:
                     self.misses += 1
+                if _obs.enabled():
+                    _M_MISSES.inc()
                 return None
             with self._lock:
                 self.hits += 1
                 self.disk_hits += 1
                 self._store_locked(key, entry)
+            if _obs.enabled():
+                _M_HITS.inc()
+                _M_DISK_HITS.inc()
             return entry
         with self._lock:
             self.misses += 1
+        if _obs.enabled():
+            _M_MISSES.inc()
         return None
 
     def store(self, text_sha: str, fingerprint: str, flags: str,
@@ -214,6 +235,8 @@ class TransformMemo:
             if known:
                 return  # refreshed recency; the disk entry is already there
             self.stores += 1
+        if _obs.enabled():
+            _M_STORES.inc()
         self._disk_store(key, entry)
 
     def store_result(self, text_sha: str, fingerprint: str, flags: str,

@@ -49,11 +49,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from ..obs import registry as _obs
 from ..options import SpatchOptions
 from ..smpl.ast import SemanticPatchAST
 from .cache import DEFAULT_TREE_CACHE, TreeCache, content_sha1
 from .compile import backend_enabled
-from .driver import (DriverStats, ast_from_payload, has_per_file_scripts,
+from .driver import (_M_WORKER_HITS, _M_WORKER_MISSES, DriverStats,
+                     ast_from_payload, has_per_file_scripts,
                      parallel_preserves_semantics, patch_payload, resolve_jobs,
                      run_fork_pool)
 from .memo import TransformMemo, memo_flags
@@ -90,6 +92,9 @@ class PipelineStats:
     #: session, so coverage counters match a cold run exactly)
     memo_hits: int = 0
     memo_misses: int = 0
+    #: where the cache counters came from: "local", "workers" (aggregated
+    #: fork-pool telemetry), or "unavailable" (parallel, telemetry off)
+    cache_scope: str = "local"
 
     @property
     def skip_rate(self) -> float:
@@ -122,9 +127,12 @@ class PipelineStats:
             f"prefilter: {'on' if self.prefilter else 'off'}",
             f"token scan: {self.scan_seconds:.3f}s  apply: "
             f"{self.apply_seconds:.3f}s  total: {self.total_seconds:.3f}s",
-            "parse cache: per-worker, not aggregated" if self.jobs_used > 1
+            "parse cache: per-worker, not aggregated"
+            if self.cache_scope == "unavailable"
             else f"parse cache: {self.cache_hits} hit(s), "
-                 f"{self.cache_misses} miss(es)",
+                 f"{self.cache_misses} miss(es)"
+                 + (" (aggregated from workers)"
+                    if self.cache_scope == "workers" else ""),
         ]
         if self.memo_hits or self.memo_misses:
             lines.append(f"transform memo: {self.memo_hits} hit(s), "
@@ -358,7 +366,8 @@ def _apply_patches_to_file(engines, prefilters, filename: str, text: str,
         if key is not None:
             if text_sha is None:
                 text_sha = content_sha1(text)
-            entry = memo.lookup(text_sha, key[0], key[1], filename)
+            with _obs.phase("memo"):
+                entry = memo.lookup(text_sha, key[0], key[1], filename)
             if entry is not None:
                 file_result = entry.to_file_result(filename, text)
                 results.append(file_result)
@@ -509,6 +518,9 @@ class PatchPipeline:
         cache_hits0, cache_misses0 = self.tree_cache.stats()
         memo_hits0, memo_misses0 = self.memo.stats() if self.memo is not None \
             else (0, 0)
+        telemetry = _obs.enabled()
+        worker_hits0 = _M_WORKER_HITS.value
+        worker_misses0 = _M_WORKER_MISSES.value
 
         outcomes, skipped = self._plan_and_apply(files, token_index, stats)
 
@@ -528,6 +540,12 @@ class PatchPipeline:
             cache_hits1, cache_misses1 = self.tree_cache.stats()
             stats.cache_hits = cache_hits1 - cache_hits0
             stats.cache_misses = cache_misses1 - cache_misses0
+        elif telemetry:
+            stats.cache_hits = int(_M_WORKER_HITS.value - worker_hits0)
+            stats.cache_misses = int(_M_WORKER_MISSES.value - worker_misses0)
+            stats.cache_scope = "workers"
+        else:
+            stats.cache_scope = "unavailable"
         if self.memo is not None:
             memo_hits1, memo_misses1 = self.memo.stats()
             stats.memo_hits = memo_hits1 - memo_hits0

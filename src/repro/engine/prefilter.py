@@ -55,7 +55,15 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional
 
 from ..lang.lexer import ANNOT_PLUS, TokenKind, scan_word_tokens
+from ..obs import registry as _obs
 from ..smpl.ast import PatchRule, ScriptRule, SemanticPatchAST
+
+_M_SCAN_HITS = _obs.REGISTRY.counter(
+    "repro_prefilter_scans_total", "Prefilter token-scan lookups",
+    result="hit")
+_M_SCAN_MISSES = _obs.REGISTRY.counter(
+    "repro_prefilter_scans_total", "Prefilter token-scan lookups",
+    result="miss")
 
 #: punctuators that are selective enough to gate on and that no isomorphism
 #: can rewrite into another spelling
@@ -340,10 +348,15 @@ class TokenIndex:
             cached_text, tokens = cached
             if cached_text is text or cached_text == text:
                 self.scan_hits += 1
+                if _obs.enabled():
+                    _M_SCAN_HITS.inc()
                 return tokens
-        tokens = scan_token_set(text)
+        with _obs.phase("prefilter"):
+            tokens = scan_token_set(text)
         self._scanned[name] = (text, tokens)
         self.scan_misses += 1
+        if _obs.enabled():
+            _M_SCAN_MISSES.inc()
         return tokens
 
     def counters(self) -> dict:

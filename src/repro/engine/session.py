@@ -22,6 +22,7 @@ from typing import Optional, TYPE_CHECKING
 
 from ..errors import Diagnostic
 from ..lang.parser import ParseTree, parse_source
+from ..obs import registry as _obs
 from ..options import SpatchOptions
 from ..smpl.ast import PatchRule, ScriptRule, SemanticPatchAST
 from .bindings import Env, EMPTY_ENV
@@ -200,20 +201,22 @@ class FileSession:
 
         instances: list[MatchInstance] = []
         seen_signatures: set = set()
-        for base_env in base_envs:
-            seeded = base_env.locals_from_inherited(inherited)
-            if seeded is None:
-                continue
-            if crule is not None:
-                found = crule.match_all(tree, seeded)
-            else:
-                found = Matcher(rule, tree, options=self.options).match_all(seeded)
-            for inst in found:
-                sig = inst.signature()
-                if sig in seen_signatures:
+        with _obs.phase("match"):
+            for base_env in base_envs:
+                seeded = base_env.locals_from_inherited(inherited)
+                if seeded is None:
                     continue
-                seen_signatures.add(sig)
-                instances.append(inst)
+                if crule is not None:
+                    found = crule.match_all(tree, seeded)
+                else:
+                    found = Matcher(rule, tree,
+                                    options=self.options).match_all(seeded)
+                for inst in found:
+                    sig = inst.signature()
+                    if sig in seen_signatures:
+                        continue
+                    seen_signatures.add(sig)
+                    instances.append(inst)
 
         if not instances:
             return
@@ -225,14 +228,15 @@ class FileSession:
                                   fresh_registry=FreshNameRegistry.for_tree(tree))
         exported_envs: list[Env] = []
         local_names = mrule.exported_metavars
-        for inst in instances:
-            fresh = transformer.apply_instance(inst, edit_set)
-            env = inst.env
-            for name, value in fresh.items():
-                bound = env.bind(name, value)
-                if bound is not None:
-                    env = bound
-            exported_envs.append(env.exported(rule.name, local_names))
+        with _obs.phase("transform"):
+            for inst in instances:
+                fresh = transformer.apply_instance(inst, edit_set)
+                env = inst.env
+                for name, value in fresh.items():
+                    bound = env.bind(name, value)
+                    if bound is not None:
+                        env = bound
+                exported_envs.append(env.exported(rule.name, local_names))
         self.diagnostics.extend(transformer.diagnostics)
         self.exported[rule.name] = exported_envs
 

@@ -1,0 +1,43 @@
+"""Unified observability: metrics registry, span tracer, and sinks.
+
+This package is the single aggregation point for everything the engine
+and the daemon know about their own behaviour:
+
+* :mod:`~repro.obs.registry` — a thread-safe **metrics registry**
+  (counters, gauges, fixed-bucket monotonic-clock histograms).  Engine
+  modules create their metric children at import time so the hot path
+  pays one lock-free attribute lookup plus one locked integer add; the
+  registry renders Prometheus text exposition and serializes counter
+  *deltas* across fork boundaries so worker telemetry aggregates in the
+  parent.
+* :mod:`~repro.obs.trace` — a **span tracer** carried on a contextvar.
+  ``span(name)`` is a shared no-op when no trace is active (one
+  contextvar read, no allocation), a real timed span otherwise; span
+  trees serialize across the wire and across forks, and export as
+  Chrome trace-event JSON (``repro-spatch --trace FILE``).
+* :mod:`~repro.obs.journal` — a size-rotated **JSONL event journal**
+  (``repro-spatchd --journal``, watch-loop iteration events).
+* :mod:`~repro.obs.metrics_http` — a stdlib-only HTTP ``/metrics``
+  endpoint in Prometheus text format (``repro-spatchd --metrics``).
+
+Soundness: instrumentation only ever *times and counts* — it never
+touches the text, diff, report, or exit-code computation, so telemetry
+on vs. off is byte-identical by construction (and proved by the
+differential suites in ``tests/test_obs.py``).  Setting ``REPRO_OBS=0``
+turns even the registry arithmetic off.
+"""
+
+from __future__ import annotations
+
+from .registry import (REGISTRY, Counter, Gauge, Histogram, MetricsRegistry,
+                       enabled, merge_telemetry, phase, phase_summaries,
+                       telemetry_capture)
+from .trace import (current_trace_id, new_trace_id, span, start_trace,
+                    tracing_active)
+
+__all__ = [
+    "REGISTRY", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "enabled", "merge_telemetry", "phase", "phase_summaries",
+    "telemetry_capture", "current_trace_id", "new_trace_id", "span",
+    "start_trace", "tracing_active",
+]

@@ -1,0 +1,85 @@
+"""A structured JSONL event journal with size-bounded rotation.
+
+One :class:`Journal` owns one append-only file of newline-delimited JSON
+events: ``{"ts": <unix seconds>, "event": <name>, ...fields}``, one per
+line, sorted keys, ASCII-only (the same canonical form the wire protocol
+uses, so journals are greppable and machine-parsable with any JSON
+tool).  When the file would exceed ``max_bytes`` it is rotated once to
+``<path>.1`` (the previous ``.1`` is dropped) — a hard bound of
+~2×``max_bytes`` on disk, no unbounded growth on a busy daemon.
+
+Writes are serialized by a lock and flushed per event, so concurrent
+handler threads interleave whole lines, never torn ones.  Emitting never
+raises: a journal failure (disk full, rotated directory) degrades to
+dropped events, because telemetry must not take the service down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Optional
+
+DEFAULT_MAX_BYTES = 16 * 1024 * 1024
+
+
+class Journal:
+    """A thread-safe, size-rotated JSONL sink."""
+
+    def __init__(self, path: str,
+                 max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        self.path = path
+        self.max_bytes = max(4096, int(max_bytes))
+        self._lock = threading.Lock()
+        self._file = open(path, "a", encoding="ascii")
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one event line; never raises."""
+        record = {"ts": round(time.time(), 6), "event": event}
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        try:
+            line = json.dumps(record, sort_keys=True,
+                              separators=(",", ":"), ensure_ascii=True)
+        except (TypeError, ValueError):
+            return
+        with self._lock:
+            try:
+                if self._file.tell() + len(line) + 1 > self.max_bytes:
+                    self._rotate()
+                self._file.write(line + "\n")
+                self._file.flush()
+            except (OSError, ValueError):
+                pass
+
+    def _rotate(self) -> None:
+        self._file.close()
+        try:
+            os.replace(self.path, self.path + ".1")
+        except OSError:
+            pass
+        self._file = open(self.path, "a", encoding="ascii")
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._file.close()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_journal(path: Optional[str],
+                 max_bytes: int = DEFAULT_MAX_BYTES) -> Optional[Journal]:
+    """A :class:`Journal` for ``path``, or ``None`` when unconfigured."""
+    if not path:
+        return None
+    return Journal(path, max_bytes)

@@ -1,0 +1,82 @@
+"""A stdlib-only HTTP ``/metrics`` endpoint (Prometheus text format).
+
+``repro-spatchd --metrics ADDR`` starts one of these next to the wire
+listener: a :class:`http.server.ThreadingHTTPServer` on its own daemon
+thread serving
+
+* ``GET /metrics`` — the registry's Prometheus text exposition
+  (``text/plain; version=0.0.4``), and
+* ``GET /healthz`` — a 200 ``ok`` liveness probe.
+
+Everything else is 404.  The server binds ``host:port`` (``:0`` picks an
+ephemeral port, exposed as :attr:`MetricsServer.port` for tests) and is
+read-only by construction — scraping can never mutate the daemon.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .registry import REGISTRY, MetricsRegistry
+
+
+class _Handler(BaseHTTPRequestHandler):
+    registry: MetricsRegistry = REGISTRY
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] == "/metrics":
+            body = self.registry.render_prometheus().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif self.path.split("?", 1)[0] == "/healthz":
+            body = b"ok\n"
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_error(404)
+
+    def log_message(self, *args) -> None:  # scrapes must stay silent
+        pass
+
+
+class MetricsServer:
+    """The `/metrics` endpoint; construct, :meth:`start`, :meth:`close`."""
+
+    def __init__(self, address: str,
+                 registry: MetricsRegistry = REGISTRY) -> None:
+        host, _, port = address.rpartition(":")
+        if not port.isdigit():
+            raise ValueError(
+                f"bad metrics address {address!r}; expected HOST:PORT")
+        handler = type("BoundHandler", (_Handler,), {"registry": registry})
+        self._server = ThreadingHTTPServer(
+            (host or "127.0.0.1", int(port)), handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-metrics",
+            daemon=True)
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def address(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"{host}:{port}"
+
+    def start(self) -> "MetricsServer":
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()

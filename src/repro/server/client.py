@@ -31,6 +31,8 @@ from typing import Optional, Sequence
 
 from ..api import CodeBase, SemanticPatch
 from ..errors import ReproError
+from ..obs import registry as _obs
+from ..obs import trace as _trace
 from ..options import SpatchOptions
 from .protocol import (PROTOCOL_VERSION, ProtocolError, options_payload,
                        parse_address, patch_specs, read_message,
@@ -41,12 +43,16 @@ class RemoteError(ReproError):
     """A server-reported failure (``ok: false``), carrying the server's
     stable error ``kind``."""
 
-    def __init__(self, kind: str, message: str):
+    def __init__(self, kind: str, message: str,
+                 trace: Optional[str] = None):
         super().__init__(f"{kind}: {message}")
         self.kind = kind
         #: the server's bare message, without the kind prefix — what the
         #: CLI re-prints for byte-identical local/remote diagnostics
         self.message = message
+        #: the request's trace id, echoed back in the error envelope
+        #: (``None`` when telemetry was off or the server predates traces)
+        self.trace = trace
 
 
 class ConnectionLost(ReproError):
@@ -137,8 +143,19 @@ class RemoteClient:
         if not response.get("ok"):
             error = response.get("error") or {}
             raise RemoteError(error.get("type", "unknown"),
-                              error.get("message", "unspecified error"))
+                              error.get("message", "unspecified error"),
+                              trace=response.get("trace"))
         return response.get("result", {})
+
+    @staticmethod
+    def _stamp_trace(message: dict) -> None:
+        """Attach the request's trace id: the active trace's (one CLI
+        invocation = one trace spanning all its requests) or a fresh one.
+        Skipped entirely when telemetry is off, so the wire bytes with
+        ``REPRO_OBS=0`` are exactly the pre-trace protocol's."""
+        if _obs.enabled():
+            message["trace"] = (_trace.current_trace_id()
+                                or _trace.new_trace_id())
 
     def request(self, verb: str, **params) -> dict:
         """One request/response; under v2 this is ``submit().wait()``, so
@@ -148,6 +165,7 @@ class RemoteClient:
         message = {"verb": verb}
         message.update({key: value for key, value in params.items()
                         if value is not None})
+        self._stamp_trace(message)
         return self._round_trip(message)
 
     def submit(self, verb: str, **params) -> Reply:
@@ -160,6 +178,7 @@ class RemoteClient:
         message: dict = {"verb": verb}
         message.update({key: value for key, value in params.items()
                         if value is not None})
+        self._stamp_trace(message)
         with self._lock:
             self._next_id += 1
             request_id = self._next_id

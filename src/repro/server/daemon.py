@@ -37,16 +37,20 @@ import socket
 import socketserver
 import sys
 import threading
+import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
 
+from ..obs.journal import Journal, open_journal
 from .protocol import (PROTOCOL_VERSION, ProtocolError, read_message,
                        write_message, parse_address)
 from .service import PatchService, ServiceError
 
-#: request fields every verb accepts besides its own parameters
-_ENVELOPE_FIELDS = {"verb", "id"}
+#: request fields every verb accepts besides its own parameters; ``trace``
+#: is the client-generated request trace id, echoed verbatim in the
+#: response (success *and* error envelopes) and stamped on journal events
+_ENVELOPE_FIELDS = {"verb", "id", "trace"}
 
 #: verb -> (service method, parameter names allowed on the wire)
 _VERBS = {
@@ -59,6 +63,7 @@ _VERBS = {
     "query": ("query", {"workspace", "patches", "options", "jobs",
                         "prefilter", "profile"}),
     "stats": ("stats", {"workspace"}),
+    "metrics": ("metrics", set()),
     "ping": ("ping", set()),
     "shutdown": (None, set()),
 }
@@ -70,6 +75,13 @@ _ORDERED_VERBS = {"open_workspace", "sync_files", "apply"}
 
 #: pipelined requests executing concurrently across all v2 connections
 _EXECUTOR_THREADS = 32
+
+
+def _envelope(request: dict) -> dict:
+    """The ``id``/``trace`` fields a response echoes back verbatim —
+    including error envelopes, so a client can always correlate a failure
+    with the request (and trace) that caused it."""
+    return {key: request[key] for key in ("id", "trace") if key in request}
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -108,7 +120,7 @@ class _Handler(socketserver.StreamRequestHandler):
                     return
                 continue
             if not self.authed:
-                envelope = {"id": request["id"]} if "id" in request else {}
+                envelope = _envelope(request)
                 with self.write_lock:
                     answered = self._respond(
                         {**envelope, "ok": False, "error": {
@@ -137,7 +149,7 @@ class _Handler(socketserver.StreamRequestHandler):
     # -- v2: hello and pipelined dispatch ------------------------------------
 
     def _hello(self, request: dict) -> dict:
-        envelope = {"id": request["id"]} if "id" in request else {}
+        envelope = _envelope(request)
         token = request.get("token")
         if self.server.requires_auth:
             expected = self.server.auth_token
@@ -201,10 +213,44 @@ class _DaemonMixin:
     auth_token: Optional[str] = None
     requires_auth: bool = False
     executor: ThreadPoolExecutor
+    #: structured JSONL request journal (``--journal``); ``None`` = off
+    journal: Optional[Journal] = None
+    #: slow-request threshold in milliseconds (``--slow-ms``); ``None`` = off
+    slow_ms: Optional[float] = None
 
     def dispatch(self, request: dict) -> tuple[dict, bool]:
         """``(response, shutdown?)`` for one request envelope."""
-        envelope = {"id": request["id"]} if "id" in request else {}
+        started = time.monotonic()
+        response, shutdown = self._execute(request)
+        self._log_request(request, response, time.monotonic() - started)
+        return response, shutdown
+
+    def _log_request(self, request: dict, response: dict,
+                     elapsed: float) -> None:
+        """One journal event per request (plus a stderr line past the
+        ``--slow-ms`` threshold); entirely absent without either flag."""
+        duration_ms = elapsed * 1000.0
+        slow = self.slow_ms is not None and duration_ms >= self.slow_ms
+        if self.journal is None and not slow:
+            return
+        error = response.get("error") or None
+        if self.journal is not None:
+            self.journal.emit(
+                "slow_request" if slow else "request",
+                verb=request.get("verb"), workspace=request.get("workspace"),
+                id=request.get("id"), trace=request.get("trace"),
+                ok=bool(response.get("ok")),
+                duration_ms=round(duration_ms, 3),
+                error_type=error.get("type") if error else None)
+        if slow:
+            trace = request.get("trace")
+            print(f"spatchd: slow request: {request.get('verb')} took "
+                  f"{duration_ms:.1f}ms"
+                  + (f" trace={trace}" if trace else ""),
+                  file=sys.stderr, flush=True)
+
+    def _execute(self, request: dict) -> tuple[dict, bool]:
+        envelope = _envelope(request)
         verb = request.get("verb")
         if verb not in _VERBS:
             return {**envelope, "ok": False, "error": {
@@ -225,7 +271,7 @@ class _DaemonMixin:
                   if key not in _ENVELOPE_FIELDS}
         workspace = params.pop("workspace", None)
         args = [workspace] if workspace is not None \
-            else ([] if verb in ("stats", "ping") else [None])
+            else ([] if verb in ("stats", "metrics", "ping") else [None])
         try:
             result = getattr(self.service, method_name)(*args, **params)
             return {**envelope, "ok": True, "result": result}, False
@@ -270,8 +316,18 @@ class PatchDaemon:
 
     def __init__(self, address: str,
                  service: Optional[PatchService] = None, *,
-                 verbose: bool = False, auth_token: Optional[str] = None):
+                 verbose: bool = False, auth_token: Optional[str] = None,
+                 metrics: Optional[str] = None,
+                 journal: Optional[str] = None,
+                 slow_ms: Optional[float] = None):
         self.service = service if service is not None else PatchService()
+        #: stdlib-only Prometheus endpoint (``--metrics HOST:PORT``)
+        self.metrics_server = None
+        if metrics is not None:
+            from ..obs.metrics_http import MetricsServer
+
+            self.metrics_server = MetricsServer(metrics)
+            self.metrics_server.start()
         self.family, self.bind_address = parse_address(address)
         self._unix_path: Optional[str] = None
         if self.family == "unix":
@@ -294,6 +350,8 @@ class PatchDaemon:
             self.server = _TcpDaemon(self.bind_address, _Handler)
         self.server.service = self.service
         self.server.verbose = verbose
+        self.server.journal = open_journal(journal)
+        self.server.slow_ms = slow_ms
         self.server.auth_token = auth_token
         self.server.requires_auth = (auth_token is not None
                                      and self.family == "tcp")
@@ -328,6 +386,10 @@ class PatchDaemon:
     def close(self) -> None:
         self.server.server_close()
         self.server.executor.shutdown(wait=False)
+        if self.metrics_server is not None:
+            self.metrics_server.close()
+        if self.server.journal is not None:
+            self.server.journal.close()
         self.service.close()
         if self._unix_path and os.path.exists(self._unix_path):
             try:
@@ -338,15 +400,20 @@ class PatchDaemon:
 
 def serve(address: str, service: Optional[PatchService] = None, *,
           verbose: bool = False, auth_token: Optional[str] = None,
-          stderr=None) -> int:
+          metrics: Optional[str] = None, journal: Optional[str] = None,
+          slow_ms: Optional[float] = None, stderr=None) -> int:
     """Blocking entry point used by ``repro-spatchd``."""
     stderr = stderr or sys.stderr
     daemon = PatchDaemon(address, service, verbose=verbose,
-                         auth_token=auth_token)
+                         auth_token=auth_token, metrics=metrics,
+                         journal=journal, slow_ms=slow_ms)
     if auth_token is not None and daemon.family != "tcp":
         print("spatchd: note: auth token ignored on unix sockets "
               "(filesystem permissions gate them)", file=stderr, flush=True)
     print(f"spatchd: listening on {daemon.address}", file=stderr, flush=True)
+    if daemon.metrics_server is not None:
+        print(f"spatchd: metrics on http://{daemon.metrics_server.address}"
+              f"/metrics", file=stderr, flush=True)
     try:
         daemon.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only

@@ -186,10 +186,15 @@ class _FleetWorker:
 
     def _apply(self, job: dict) -> dict:
         from ..engine.incremental import IncrementalPipeline
+        from ..obs import registry as _obs
         from ..server.service import ServiceError
         from .protocol import (options_from_payload, profile_payload,
                                result_payload)
 
+        # per-job before/after capture of this worker's registry: the delta
+        # rides the reply so the parent daemon's /metrics stays exact even
+        # though all the matching happened in this process
+        capture = _obs.telemetry_capture() if _obs.enabled() else None
         name = job["workspace"]
         mirror = self._mirror(name)
         codebase = mirror.codebase
@@ -238,7 +243,10 @@ class _FleetWorker:
                 token_index=codebase._token_index, memo=self.memo)
             payload["profile"]["tree_store"] = self.tree_store.counters()
             payload["profile"]["restored"] = mirror.restored
-        return {"ok": True, "payload": payload}
+        reply = {"ok": True, "payload": payload, "pid": os.getpid()}
+        if capture is not None:
+            reply["telemetry"] = capture.delta()
+        return reply
 
     def _patches(self, mirror: _Mirror, specs, options):
         from ..server.service import build_patch_list, spec_key

@@ -275,6 +275,14 @@ def profile_payload(result, *, cache=None, token_index=None,
     if memo is not None:
         payload["memo"] = memo.counters()
     from ..engine.compile import matcher_counters
+    from ..obs import registry as _obs
 
     payload["matcher"] = matcher_counters()
+    if _obs.enabled():
+        # per-phase wall-time histograms from the metrics registry (parse,
+        # prefilter, match, transform, memo, splice, sync) — only phases
+        # that actually observed something appear
+        phases = _obs.phase_summaries()
+        if phases:
+            payload["phases"] = phases
     return payload

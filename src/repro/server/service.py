@@ -71,6 +71,7 @@ from ..engine.memo import DEFAULT_MEMO_ENTRIES, TransformMemo
 from ..engine.pipeline import PipelineResult
 from ..errors import patch_error_line
 from ..frontends import WIRE_KINDS as FRONTEND_WIRE_KINDS
+from ..obs import registry as _obs
 from ..options import SpatchOptions
 from .protocol import (PROTOCOL_VERSION, options_from_payload,
                        profile_payload, result_payload)
@@ -126,6 +127,33 @@ def build_patch_list(specs: Sequence[dict],
         spec_key(spec, "")  # validate the shape before parsing anything
         built.extend(PatchService._parse_spec(spec, options))
     return built
+
+
+def _aggregate_worker_stats(per_worker: Sequence[dict]) -> dict:
+    """Fold the fleet's per-worker stat rows into one fleet-wide view:
+    counter dicts (memo, tree_store, every mirror's parse cache) sum
+    key-wise, workspace lists just count.  This is the satellite fix for
+    the fleet-mode profile gap — per-worker counters previously appeared
+    only as N disjoint rows a human had to add up."""
+    def fold(total: dict, counters: Optional[dict]) -> None:
+        for key, value in (counters or {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                total[key] = total.get(key, 0) + value
+
+    memo: dict = {}
+    tree_store: dict = {}
+    parse_cache: dict = {}
+    workspaces = 0
+    for row in per_worker:
+        if not isinstance(row, dict) or "error" in row:
+            continue
+        fold(memo, row.get("memo"))
+        fold(tree_store, row.get("tree_store"))
+        workspaces += len(row.get("workspaces") or ())
+        for counters in (row.get("parse_caches") or {}).values():
+            fold(parse_cache, counters)
+    return {"workspaces": workspaces, "memo": memo,
+            "tree_store": tree_store, "parse_cache": parse_cache}
 
 
 class Workspace:
@@ -312,6 +340,10 @@ class PatchService:
         self.started_at = time.time()
         self.requests_total = 0
         self.evictions = 0
+        #: unregistered in :meth:`close` — an embedded service must not
+        #: leak scrapes of its dead self through the process registry
+        self._collector = _obs.REGISTRY.register_collector(
+            self._metrics_collector)
 
     # -- workspace table -----------------------------------------------------
 
@@ -515,7 +547,8 @@ class PatchService:
                 for k, v in files.items()):
             raise ServiceError("bad-request",
                                "sync_files files must map names to text")
-        with self._checkout(name) as workspace, workspace.lock:
+        with self._checkout(name) as workspace, workspace.lock, \
+                _obs.phase("sync"):
             workspace.syncs += 1
             codebase = workspace.codebase
             added: list[str] = []
@@ -650,9 +683,16 @@ class PatchService:
                 raise ServiceError(error.get("kind", "internal"),
                                    error.get("message", "fleet apply failed"))
             workspace.fleet_seen = manifest
+        # fold the worker's registry delta into the parent's registry under
+        # origin="fleet": the daemon's /metrics then covers matching that
+        # happened in worker processes, exactly (per-job before/after)
+        _obs.merge_telemetry(reply.get("telemetry"), origin="fleet")
         self._maybe_prune_memo()
         payload = reply["payload"]
         payload["workspace"] = name
+        if profile and "profile" in payload:
+            payload["profile"]["fleet_worker"] = {
+                "index": self._fleet.shard(name), "pid": reply.get("pid")}
         return payload
 
     def query(self, name: str, patches: Sequence[dict], *,
@@ -724,10 +764,48 @@ class PatchService:
             payload["per_workspace"] = [workspace.stats_payload()
                                         for workspace in workspaces]
         if self._fleet is not None:
+            per_worker = self._fleet.stats()
             payload["fleet"] = {"workers": self.workers,
                                 "respawns": self._fleet.respawns,
-                                "per_worker": self._fleet.stats()}
+                                "per_worker": per_worker,
+                                "aggregate": _aggregate_worker_stats(
+                                    per_worker)}
         return payload
+
+    def metrics(self) -> dict:
+        """The process-wide metrics registry: the JSON snapshot, per-phase
+        timing summaries, and the rendered Prometheus text — the ``metrics``
+        wire verb and the daemon's HTTP ``/metrics`` endpoint both read
+        this one surface."""
+        return {"enabled": _obs.enabled(),
+                "snapshot": _obs.REGISTRY.snapshot(),
+                "phases": _obs.phase_summaries(),
+                "prometheus": _obs.REGISTRY.render_prometheus()}
+
+    def _metrics_collector(self):
+        """Service-level gauges/counters for the registry: workspace table
+        shape, the shared memo and tree store.  A collector (polled at
+        scrape time) so the request hot path pays nothing."""
+        with self._lock:
+            workspaces = len(self._workspaces)
+            requests = self.requests_total
+            evictions = self.evictions
+        yield ("repro_service_workspaces", "gauge",
+               "Warm workspaces currently held", {}, float(workspaces))
+        yield ("repro_service_requests_total", "counter",
+               "Requests the service has handled", {}, float(requests))
+        yield ("repro_service_evictions_total", "counter",
+               "Workspaces evicted LRU", {}, float(evictions))
+        for key, value in self.memo.counters().items():
+            if isinstance(value, (int, float)) and key != "max_entries":
+                kind = "gauge" if key == "entries" else "counter"
+                yield (f"repro_service_memo_{key}", kind,
+                       "Shared transform-memo counter", {}, float(value))
+        for key, value in self.tree_store.counters().items():
+            if isinstance(value, (int, float)) and key != "max_entries":
+                kind = "gauge" if key == "entries" else "counter"
+                yield (f"repro_service_tree_store_{key}", kind,
+                       "Shared parse-tree store counter", {}, float(value))
 
     def ping(self) -> dict:
         return {"protocol": PROTOCOL_VERSION, "pid": os.getpid()}
@@ -743,6 +821,7 @@ class PatchService:
             self._release_workspace_specs(workspace)
         if self._fleet is not None:
             self._fleet.close()
+        _obs.REGISTRY.unregister_collector(self._collector)
 
     # -- memo GC -------------------------------------------------------------
 

@@ -413,3 +413,120 @@ class TestMemoCounterExactness:
         counters = memo.counters()
         assert counters["hits"] == 1 and counters["misses"] == 1
         assert counters["stores"] == 1
+
+
+class TestForkPoolCounterExactness:
+    """``jobs=4`` fork pools: each worker's parse-cache delta travels home
+    through the telemetry channel and the merged counters stay *exact* —
+    one miss per file parsed in a worker, zero phantom hits — so
+    ``--profile`` over a fork pool is as trustworthy as a serial run."""
+
+    RENAME = "@r@ @@\n- old_api();\n+ new_api();\n"
+
+    @staticmethod
+    def _files(count: int = 6) -> dict:
+        return {f"fork_{index}.c":
+                f"void fn{index}(void) {{ old_api(); }}\n"
+                for index in range(count)}
+
+    def _run(self, jobs: int):
+        from repro import SemanticPatch
+        from repro.engine.driver import Driver
+
+        patch = SemanticPatch.from_string(self.RENAME)
+        driver = Driver(patch.ast, options=patch.options, jobs=jobs,
+                        prefilter=False)
+        return driver.run(self._files())
+
+    def test_worker_deltas_are_exact(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        from repro.engine import driver as driver_mod
+
+        hits0 = driver_mod._M_WORKER_HITS.value
+        misses0 = driver_mod._M_WORKER_MISSES.value
+        files = self._files()
+        result = self._run(jobs=4)
+        assert result.stats.jobs_used == 4
+        # the merged counters are labelled as worker-scoped, and they are
+        # exact: each worker parsed each of its files exactly once, cold
+        assert result.stats.cache_scope == "workers"
+        assert result.stats.cache_misses == len(files)
+        assert result.stats.cache_hits == 0
+        # and the registry's origin="workers" children moved by the same
+        # amounts (the deltas are per-job before/after captures, so a
+        # parallel-running test cannot inflate them)
+        assert driver_mod._M_WORKER_MISSES.value - misses0 == len(files)
+        assert driver_mod._M_WORKER_HITS.value - hits0 == 0
+        # the transform happened in every file despite the scatter
+        for name in files:
+            assert result[name].changed
+
+    def test_scope_is_unavailable_when_telemetry_is_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "0")
+        result = self._run(jobs=4)
+        assert result.stats.jobs_used == 4
+        # no telemetry channel: the driver refuses to guess and says so
+        assert result.stats.cache_scope == "unavailable"
+        assert result.stats.cache_hits == 0
+        assert result.stats.cache_misses == 0
+
+    def test_serial_run_stays_locally_scoped(self):
+        result = self._run(jobs=1)
+        assert result.stats.cache_scope == "local"
+        assert result.stats.cache_misses == len(self._files())
+
+
+class TestFleetCounterExactness:
+    """``--workers 4`` fleet: worker-process counters surface through the
+    ``stats`` verb both per worker (with pid) and as a key-wise aggregate,
+    and they partition exactly — every parse happened in precisely one
+    worker's mirror."""
+
+    FILES = {"hit.c": "void f(void) { old_api(); }\n",
+             "also.c": "void g(void) { old_api(); }\n"}
+    SPEC = {"kind": "smpl", "text": "@r@ @@\n- old_api();\n+ new_api();\n"}
+
+    @pytest.fixture()
+    def service(self, tmp_path):
+        from repro.server.service import PatchService
+
+        service = PatchService(workers=4,
+                               state_root=str(tmp_path / "state"))
+        yield service
+        service.close()
+
+    def test_aggregate_is_the_key_wise_sum_of_workers(self, service):
+        service.open_workspace("w")
+        service.sync_files("w", files=dict(self.FILES))
+        service.apply("w", [self.SPEC])
+        fleet = service.stats()["fleet"]
+        per_worker = fleet["per_worker"]
+        assert len(per_worker) == 4
+        assert all(row["pid"] > 0 for row in per_worker)
+        aggregate = fleet["aggregate"]
+        # the workspace lives in exactly one worker's mirror
+        assert aggregate["workspaces"] == 1
+        for field in ("hits", "misses"):
+            summed = sum(counters.get(field, 0)
+                         for row in per_worker
+                         for counters in row["parse_caches"].values())
+            assert aggregate["parse_cache"][field] == summed
+        # a cold apply parsed every file exactly once, in one worker
+        assert aggregate["parse_cache"]["misses"] == len(self.FILES)
+        memo_summed = sum(row["memo"].get("misses", 0) for row in per_worker)
+        assert aggregate["memo"]["misses"] == memo_summed
+
+    def test_warm_reapply_moves_hits_not_misses(self, service):
+        service.open_workspace("w")
+        service.sync_files("w", files=dict(self.FILES))
+        service.apply("w", [self.SPEC])
+        cold = service.stats()["fleet"]["aggregate"]
+        payload = service.apply("w", [self.SPEC], profile=True)
+        warm = service.stats()["fleet"]["aggregate"]
+        # the replay was answered from warm state: not one new parse miss
+        assert warm["parse_cache"]["misses"] == cold["parse_cache"]["misses"]
+        assert warm["memo"]["misses"] == cold["memo"]["misses"]
+        # and the profile names the worker that served it
+        worker = payload["profile"]["fleet_worker"]
+        assert worker["pid"] in {row["pid"] for row in
+                                 service.stats()["fleet"]["per_worker"]}

@@ -1,0 +1,442 @@
+"""The observability layer: metrics registry, tracer, journal, sinks.
+
+Covers the tentpole's three pillars — the registry primitives
+(counter/gauge/histogram families, collectors, Prometheus rendering),
+the contextvar span tracer (including Chrome trace-event export and
+fork-delta grafting), and the sinks (JSONL journal with rotation, the
+stdlib HTTP ``/metrics`` endpoint, the daemon's ``metrics`` verb) — plus
+the soundness property everything hangs on: telemetry on vs. off is
+byte-identical on every deterministic output.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs import journal as journal_mod
+from repro.obs import registry as registry_mod
+from repro.obs import trace as trace_mod
+from repro.obs.journal import Journal
+from repro.obs.metrics_http import MetricsServer
+from repro.obs.registry import (DEFAULT_BUCKETS, Histogram, MetricsRegistry,
+                                merge_telemetry, telemetry_capture)
+
+
+# ---------------------------------------------------------------------------
+# registry primitives
+# ---------------------------------------------------------------------------
+
+class TestRegistry:
+    def test_counter_children_are_per_label_set(self):
+        registry = MetricsRegistry()
+        hits = registry.counter("t_total", "help", cache="tree")
+        again = registry.counter("t_total", cache="tree")
+        other = registry.counter("t_total", cache="shared")
+        hits.inc()
+        hits.inc(2)
+        assert again is hits and other is not hits
+        assert hits.value == 3 and other.value == 0
+
+    def test_kind_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(5.0)
+        gauge.dec(2.0)
+        assert gauge.value == 3.0
+
+    def test_histogram_state_and_summary(self):
+        histogram = Histogram(buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.005, 0.05, 0.5):
+            histogram.observe(value)
+        state = histogram.state()
+        assert state["counts"] == [2, 1, 1, 0]  # trailing +Inf bucket
+        assert state["count"] == 4
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(0.56 / 4)
+        assert summary["p50"] == 0.01  # 2 of 4 land in the first bucket
+
+    def test_histogram_merge_state_adds_counts(self):
+        first = Histogram(buckets=(0.01, 0.1))
+        second = Histogram(buckets=(0.01, 0.1))
+        first.observe(0.005)
+        second.observe(0.05)
+        second.observe(5.0)
+        first.merge_state(second.state())
+        state = first.state()
+        assert state["count"] == 3 and state["counts"] == [1, 1, 1]
+
+    def test_collector_rows_fold_into_snapshot(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            lambda: [("legacy_total", "counter", "bridged", {"k": "v"}, 7.0)])
+        snapshot = registry.snapshot()
+        assert snapshot["legacy_total"]["samples"]['{k="v"}'] == 7.0
+
+    def test_broken_collector_does_not_kill_the_scrape(self):
+        registry = MetricsRegistry()
+
+        def broken():
+            raise RuntimeError("boom")
+
+        registry.register_collector(broken)
+        registry.counter("ok_total").inc()
+        assert "ok_total 1" in registry.render_prometheus()
+
+    def test_unregister_collector(self):
+        registry = MetricsRegistry()
+        collector = registry.register_collector(
+            lambda: [("gone_total", "counter", "", {}, 1.0)])
+        registry.unregister_collector(collector)
+        assert "gone_total" not in registry.render_prometheus()
+
+
+class TestPrometheusRendering:
+    """The text exposition must be valid Prometheus 0.0.4: TYPE lines,
+    cumulative ``le`` buckets ending at +Inf == _count, numeric samples."""
+
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("r_hits_total", "Hits", cache="tree").inc(3)
+        histogram = registry.histogram("r_seconds", "Timing",
+                                       buckets=(0.1, 1.0), phase="parse")
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        return registry
+
+    def test_families_carry_help_and_type(self):
+        text = self._registry().render_prometheus()
+        assert "# HELP r_hits_total Hits" in text
+        assert "# TYPE r_hits_total counter" in text
+        assert "# TYPE r_seconds histogram" in text
+        assert 'r_hits_total{cache="tree"} 3' in text
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        text = self._registry().render_prometheus()
+        buckets = [line for line in text.splitlines()
+                   if line.startswith("r_seconds_bucket")]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)  # cumulative, never decreasing
+        assert 'le="+Inf"' in buckets[-1] and counts[-1] == 3
+        assert 'r_seconds_count{phase="parse"} 3' in text
+
+    def test_every_sample_line_parses(self):
+        for line in self._registry().render_prometheus().splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # must be a plain number
+            assert name_part[0].isalpha()
+
+
+# ---------------------------------------------------------------------------
+# the kill switch
+# ---------------------------------------------------------------------------
+
+class TestKillSwitch:
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        assert registry_mod.enabled()
+
+    @pytest.mark.parametrize("value", ["0", "off", "no", "false", " OFF "])
+    def test_disabled_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_OBS", value)
+        assert not registry_mod.enabled()
+
+    def test_phase_is_shared_noop_when_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "0")
+        assert registry_mod.phase("parse") is registry_mod.phase("match")
+
+    def test_capture_delta_is_empty_when_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "0")
+        assert telemetry_capture().delta() == {}
+
+
+# ---------------------------------------------------------------------------
+# spans and traces
+# ---------------------------------------------------------------------------
+
+class TestTracer:
+    def test_no_trace_means_inactive_and_noop_spans(self):
+        assert not trace_mod.tracing_active()
+        assert trace_mod.current_trace_id() is None
+        assert trace_mod.span("parse") is trace_mod.span("match")
+
+    def test_spans_nest_under_the_active_trace(self):
+        tracer = trace_mod.start_trace("root")
+        try:
+            assert trace_mod.tracing_active()
+            with trace_mod.span("outer"):
+                with trace_mod.span("inner"):
+                    pass
+        finally:
+            root = tracer.finish()
+        assert not trace_mod.tracing_active()
+        payload = root.to_payload()
+        assert payload["name"] == "root"
+        outer = payload["children"][0]
+        assert outer["name"] == "outer"
+        assert outer["children"][0]["name"] == "inner"
+        # nanosecond timings: a child never outlasts its parent
+        inner = outer["children"][0]
+        assert outer["start_ns"] <= inner["start_ns"]
+        assert inner["end_ns"] <= outer["end_ns"]
+
+    def test_trace_ids_are_unique_and_short(self):
+        ids = {trace_mod.new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(i) == 16 for i in ids)
+
+    def test_graft_attaches_worker_payloads(self):
+        tracer = trace_mod.start_trace("parent")
+        try:
+            child_tracer = trace_mod.start_trace("worker")
+            with trace_mod.span("match"):
+                pass
+            worker_payload = child_tracer.finish().to_payload()
+        finally:
+            pass
+        trace_mod.graft_payloads([worker_payload, None])
+        root = tracer.finish()
+        names = [c["name"] for c in root.to_payload()["children"]]
+        assert "worker" in names
+
+    def test_chrome_trace_events_shape(self):
+        tracer = trace_mod.start_trace("run")
+        with trace_mod.span("parse"):
+            pass
+        payload = tracer.finish().to_payload()
+        events = trace_mod.chrome_trace_events(payload)
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], (int, float))
+            assert event["dur"] >= 0
+        json.dumps(events)  # must be JSON-serializable as-is
+
+    def test_phase_records_span_only_under_a_trace(self):
+        tracer = trace_mod.start_trace("spanned")
+        with registry_mod.phase("match"):
+            pass
+        root = tracer.finish().to_payload()
+        assert [c["name"] for c in root["children"]] == ["match"]
+
+
+# ---------------------------------------------------------------------------
+# fork-boundary deltas
+# ---------------------------------------------------------------------------
+
+class TestTelemetryDeltas:
+    def test_capture_sees_only_what_moved(self):
+        counter = registry_mod.REGISTRY.counter("test_delta_total", "t")
+        counter.inc(5)
+        capture = telemetry_capture()
+        counter.inc(3)
+        delta = capture.delta()
+        assert delta["counters"]["test_delta_total"] == 3
+
+    def test_merge_lands_under_the_origin_label(self):
+        merge_telemetry({"counters": {"test_merge_total": 4}},
+                        origin="workers")
+        child = registry_mod.REGISTRY.counter("test_merge_total",
+                                              origin="workers")
+        assert child.value >= 4
+
+    def test_histogram_deltas_merge(self):
+        histogram = registry_mod.REGISTRY.histogram(
+            "test_hist_seconds", "t", buckets=(0.1, 1.0), phase="x")
+        capture = telemetry_capture()
+        histogram.observe(0.05)
+        delta = capture.delta()
+        assert delta["histograms"]['test_hist_seconds{phase="x"}'][
+            "count"] == 1
+        merge_telemetry(delta, origin="workers")
+        merged = registry_mod.REGISTRY.histogram(
+            "test_hist_seconds", buckets=(0.1, 1.0),
+            phase="x", origin="workers")
+        assert merged.state()["count"] == 1
+
+    def test_split_key_round_trip(self):
+        name, labels = registry_mod._split_key('a_total{x="1",y="z"}')
+        assert name == "a_total" and labels == {"x": "1", "y": "z"}
+        assert registry_mod._split_key("bare") == ("bare", {})
+
+
+# ---------------------------------------------------------------------------
+# journal sink
+# ---------------------------------------------------------------------------
+
+class TestJournal:
+    def test_events_are_one_sorted_json_line_each(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(str(path)) as journal:
+            journal.emit("request", verb="apply", ok=True, skipped=None)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["event"] == "request" and record["verb"] == "apply"
+        assert "skipped" not in record  # None fields are dropped
+        assert "ts" in record
+
+    def test_rotation_bounds_the_file(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(str(path), max_bytes=4096)
+        for index in range(200):
+            journal.emit("event", index=index, pad="x" * 64)
+        journal.close()
+        assert path.stat().st_size <= 4096
+        rotated = tmp_path / "j.jsonl.1"
+        assert rotated.exists() and rotated.stat().st_size <= 4096
+        # every surviving line is whole (rotation never tears a record)
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_open_journal_none_for_unconfigured(self):
+        assert journal_mod.open_journal(None) is None
+        assert journal_mod.open_journal("") is None
+
+    def test_unserializable_fields_drop_the_event_not_the_process(
+            self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(str(path)) as journal:
+            journal.emit("bad", payload=object())
+            journal.emit("good")
+        events = [json.loads(line)["event"]
+                  for line in path.read_text().splitlines()]
+        assert events == ["good"]
+
+
+# ---------------------------------------------------------------------------
+# HTTP /metrics endpoint
+# ---------------------------------------------------------------------------
+
+class TestMetricsServer:
+    def test_scrape_and_healthz(self):
+        registry = MetricsRegistry()
+        registry.counter("scrape_total", "Scrapes", kind="test").inc(2)
+        server = MetricsServer("127.0.0.1:0", registry=registry).start()
+        try:
+            base = f"http://127.0.0.1:{server.port}"
+            with urllib.request.urlopen(f"{base}/metrics") as response:
+                assert response.status == 200
+                assert "version=0.0.4" in response.headers["Content-Type"]
+                text = response.read().decode()
+            assert 'scrape_total{kind="test"} 2' in text
+            with urllib.request.urlopen(f"{base}/healthz") as response:
+                assert response.read() == b"ok\n"
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(f"{base}/nope")
+        finally:
+            server.close()
+
+    def test_bad_address_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            MetricsServer("not-an-address")
+
+
+# ---------------------------------------------------------------------------
+# daemon integration: metrics verb, trace echo, request journal
+# ---------------------------------------------------------------------------
+
+class TestDaemonTelemetry:
+    @pytest.fixture()
+    def daemon(self, tmp_path):
+        from repro.server.daemon import PatchDaemon
+        from repro.server.service import PatchService
+
+        daemon = PatchDaemon(f"unix:{tmp_path}/obs.sock", PatchService(),
+                             metrics="127.0.0.1:0",
+                             journal=str(tmp_path / "journal.jsonl"))
+        daemon.serve_in_thread()
+        yield daemon
+        daemon.shutdown()
+        daemon.close()
+
+    def test_metrics_verb_and_http_scrape_agree(self, daemon, tmp_path):
+        from repro.server.client import RemoteClient
+
+        with RemoteClient(daemon.address) as client:
+            client.open_workspace("w")
+            client.sync_files("w", files={"a.c": "int main(){f();}\n"})
+            client.apply("w", [{"kind": "smpl",
+                                "text": "@r@ @@\n- f();\n+ g();\n"}])
+            verb_payload = client.request("metrics")
+        assert verb_payload["enabled"]
+        assert "repro_service_workspaces" in verb_payload["prometheus"]
+        url = f"http://{daemon.metrics_server.address}/metrics"
+        scraped = urllib.request.urlopen(url).read().decode()
+        assert "# TYPE repro_phase_seconds histogram" in scraped
+        assert "repro_service_requests_total" in scraped
+
+    def test_trace_echoed_in_success_and_error_envelopes(self, daemon):
+        from repro.server.client import RemoteClient, RemoteError
+
+        with RemoteClient(daemon.address) as client:
+            client.open_workspace("w")
+            with pytest.raises(RemoteError) as excinfo:
+                client.apply("no-such-workspace",
+                             [{"kind": "cookbook", "name": "cuda_to_hip"}])
+        assert excinfo.value.kind == "unknown-workspace"
+        assert excinfo.value.trace  # the error envelope carries the id
+
+    def test_journal_records_every_request_with_trace(self, daemon,
+                                                      tmp_path):
+        from repro.server.client import RemoteClient
+
+        with RemoteClient(daemon.address) as client:
+            client.ping()
+            client.open_workspace("w")
+        daemon.server.journal.close()
+        events = [json.loads(line) for line in
+                  (tmp_path / "journal.jsonl").read_text().splitlines()]
+        verbs = [event["verb"] for event in events]
+        assert "ping" in verbs and "open_workspace" in verbs
+        assert all(event.get("trace") for event in events)
+        assert all(event["ok"] for event in events)
+
+
+# ---------------------------------------------------------------------------
+# soundness: telemetry on vs. off is byte-identical
+# ---------------------------------------------------------------------------
+
+class TestTelemetryInertness:
+    """The tentpole's acceptance property: diffs, result payloads and exit
+    codes are byte-identical with telemetry on (default, plus an active
+    trace) and off (``REPRO_OBS=0``), over real cookbook workloads."""
+
+    NAMES = ("cuda_to_hip", "kokkos_lambda", "acc_to_omp")
+
+    def _payload_bytes(self, name: str, jobs: int = 1) -> str:
+        from repro.server.protocol import dumps, result_payload
+        from test_prefilter import COOKBOOK_WORKLOADS, _cookbook_patch
+
+        patch = _cookbook_patch(name)
+        result = patch.apply(COOKBOOK_WORKLOADS[name](), jobs=jobs)
+        return dumps(result_payload(result, [patch], include_texts=True))
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_cookbook_payloads_match(self, monkeypatch, name):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        tracer = trace_mod.start_trace("differential")
+        try:
+            with_telemetry = self._payload_bytes(name)
+        finally:
+            tracer.finish()
+        monkeypatch.setenv("REPRO_OBS", "0")
+        without = self._payload_bytes(name)
+        assert with_telemetry == without
+
+    def test_fork_pool_payloads_match(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        with_telemetry = self._payload_bytes("cuda_to_hip", jobs=2)
+        monkeypatch.setenv("REPRO_OBS", "0")
+        without = self._payload_bytes("cuda_to_hip", jobs=2)
+        assert with_telemetry == without
